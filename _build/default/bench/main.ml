@@ -1,0 +1,229 @@
+(* Benchmark harness: regenerates every experiment of the reproduction
+   (E1-E11, the paper's tables/figures equivalent — see DESIGN.md §4 and
+   EXPERIMENTS.md) and then times the core computations with Bechamel, one
+   Test.make per experiment.
+
+   Run with: dune exec bench/main.exe *)
+
+open Bechamel
+open Toolkit
+
+(* --- Part 1: the reproduction tables (paper-vs-measured) --- *)
+
+let print_experiments () =
+  Format.printf "=== Reproduction battery: paper vs measured ===@.@.";
+  let rows = Experiments.all () in
+  Format.printf "%a@." Experiments.pp_table rows;
+  let ok = List.length (List.filter (fun r -> r.Experiments.ok) rows) in
+  Format.printf "@.%d/%d experiment rows match the paper@.@." ok (List.length rows)
+
+(* --- Part 2: timed kernels, one per experiment --- *)
+
+let initialized sys inputs =
+  List.fold_left
+    (fun (exec, i) v -> Model.Exec.append_init sys exec i (Ioa.Value.int v), i + 1)
+    (Model.Exec.init (Model.System.initial_state sys), 0)
+    inputs
+  |> fst
+
+(* E1: canonical object operation cycle (invoke/perform/respond/decide). *)
+let bench_canonical_ops =
+  let sys = Protocols.Direct.system ~n:2 ~f:1 in
+  Test.make ~name:"E1/canonical-object-ops"
+    (Staged.stage (fun () ->
+       let exec = initialized sys [ 1; 0 ] in
+       let sched = Model.Scheduler.round_robin sys in
+       ignore
+         (Model.Scheduler.run ~stop_when:Model.Properties.termination ~max_steps:1_000 sys
+            exec sched)))
+
+(* E2: staircase valence analysis. *)
+let bench_bivalent_init =
+  let sys = Protocols.Direct.system ~n:2 ~f:0 in
+  Test.make ~name:"E2/bivalent-init"
+    (Staged.stage (fun () -> ignore (Engine.Initialization.find_bivalent sys)))
+
+(* E3: G(C) exploration + hook search (Fig. 3). *)
+let bench_graph_explore =
+  let sys = Protocols.Direct.system ~n:3 ~f:0 in
+  let start = Model.System.initialize sys (List.init 3 (fun i -> Ioa.Value.int (i mod 2))) in
+  Test.make ~name:"E3/graph-explore-n3"
+    (Staged.stage (fun () -> ignore (Engine.Graph.explore sys start)))
+
+let bench_hook_fig3 =
+  let sys = Protocols.Direct.system ~n:3 ~f:0 in
+  let entry = Option.get (Engine.Initialization.find_bivalent sys) in
+  let a = entry.Engine.Initialization.analysis in
+  Test.make ~name:"E3/hook-fig3" (Staged.stage (fun () -> ignore (Engine.Hook.find a)))
+
+let bench_hook_brute =
+  let sys = Protocols.Direct.system ~n:3 ~f:0 in
+  let entry = Option.get (Engine.Initialization.find_bivalent sys) in
+  let a = entry.Engine.Initialization.analysis in
+  Test.make ~name:"E3/hook-brute" (Staged.stage (fun () -> ignore (Engine.Hook.find_brute a)))
+
+(* E4: commutation sweep over the explored graph. *)
+let bench_commute =
+  let sys = Protocols.Direct.system ~n:2 ~f:0 in
+  let entry = Option.get (Engine.Initialization.find_bivalent sys) in
+  let a = entry.Engine.Initialization.analysis in
+  Test.make ~name:"E4/commute-sweep"
+    (Staged.stage (fun () -> ignore (Engine.Commute.check_disjoint a)))
+
+(* E5/E7/E10/E11: full refutations. *)
+let bench_refute name sys failures =
+  Test.make ~name
+    (Staged.stage (fun () -> ignore (Engine.Counterexample.refute ~failures sys)))
+
+let bench_thm2 = bench_refute "E5/thm2-witness" (Protocols.Direct.system ~n:2 ~f:0) 1
+let bench_thm9 = bench_refute "E7/thm9-witness" (Protocols.Tob_direct.system ~n:2 ~f:0) 1
+let bench_thm10 = bench_refute "E10/thm10-witness" (Protocols.Fd_allconnected.system ~n:2 ~f:0) 1
+let bench_flp = bench_refute "E11/flp-witness" (Protocols.Register_wait.system ()) 1
+
+(* E6: one adversarial k-set boosting run. *)
+let bench_kset =
+  let sys = Protocols.Kset_boost.system ~groups:2 ~group_size:2 in
+  Test.make ~name:"E6/kset-boost-run"
+    (Staged.stage (fun () ->
+       let exec = initialized sys [ 0; 1; 2; 3 ] in
+       let sched = Model.Scheduler.random ~seed:11 ~fail_prob:0.02 ~max_failures:3 sys in
+       ignore
+         (Model.Scheduler.run ~policy:Model.System.dummy_policy
+            ~stop_when:Model.Properties.termination ~max_steps:30_000 sys exec sched)))
+
+(* E8: failure-detector service churn. *)
+let bench_fd_behaviour =
+  let endpoints = [ 0; 1; 2 ] in
+  let sys =
+    Model.System.make
+      ~processes:(List.map (fun pid -> Model.Process.idle ~pid) endpoints)
+      ~services:
+        [
+          Model.Service.general ~coalesce:true ~id:"fd" ~endpoints ~f:2
+            (Services.Perfect_fd.make ~endpoints);
+        ]
+  in
+  Test.make ~name:"E8/fd-behaviour"
+    (Staged.stage (fun () ->
+       let exec = Model.Exec.init (Model.System.initial_state sys) in
+       let sched = Model.Scheduler.round_robin ~quiesce:false ~faults:[ (50, 1) ] sys in
+       ignore (Model.Scheduler.run ~max_steps:500 sys exec sched)))
+
+(* E9: one §6.3 FD-boosting consensus run with failures. *)
+let bench_fd_boost =
+  let sys = Protocols.Fd_boost.system ~n:3 in
+  Test.make ~name:"E9/fd-boost-run"
+    (Staged.stage (fun () ->
+       let exec = initialized sys [ 0; 1; 2 ] in
+       let sched = Model.Scheduler.round_robin ~faults:[ (0, 0); (30, 1) ] sys in
+       ignore
+         (Model.Scheduler.run ~policy:Model.System.dummy_policy
+            ~stop_when:Model.Properties.termination ~max_steps:60_000 sys exec sched)))
+
+(* E7: TOB throughput (messages ordered and delivered per schedule). *)
+let bench_tob =
+  let endpoints = [ 0; 1; 2 ] in
+  let sys =
+    let tob =
+      Model.Service.oblivious ~id:"tob" ~endpoints ~f:2
+        (Services.Tob.make ~endpoints ~alphabet:[ Ioa.Value.int 0 ])
+    in
+    Model.System.make
+      ~processes:
+        (List.map
+           (fun pid ->
+             Protocols.Proto_util.(
+               Model.Process.make ~pid ~start:(st "have" [ Ioa.Value.int pid ])
+                 ~step:(fun s ->
+                   if is "have" s then
+                     Model.Process.Invoke
+                       {
+                         service = "tob";
+                         op = Services.Tob.bcast (field s 0);
+                         next = st "sent" [];
+                       }
+                   else Model.Process.Internal s)
+                 ()))
+           endpoints)
+      ~services:[ tob ]
+  in
+  Test.make ~name:"E7/tob-order"
+    (Staged.stage (fun () ->
+       let exec = Model.Exec.init (Model.System.initial_state sys) in
+       let sched = Model.Scheduler.round_robin sys in
+       ignore (Model.Scheduler.run ~max_steps:200 sys exec sched)))
+
+(* Ablation: SCC-condensation valence vs the naive per-vertex oracle. *)
+let valence_benches =
+  let sys = Protocols.Direct.system ~n:3 ~f:0 in
+  let start = Model.System.initialize sys (List.init 3 (fun i -> Ioa.Value.int (i mod 2))) in
+  let g = Engine.Graph.explore sys start in
+  [
+    Test.make ~name:"ablation/valence-scc"
+      (Staged.stage (fun () -> ignore (Engine.Valence.analyze g)));
+    Test.make ~name:"ablation/valence-naive"
+      (Staged.stage (fun () -> ignore (Engine.Valence_naive.verdicts g)));
+  ]
+
+(* Substrate micro-benchmarks. *)
+let bench_state_hash =
+  let sys = Protocols.Fd_boost.system ~n:4 in
+  let s = Model.System.initialize sys (List.init 4 Ioa.Value.int) in
+  Test.make ~name:"micro/state-hash" (Staged.stage (fun () -> ignore (Model.State.hash s)))
+
+let bench_transition =
+  let sys = Protocols.Direct.system ~n:3 ~f:2 in
+  let s = Model.System.initialize sys (List.init 3 Ioa.Value.int) in
+  Test.make ~name:"micro/transition"
+    (Staged.stage (fun () -> ignore (Model.System.transition sys s (Model.Task.Proc 0))))
+
+let tests =
+  ([
+      bench_canonical_ops;
+      bench_bivalent_init;
+      bench_graph_explore;
+      bench_hook_fig3;
+      bench_hook_brute;
+      bench_commute;
+      bench_thm2;
+      bench_thm9;
+      bench_thm10;
+      bench_flp;
+      bench_kset;
+      bench_fd_behaviour;
+      bench_fd_boost;
+      bench_tob;
+      bench_state_hash;
+      bench_transition;
+    ]
+    @ valence_benches)
+
+let tests = Test.make_grouped ~name:"boosting" tests
+
+let run_benchmarks () =
+  Format.printf "=== Timings (Bechamel, monotonic clock) ===@.@.";
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) () in
+  let raw = Benchmark.all cfg instances tests in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name result acc ->
+        let estimate =
+          match Analyze.OLS.estimates result with Some [ e ] -> e | _ -> nan
+        in
+        (name, estimate) :: acc)
+      results []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  List.iter
+    (fun (name, ns) ->
+      if Float.is_nan ns then Format.printf "%-36s  (no estimate)@." name
+      else if ns > 1e6 then Format.printf "%-36s %10.3f ms/run@." name (ns /. 1e6)
+      else Format.printf "%-36s %10.1f ns/run@." name ns)
+    rows
+
+let () =
+  print_experiments ();
+  run_benchmarks ()

@@ -1,0 +1,276 @@
+(* The `boost` command-line driver: run the impossibility engine, the
+   positive-result protocols, and the full experiment battery from the shell. *)
+
+open Cmdliner
+
+type protocol =
+  | P_direct
+  | P_split
+  | P_register_vote
+  | P_register_wait
+  | P_tob
+  | P_fd_all
+  | P_kset
+  | P_fd_boost
+  | P_tas
+  | P_queue
+  | P_mp_all
+  | P_mp_quorum
+  | P_universal
+
+let protocol_conv =
+  let parse = function
+    | "direct" -> Ok P_direct
+    | "split" -> Ok P_split
+    | "register-vote" -> Ok P_register_vote
+    | "register-wait" -> Ok P_register_wait
+    | "tob" -> Ok P_tob
+    | "fd-all" -> Ok P_fd_all
+    | "kset" -> Ok P_kset
+    | "fd-boost" -> Ok P_fd_boost
+    | "tas" -> Ok P_tas
+    | "queue" -> Ok P_queue
+    | "mp-all" -> Ok P_mp_all
+    | "mp-quorum" -> Ok P_mp_quorum
+    | "universal" -> Ok P_universal
+    | s -> Error (`Msg ("unknown protocol: " ^ s))
+  in
+  let print ppf p =
+    Format.pp_print_string ppf
+      (match p with
+      | P_direct -> "direct"
+      | P_split -> "split"
+      | P_register_vote -> "register-vote"
+      | P_register_wait -> "register-wait"
+      | P_tob -> "tob"
+      | P_fd_all -> "fd-all"
+      | P_kset -> "kset"
+      | P_fd_boost -> "fd-boost"
+      | P_tas -> "tas"
+      | P_queue -> "queue"
+      | P_mp_all -> "mp-all"
+      | P_mp_quorum -> "mp-quorum"
+      | P_universal -> "universal")
+  in
+  Arg.conv (parse, print)
+
+let build_system protocol ~n ~f ~groups ~group_size =
+  match protocol with
+  | P_direct -> Protocols.Direct.system ~n ~f
+  | P_split -> Protocols.Split.system ~n
+  | P_register_vote -> Protocols.Register_vote.system ()
+  | P_register_wait -> Protocols.Register_wait.system ()
+  | P_tob -> Protocols.Tob_direct.system ~n ~f
+  | P_fd_all -> Protocols.Fd_allconnected.system ~n ~f
+  | P_kset -> Protocols.Kset_boost.system ~groups ~group_size
+  | P_fd_boost -> Protocols.Fd_boost.system ~n
+  | P_tas -> Protocols.Tas_consensus.system ~f
+  | P_queue -> Protocols.Queue_consensus.system ~f
+  | P_mp_all -> Protocols.Mp_consensus.all_system ~n
+  | P_mp_quorum -> Protocols.Mp_consensus.quorum_system ~n
+  | P_universal ->
+    Protocols.Universal.system ~obj:(Spec.Seq_counter.make ())
+      ~ops:(List.init n (fun _ -> Spec.Seq_counter.increment))
+
+let protocol_arg =
+  Arg.(
+    required
+    & pos 0 (some protocol_conv) None
+    & info [] ~docv:"PROTOCOL"
+        ~doc:
+          "Protocol: direct | split | register-vote | register-wait | tob | fd-all | kset \
+           | fd-boost | tas | queue | mp-all | mp-quorum | universal.")
+
+let n_arg = Arg.(value & opt int 2 & info [ "n"; "procs" ] ~docv:"N" ~doc:"Number of processes.")
+let f_arg = Arg.(value & opt int 0 & info [ "f"; "resilience" ] ~docv:"F" ~doc:"Service resilience level.")
+
+let failures_arg =
+  Arg.(value & opt int 1 & info [ "failures" ] ~docv:"K" ~doc:"Claimed resilience (= f + 1).")
+
+let groups_arg = Arg.(value & opt int 2 & info [ "groups" ] ~docv:"G" ~doc:"k-set groups.")
+
+let group_size_arg =
+  Arg.(value & opt int 2 & info [ "group-size" ] ~docv:"S" ~doc:"Processes per group.")
+
+let seeds_arg = Arg.(value & opt int 20 & info [ "seeds" ] ~docv:"S" ~doc:"Random-run count.")
+
+let max_states_arg =
+  Arg.(value & opt int 200_000 & info [ "max-states" ] ~docv:"B" ~doc:"State-space bound.")
+
+(* --- refute --- *)
+
+let refute_cmd =
+  let run protocol n f failures groups group_size max_states =
+    let sys = build_system protocol ~n ~f ~groups ~group_size in
+    let report = Engine.Counterexample.refute ~max_states ~failures sys in
+    Format.printf "%a@." Engine.Counterexample.pp_report report;
+    match report.Engine.Counterexample.outcome with
+    | Engine.Counterexample.Refuted _ -> 0
+    | Engine.Counterexample.Not_refuted _ -> 1
+    | Engine.Counterexample.Out_of_budget _ -> 2
+  in
+  let term =
+    Term.(
+      const run $ protocol_arg $ n_arg $ f_arg $ failures_arg $ groups_arg $ group_size_arg
+      $ max_states_arg)
+  in
+  Cmd.v
+    (Cmd.info "refute"
+       ~doc:
+         "Attack a protocol's claim of K-resilient consensus with the Theorem 2/9/10 engine; \
+          exits 0 when refuted, 1 when the claim stands.")
+    term
+
+(* --- staircase --- *)
+
+let staircase_cmd =
+  let run protocol n f groups group_size =
+    let sys = build_system protocol ~n ~f ~groups ~group_size in
+    List.iter
+      (fun e -> Format.printf "%a@." Engine.Initialization.pp_entry e)
+      (Engine.Initialization.staircase sys);
+    0
+  in
+  let term =
+    Term.(const run $ protocol_arg $ n_arg $ f_arg $ groups_arg $ group_size_arg)
+  in
+  Cmd.v
+    (Cmd.info "staircase" ~doc:"Print the Lemma 4 staircase of initializations with valences.")
+    term
+
+(* --- explore --- *)
+
+let explore_cmd =
+  let run protocol n f groups group_size max_states =
+    let sys = build_system protocol ~n ~f ~groups ~group_size in
+    let inputs =
+      List.init (Model.System.n_processes sys) (fun i -> Ioa.Value.int (i mod 2))
+    in
+    let start = Model.System.initialize sys inputs in
+    let g = Engine.Graph.explore ~max_states sys start in
+    let a = Engine.Valence.analyze g in
+    Format.printf "states: %d (%s)@." (Engine.Graph.size g)
+      (if Engine.Graph.complete g then "complete" else "bounded");
+    List.iter
+      (fun v ->
+        Format.printf "%a: %d@." Engine.Valence.pp_verdict v (Engine.Valence.count a v))
+      Engine.Valence.[ Zero_valent; One_valent; Bivalent; Blank ];
+    0
+  in
+  let term =
+    Term.(
+      const run $ protocol_arg $ n_arg $ f_arg $ groups_arg $ group_size_arg $ max_states_arg)
+  in
+  Cmd.v (Cmd.info "explore" ~doc:"Materialize G(C) and print the valence census.") term
+
+(* --- run (positive protocols) --- *)
+
+let run_cmd =
+  let run protocol n f groups group_size seeds =
+    let sys = build_system protocol ~n ~f ~groups ~group_size in
+    let np = Model.System.n_processes sys in
+    let k = match protocol with P_kset -> groups | _ -> 1 in
+    let ok = ref 0 in
+    for seed = 0 to seeds - 1 do
+      let exec0 =
+        List.fold_left
+          (fun (e, i) v -> Model.Exec.append_init sys e i (Ioa.Value.int v), i + 1)
+          (Model.Exec.init (Model.System.initial_state sys), 0)
+          (List.init np Fun.id)
+        |> fst
+      in
+      let sched =
+        Model.Scheduler.random ~seed ~fail_prob:0.02 ~max_failures:(np - 1) sys
+      in
+      let exec, _ =
+        Model.Scheduler.run ~policy:Model.System.dummy_policy
+          ~stop_when:Model.Properties.termination ~max_steps:60_000 sys exec0 sched
+      in
+      let final = Model.Exec.last_state exec in
+      let r = Model.Properties.check ~k final in
+      if
+        r.Model.Properties.agreement && r.Model.Properties.validity
+        && r.Model.Properties.termination
+      then incr ok
+      else
+        Format.printf "seed %d: %a@." seed Model.Properties.pp_report r
+    done;
+    Format.printf "%d/%d adversarial runs satisfied the specification@." !ok seeds;
+    if !ok = seeds then 0 else 1
+  in
+  let term =
+    Term.(
+      const run $ protocol_arg $ n_arg $ f_arg $ groups_arg $ group_size_arg $ seeds_arg)
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:
+         "Run a protocol under seeded-random adversarial schedules with failure injection \
+          and check its specification.")
+    term
+
+(* --- lemmas --- *)
+
+let lemmas_cmd =
+  let run protocol n f failures groups group_size =
+    let sys = build_system protocol ~n ~f ~groups ~group_size in
+    let analyses =
+      List.map
+        (fun (e : Engine.Initialization.entry) -> e.Engine.Initialization.analysis)
+        (Engine.Initialization.staircase sys)
+    in
+    let report name failures_list =
+      Format.printf "%-48s %s@." name
+        (if failures_list = [] then "holds"
+         else Printf.sprintf "%d counterexample(s)" (List.length failures_list));
+      List.iteri
+        (fun i fl -> if i < 3 then Format.printf "    %a@." Engine.Lemma_check.pp_failure fl)
+        failures_list
+    in
+    List.iter (fun a -> report "Lemma 1 (applicability persistence)" (Engine.Lemma_check.lemma1_applicability a)) analyses;
+    List.iter (fun a -> report "Lemma 3 (valence dichotomy)" (Engine.Lemma_check.lemma3_dichotomy a)) analyses;
+    report "Lemma 6 consequence (j-similar univalent states)"
+      (Engine.Lemma_check.lemma6_j_similarity sys analyses);
+    report
+      (Printf.sprintf "Lemma 7 consequence (k-similar, %d failures)" failures)
+      (Engine.Lemma_check.lemma7_k_similarity ~failures sys analyses);
+    List.iter (fun a -> report "valence: SCC vs naive oracle" (Engine.Lemma_check.scc_vs_naive a)) analyses;
+    0
+  in
+  let term =
+    Term.(
+      const run $ protocol_arg $ n_arg $ f_arg $ failures_arg $ groups_arg $ group_size_arg)
+  in
+  Cmd.v
+    (Cmd.info "lemmas"
+       ~doc:
+         "Check the paper's lemmas exhaustively over the protocol's staircase graphs. \
+          Lemmas 1/3 must always hold; Lemma 6/7 counterexamples on a candidate are the \
+          refutation levers.")
+    term
+
+(* --- experiments --- *)
+
+let experiments_cmd =
+  let run () =
+    let rows = Experiments.all () in
+    Format.printf "%a@." Experiments.pp_table rows;
+    let bad = List.filter (fun r -> not r.Experiments.ok) rows in
+    Format.printf "@.%d/%d experiment rows match the paper@."
+      (List.length rows - List.length bad)
+      (List.length rows);
+    if bad = [] then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "experiments" ~doc:"Run the full E1-E11 battery and print paper-vs-measured.")
+    Term.(const run $ const ())
+
+let main =
+  Cmd.group
+    (Cmd.info "boost" ~version:"1.0.0"
+       ~doc:
+         "Executable reproduction of 'The Impossibility of Boosting Distributed Service \
+          Resilience' (Attie, Guerraoui, Kuznetsov, Lynch, Rajsbaum).")
+    [ refute_cmd; staircase_cmd; explore_cmd; run_cmd; lemmas_cmd; experiments_cmd ]
+
+let () = exit (Cmd.eval' main)

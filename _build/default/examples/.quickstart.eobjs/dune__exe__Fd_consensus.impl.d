@@ -1,0 +1,1 @@
+examples/fd_consensus.ml: Array Format Fun Ioa List Model Protocols Spec Value

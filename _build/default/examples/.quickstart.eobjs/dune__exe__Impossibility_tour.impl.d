@@ -1,0 +1,1 @@
+examples/impossibility_tour.ml: Engine Format List Model Protocols String

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Format Ioa List Model Protocols Spec Value

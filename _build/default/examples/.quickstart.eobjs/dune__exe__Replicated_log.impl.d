@@ -1,0 +1,1 @@
+examples/replicated_log.ml: Array Format Fun Ioa List Model Printf Protocols Services Spec String Value

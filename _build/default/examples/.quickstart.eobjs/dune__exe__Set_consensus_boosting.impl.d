@@ -1,0 +1,1 @@
+examples/set_consensus_boosting.ml: Array Format Fun Ioa List Model Protocols Spec Value

@@ -1,0 +1,1 @@
+examples/universal_object.ml: Array Format Fun Int Ioa List Model Protocols Spec String Value

@@ -1,0 +1,1 @@
+lib/core/commute.ml: Format Graph Hook List Model Option Printf Valence

@@ -1,0 +1,1 @@
+lib/core/counterexample.ml: Array Fair_run Format Fun Graph Hook Initialization Int Ioa List Model Option Printf Similarity Valence Value

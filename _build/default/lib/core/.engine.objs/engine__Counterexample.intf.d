@@ -1,0 +1,1 @@
+lib/core/counterexample.mli: Format Hook Ioa Model Valence Value

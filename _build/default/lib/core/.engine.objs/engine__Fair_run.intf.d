@@ -1,0 +1,1 @@
+lib/core/fair_run.mli: Format Model

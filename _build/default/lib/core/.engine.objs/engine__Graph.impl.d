@@ -1,0 +1,1 @@
+lib/core/graph.ml: Array Hashtbl List Model Queue

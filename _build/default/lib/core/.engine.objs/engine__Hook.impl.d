@@ -1,0 +1,1 @@
+lib/core/hook.ml: Array Format Graph Ioa List Model Option Printf Queue Result Valence

@@ -1,0 +1,1 @@
+lib/core/hook.mli: Format Model Valence

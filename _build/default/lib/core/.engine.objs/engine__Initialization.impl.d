@@ -1,0 +1,1 @@
+lib/core/initialization.ml: Format Graph Ioa List Model Valence Value

@@ -1,0 +1,1 @@
+lib/core/initialization.mli: Format Ioa Model Valence Value

@@ -1,0 +1,1 @@
+lib/core/lemma_check.ml: Array Format Graph List Model Option Printf Similarity Valence Valence_naive

@@ -1,0 +1,1 @@
+lib/core/lemma_check.mli: Format Model Valence

@@ -1,0 +1,1 @@
+lib/core/similarity.ml: Array Fun Ioa List Model Option

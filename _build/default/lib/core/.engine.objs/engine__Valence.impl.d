@@ -1,0 +1,1 @@
+lib/core/valence.ml: Array Format Fun Graph Hashtbl Ioa List Model Option Stack

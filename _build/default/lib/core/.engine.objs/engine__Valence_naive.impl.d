@@ -1,0 +1,1 @@
+lib/core/valence_naive.ml: Array Graph Ioa List Model Queue Valence

@@ -1,0 +1,1 @@
+lib/core/valence_naive.mli: Graph Valence

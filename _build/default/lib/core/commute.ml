@@ -1,0 +1,66 @@
+type violation = {
+  vertex : int;
+  e : Model.Task.t;
+  e' : Model.Task.t;
+  reason : string;
+}
+
+let pp_violation ppf v =
+  Format.fprintf ppf "vertex %d: %a / %a: %s" v.vertex Model.Task.pp v.e Model.Task.pp
+    v.e' v.reason
+
+let participant_equal a b =
+  match a, b with
+  | Model.System.P i, Model.System.P j -> i = j
+  | Model.System.S i, Model.System.S j -> i = j
+  | Model.System.P _, Model.System.S _ | Model.System.S _, Model.System.P _ -> false
+
+let shared_participant sys s e e' =
+  let ps = Model.System.participants sys s e in
+  let ps' = Model.System.participants sys s e' in
+  List.find_opt (fun p -> List.exists (participant_equal p) ps') ps
+
+let check_disjoint analysis =
+  let g = Valence.graph analysis in
+  let sys = Graph.system g in
+  let violations = ref [] in
+  Graph.iter_states g (fun vertex s ->
+    let edges = Graph.succs g vertex in
+    List.iter
+      (fun (e, _) ->
+        List.iter
+          (fun (e', _) ->
+            if Model.Task.compare e e' < 0 && Option.is_none (shared_participant sys s e e')
+            then begin
+              (* Both orders must be defined and land in the same state. *)
+              let via b first second =
+                match Model.System.transition sys s first with
+                | None -> Error (Printf.sprintf "%s not applicable" b)
+                | Some (_, s1) -> (
+                  match Model.System.transition sys s1 second with
+                  | None -> Error (Printf.sprintf "%s not applicable after %s" b b)
+                  | Some (_, s2) -> Ok s2)
+              in
+              match via "e" e e', via "e'" e' e with
+              | Ok s_ee', Ok s_e'e ->
+                if not (Model.State.equal s_ee' s_e'e) then
+                  violations :=
+                    { vertex; e; e'; reason = "disjoint participants but e'(e(s)) <> e(e'(s))" }
+                    :: !violations
+              | Error r, _ | _, Error r ->
+                violations :=
+                  { vertex; e; e'; reason = "applicability lost: " ^ r } :: !violations
+            end)
+          edges)
+      edges);
+  List.rev !violations
+
+let check_hook_intersection analysis (h : Hook.t) =
+  let g = Valence.graph analysis in
+  let sys = Graph.system g in
+  let s = Graph.state g h.Hook.base in
+  if Model.Task.equal h.Hook.e h.Hook.e' then Error "hook has e = e' (violates Claim 1)"
+  else
+    match shared_participant sys s h.Hook.e h.Hook.e' with
+    | Some _ -> Ok ()
+    | None -> Error "hook tasks have disjoint participants (violates Claim 2)"

@@ -1,0 +1,91 @@
+(** The boosting-impossibility engine: mechanized Theorems 2, 9 and 10.
+
+    Given a candidate system that claims to solve [failures]-resilient binary
+    consensus while built from services of lower resilience, [refute] runs
+    the paper's proof as an algorithm and extracts a concrete witness that
+    the claim is false:
+
+    + analyze the Lemma 4 staircase of initializations (exact valence over
+      the full G(C) of each);
+    + any reachable state already violating agreement or validity yields a
+      direct violation execution;
+    + from a bivalent initialization, run the Fig. 3 construction: either it
+      never terminates (a bivalence-preserving schedule — evidence against
+      termination) or it yields a hook (Lemma 5);
+    + at the hook, Claims 1–5 of Lemma 8 identify a shared participant; the
+      Lemma 6 (process pivot) or Lemma 7 (service pivot) construction then
+      fails [failures] processes, silences what the failures allow, and runs
+      a fair schedule — producing either a fair execution with ≤ [failures]
+      failures in which survivors never decide (a modified-termination
+      violation) or, if the system does decide, a replayed fragment after the
+      opposite-valent execution (an exact-valence contradiction);
+    + if no staircase entry is bivalent, the Lemma 4 flip argument is run
+      directly.
+
+    For a genuinely correct system (services resilient enough for the claim)
+    every hook's pivot service is un-silenceable and the verdict is
+    {!Not_refuted} — which is exactly the §4/§6.3 positive-result boundary. *)
+
+open Ioa
+
+type witness =
+  | Agreement_violation of Model.Exec.t
+      (** A failure-free execution reaching two different decisions. *)
+  | Validity_violation of Model.Exec.t
+      (** A failure-free execution deciding a non-input value. *)
+  | Non_termination of { exec : Model.Exec.t; failed : int list; proven : bool }
+      (** A fair execution with [≤ failures] failures in which no surviving
+          initialized process decides. [proven = true] means a lasso was
+          detected — the schedule provably repeats forever without a
+          decision; [false] means the step budget ran out (bounded
+          evidence). *)
+  | Valence_contradiction of {
+      replay : Model.Exec.t;  (** The opposite-valent execution extended by γ′. *)
+      decided : int;
+      expected : Valence.verdict;
+    }
+      (** γ′ replayed after the opposite-valent hook endpoint decided against
+          its exact valence — impossible for a faithful implementation, kept
+          as a tripwire. *)
+  | Divergence of Model.Task.t list
+      (** Prefix of a bivalence-preserving schedule that exceeded the
+          budget. *)
+
+val pp_witness : Format.formatter -> witness -> unit
+
+type pivot = Pivot_process of int | Pivot_service of int
+
+val pp_pivot : Format.formatter -> pivot -> unit
+
+type outcome =
+  | Refuted of witness
+  | Not_refuted of string
+      (** No contradiction reachable — the reason explains why (e.g. the
+          pivot service cannot be silenced by [failures] failures: the system
+          may genuinely be that resilient). *)
+  | Out_of_budget of string
+
+val pp_outcome : Format.formatter -> outcome -> unit
+
+type report = {
+  staircase : (Value.t list * Valence.verdict) list;
+  bivalent_inputs : Value.t list option;
+  graph_states : int;  (** States of the G(C) used for the hook phase. *)
+  hook : Hook.t option;
+  pivot : pivot option;
+  failed_set : int list;  (** The J of the Lemma 6/7 construction, if run. *)
+  outcome : outcome;
+}
+
+val pp_report : Format.formatter -> report -> unit
+
+val refute :
+  ?max_states:int ->
+  ?run_bound:int ->
+  failures:int ->
+  Model.System.t ->
+  report
+(** [refute ~failures sys] attacks the claim that [sys] solves
+    [failures]-resilient binary consensus. [failures] is the paper's [f + 1].
+    [run_bound] (default 50_000) bounds the fair runs of the Lemma 6/7
+    constructions. Requires [0 < failures < n]. *)

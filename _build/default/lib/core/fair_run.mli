@@ -1,0 +1,32 @@
+(** Fair round-robin runs with lasso detection.
+
+    The Lemma 6/7 constructions extend an execution with a {e fair} schedule
+    after f+1 failures and ask whether survivors decide. For a deterministic
+    system under a fixed round-robin schedule, revisiting the same pair
+    (round-robin cursor, global state) proves the run has entered a cycle
+    that the schedule will repeat forever: the pumped execution is an
+    infinite {e fair} execution (every task gets a turn each cycle) in which
+    no further decision ever happens. Lasso detection therefore turns
+    "budget exhausted" into an actual non-termination proof. *)
+
+type outcome =
+  | Decided
+      (** The goal predicate became true. *)
+  | Lasso of { period : int }
+      (** A (cursor, state) pair repeated: the suffix of the returned
+          execution is a cycle of [period] task turns that fairness can pump
+          forever. *)
+  | Budget  (** [max_steps] turns without goal or repetition. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit
+
+val run :
+  ?policy:Model.System.policy ->
+  ?max_steps:int ->
+  goal:(Model.State.t -> bool) ->
+  Model.System.t ->
+  Model.Exec.t ->
+  Model.Exec.t * outcome
+(** Round-robin over all tasks of the system (disabled tasks are skipped but
+    the cursor still advances), stopping when [goal] holds, a lasso is
+    detected, or [max_steps] (default 200_000) turns elapse. *)

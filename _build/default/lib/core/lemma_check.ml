@@ -1,0 +1,92 @@
+type failure = { description : string }
+
+let pp_failure ppf f = Format.pp_print_string ppf f.description
+
+let fail fmt = Format.kasprintf (fun description -> { description }) fmt
+
+let lemma1_applicability analysis =
+  let g = Valence.graph analysis in
+  let failures = ref [] in
+  Graph.iter_states g (fun v _ ->
+    let applicable = List.map fst (Graph.succs g v) in
+    List.iter
+      (fun (e', w) ->
+        List.iter
+          (fun e ->
+            if (not (Model.Task.equal e e')) && Option.is_none (Graph.successor g w e) then
+              failures :=
+                fail "Lemma 1: %a applicable at v%d but not after %a" Model.Task.pp e v
+                  Model.Task.pp e'
+                :: !failures)
+          applicable)
+      (Graph.succs g v));
+  List.rev !failures
+
+let lemma3_dichotomy analysis =
+  let g = Valence.graph analysis in
+  let failures = ref [] in
+  Graph.iter_states g (fun v _ ->
+    if Valence.equal_verdict (Valence.verdict analysis v) Valence.Blank then
+      failures := fail "Lemma 3: vertex %d is blank (no reachable decision)" v :: !failures);
+  List.rev !failures
+
+let univalent_states analyses =
+  List.concat_map
+    (fun analysis ->
+      let g = Valence.graph analysis in
+      let acc = ref [] in
+      Graph.iter_states g (fun v s ->
+        match Valence.verdict analysis v with
+        | Valence.Zero_valent -> acc := (s, 0) :: !acc
+        | Valence.One_valent -> acc := (s, 1) :: !acc
+        | Valence.Bivalent | Valence.Blank -> ());
+      !acc)
+    analyses
+
+let check_pairs ~similar ~what sys analyses =
+  let states = Array.of_list (univalent_states analyses) in
+  let failures = ref [] in
+  let n = Array.length states in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let s0, v0 = states.(i) and s1, v1 = states.(j) in
+      if v0 <> v1 then begin
+        match similar sys s0 s1 with
+        | Some witness ->
+          failures :=
+            fail "%s: univalent states with opposite valences are %s-similar" what witness
+            :: !failures
+        | None -> ()
+      end
+    done
+  done;
+  List.rev !failures
+
+let lemma6_j_similarity sys analyses =
+  check_pairs ~what:"Lemma 6" sys analyses ~similar:(fun sys s0 s1 ->
+    match Similarity.j_witnesses sys s0 s1 with
+    | j :: _ -> Some (Printf.sprintf "%d (process)" j)
+    | [] -> None)
+
+let lemma7_k_similarity ~failures sys analyses =
+  let silenceable k =
+    let c = sys.Model.System.services.(k) in
+    Array.length c.Model.Service.endpoints <= failures
+    || c.Model.Service.resilience < failures
+  in
+  check_pairs ~what:"Lemma 7" sys analyses ~similar:(fun sys s0 s1 ->
+    match List.filter silenceable (Similarity.k_witnesses sys s0 s1) with
+    | k :: _ -> Some (Printf.sprintf "%d (service)" k)
+    | [] -> None)
+
+let scc_vs_naive analysis =
+  let g = Valence.graph analysis in
+  let reference = Valence_naive.verdicts g in
+  let failures = ref [] in
+  Graph.iter_states g (fun v _ ->
+    if not (Valence.equal_verdict (Valence.verdict analysis v) reference.(v)) then
+      failures :=
+        fail "valence mismatch at vertex %d: scc=%a naive=%a" v Valence.pp_verdict
+          (Valence.verdict analysis v) Valence.pp_verdict reference.(v)
+        :: !failures);
+  List.rev !failures

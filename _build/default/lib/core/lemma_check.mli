@@ -1,0 +1,45 @@
+(** Exhaustive checks of the paper's lemmas as universally quantified
+    statements over explored state spaces.
+
+    These are not used by the refutation pipeline — they are its regression
+    net and its teaching instrument. Lemmas 1 and 3 hold for {e every} system
+    in the model, so their checks must always return no failures. The
+    state-level consequences of Lemmas 6 and 7 ("similar univalent states
+    share their valence") hold exactly for systems that actually satisfy the
+    claimed resilient-termination property: on a correct system the checks
+    pass, while on a boosting candidate the returned counterexample pair is
+    precisely the lever the refutation engine pulls at the hook. *)
+
+type failure = { description : string }
+
+val pp_failure : Format.formatter -> failure -> unit
+
+val lemma1_applicability : Valence.t -> failure list
+(** Lemma 1: an applicable task remains applicable along any extension that
+    does not schedule it. Checked edge-wise over the whole graph: if [e] is
+    applicable at [s] and an edge [e' ≠ e] leads to [s'], then [e] is
+    applicable at [s']. Must hold for every system. *)
+
+val lemma3_dichotomy : Valence.t -> failure list
+(** Lemma 3: every finite failure-free input-first execution is univalent or
+    bivalent — no vertex may be [Blank] when the system decides in fair
+    failure-free runs. *)
+
+val lemma6_j_similarity : Model.System.t -> Valence.t list -> failure list
+(** Lemma 6, state-level consequence: across all vertices of the supplied
+    graphs (e.g. the whole Lemma 4 staircase), two {e univalent} states that
+    are j-similar for some process j have the same valence. Holds for
+    systems satisfying ≥1-resilient termination; a returned pair on a
+    candidate is the Lemma 6 refutation lever. *)
+
+val lemma7_k_similarity :
+  failures:int -> Model.System.t -> Valence.t list -> failure list
+(** Lemma 7, state-level consequence: two univalent states that are
+    k-similar for some service k {e silenceable by [failures] failures} have
+    the same valence. Un-silenceable services genuinely may separate
+    valences — that is the positive-results boundary — so they are skipped,
+    mirroring the lemma's use in the proof. *)
+
+val scc_vs_naive : Valence.t -> failure list
+(** Ablation oracle: the SCC-condensation valence of every vertex equals the
+    quadratic per-vertex reachability result. *)

@@ -1,0 +1,72 @@
+let is_general (c : Model.Service.t) =
+  match c.Model.Service.cls with
+  | Model.Service.General -> true
+  | Model.Service.Register | Model.Service.Atomic | Model.Service.Oblivious -> false
+
+let buf_equal = List.equal Ioa.Value.equal
+
+let svc_equal (a : Model.State.svc) (b : Model.State.svc) =
+  Ioa.Value.equal a.Model.State.value b.Model.State.value
+  && Array.for_all2 buf_equal a.Model.State.inv_bufs b.Model.State.inv_bufs
+  && Array.for_all2 buf_equal a.Model.State.resp_bufs b.Model.State.resp_bufs
+
+(* Service comparison that ignores the buffers belonging to endpoint [j]. *)
+let svc_equal_except (c : Model.Service.t) j (a : Model.State.svc) (b : Model.State.svc) =
+  Ioa.Value.equal a.Model.State.value b.Model.State.value
+  &&
+  let skip =
+    match Model.Service.endpoint_pos c j with Some pos -> pos | None -> -1
+  in
+  let bufs_ok inv_a inv_b =
+    let ok = ref true in
+    Array.iteri
+      (fun pos q -> if pos <> skip && not (buf_equal q inv_b.(pos)) then ok := false)
+      inv_a;
+    !ok
+  in
+  bufs_ok a.Model.State.inv_bufs b.Model.State.inv_bufs
+  && bufs_ok a.Model.State.resp_bufs b.Model.State.resp_bufs
+
+let opt_equal = Option.equal Ioa.Value.equal
+
+(* The per-process bookkeeping (recorded decision and received input) is
+   formally part of the process state (§2.2.1), so similarity compares it
+   alongside [procs]. *)
+let proc_component_equal (s0 : Model.State.t) (s1 : Model.State.t) i =
+  Ioa.Value.equal s0.Model.State.procs.(i) s1.Model.State.procs.(i)
+  && opt_equal s0.Model.State.decisions.(i) s1.Model.State.decisions.(i)
+  && opt_equal s0.Model.State.inputs.(i) s1.Model.State.inputs.(i)
+
+let j_similar (sys : Model.System.t) ~j (s0 : Model.State.t) (s1 : Model.State.t) =
+  let n = Model.System.n_processes sys in
+  let procs_ok =
+    List.for_all (fun i -> i = j || proc_component_equal s0 s1 i) (List.init n Fun.id)
+  in
+  procs_ok
+  && Array.for_all Fun.id
+       (Array.mapi
+          (fun k c ->
+            is_general c
+            || svc_equal_except c j s0.Model.State.svcs.(k) s1.Model.State.svcs.(k))
+          sys.Model.System.services)
+
+let k_similar (sys : Model.System.t) ~k (s0 : Model.State.t) (s1 : Model.State.t) =
+  let n = Model.System.n_processes sys in
+  let procs_ok = List.for_all (proc_component_equal s0 s1) (List.init n Fun.id) in
+  procs_ok
+  && Array.for_all Fun.id
+       (Array.mapi
+          (fun k' c ->
+            k' = k || is_general c
+            || svc_equal s0.Model.State.svcs.(k') s1.Model.State.svcs.(k'))
+          sys.Model.System.services)
+
+let j_witnesses sys s0 s1 =
+  List.filter
+    (fun j -> j_similar sys ~j s0 s1)
+    (List.init (Model.System.n_processes sys) Fun.id)
+
+let k_witnesses (sys : Model.System.t) s0 s1 =
+  List.filter
+    (fun k -> k_similar sys ~k s0 s1)
+    (List.init (Array.length sys.Model.System.services) Fun.id)

@@ -1,0 +1,27 @@
+(** Similarity of system states (paper §3.5, generalized as in §6.3).
+
+    Two states are j-similar when every component looks the same except for
+    process j's own state and the j-portions of the service buffers; they are
+    k-similar when everything matches except the state of service k. The §6.3
+    versions — used uniformly here, since they specialize to §3.5 when there
+    are no general services — exempt failure-aware (general) services from
+    the comparison entirely, because the proofs silence them.
+
+    Lemmas 6 and 7 show that univalent executions ending in similar states
+    must share their valence; {!Counterexample} exercises those lemmas
+    constructively. *)
+
+val j_similar : Model.System.t -> j:int -> Model.State.t -> Model.State.t -> bool
+(** (1) every process other than [j] has equal state; (2) every
+    non-general service has equal value and equal buffers at every endpoint
+    other than [j]. *)
+
+val k_similar : Model.System.t -> k:int -> Model.State.t -> Model.State.t -> bool
+(** (1) every process has equal state; (2) every non-general service other
+    than service position [k] has equal state. *)
+
+val j_witnesses : Model.System.t -> Model.State.t -> Model.State.t -> int list
+(** All [j] for which the states are j-similar. *)
+
+val k_witnesses : Model.System.t -> Model.State.t -> Model.State.t -> int list
+(** All service positions [k] for which the states are k-similar. *)

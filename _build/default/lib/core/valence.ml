@@ -1,0 +1,133 @@
+type verdict = Zero_valent | One_valent | Bivalent | Blank
+
+let pp_verdict ppf = function
+  | Zero_valent -> Format.pp_print_string ppf "0-valent"
+  | One_valent -> Format.pp_print_string ppf "1-valent"
+  | Bivalent -> Format.pp_print_string ppf "bivalent"
+  | Blank -> Format.pp_print_string ppf "blank"
+
+let equal_verdict a b =
+  match a, b with
+  | Zero_valent, Zero_valent | One_valent, One_valent | Bivalent, Bivalent | Blank, Blank
+    ->
+    true
+  | _ -> false
+
+type t = { graph : Graph.t; mask : int array }
+
+(* Decisions recorded in a state, as a 2-bit mask. *)
+let own_mask s =
+  List.fold_left
+    (fun m (_, v) ->
+      match Ioa.Value.to_int v with
+      | 0 -> m lor 1
+      | 1 -> m lor 2
+      | _ -> invalid_arg "Valence: non-binary decision value")
+    0
+    (Model.State.decided_pairs s)
+
+(* Iterative Tarjan SCC. SCCs are emitted sinks-first (reverse topological
+   order of the condensation), so when an SCC is completed every SCC it can
+   reach is already finished and a single pass accumulates the
+   reachable-decision masks. An explicit work stack avoids overflowing the
+   OCaml stack on deep graphs. *)
+let analyze (g : Graph.t) =
+  let n = Graph.size g in
+  let mask = Array.make n 0 in
+  let indices = Array.make n (-1) in
+  let lowlink = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let scc_of = Array.make n (-1) in
+  let stack = Stack.create () in
+  let next_index = ref 0 in
+  let next_scc = ref 0 in
+  let scc_mask = Hashtbl.create 64 in
+  let finish_scc v =
+    let id = !next_scc in
+    incr next_scc;
+    let members = ref [] in
+    let continue = ref true in
+    while !continue do
+      let w = Stack.pop stack in
+      on_stack.(w) <- false;
+      scc_of.(w) <- id;
+      members := w :: !members;
+      if w = v then continue := false
+    done;
+    let scc_m =
+      List.fold_left
+        (fun acc w ->
+          List.fold_left
+            (fun acc (_e, x) ->
+              if scc_of.(x) >= 0 && scc_of.(x) <> id then
+                acc lor Hashtbl.find scc_mask scc_of.(x)
+              else acc)
+            (acc lor own_mask (Graph.state g w))
+            (Graph.succs g w))
+        0 !members
+    in
+    Hashtbl.replace scc_mask id scc_m;
+    List.iter (fun w -> mask.(w) <- scc_m) !members
+  in
+  (* Work items: (vertex, remaining successor list). *)
+  let visit root =
+    let work = Stack.create () in
+    let open_vertex v =
+      indices.(v) <- !next_index;
+      lowlink.(v) <- !next_index;
+      incr next_index;
+      Stack.push v stack;
+      on_stack.(v) <- true;
+      Stack.push (v, ref (List.map snd (Graph.succs g v))) work
+    in
+    open_vertex root;
+    while not (Stack.is_empty work) do
+      let v, remaining = Stack.top work in
+      match !remaining with
+      | w :: rest ->
+        remaining := rest;
+        if indices.(w) = -1 then open_vertex w
+        else if on_stack.(w) then lowlink.(v) <- min lowlink.(v) indices.(w)
+      | [] ->
+        ignore (Stack.pop work);
+        if lowlink.(v) = indices.(v) then finish_scc v;
+        (match Stack.top_opt work with
+        | Some (parent, _) -> lowlink.(parent) <- min lowlink.(parent) lowlink.(v)
+        | None -> ())
+    done
+  in
+  for v = 0 to n - 1 do
+    if indices.(v) = -1 then visit v
+  done;
+  { graph = g; mask }
+
+let graph t = t.graph
+
+let verdict t i =
+  match t.mask.(i) with
+  | 0 -> Blank
+  | 1 -> Zero_valent
+  | 2 -> One_valent
+  | _ -> Bivalent
+
+let verdict_of_state t s = Option.map (verdict t) (Graph.index_of t.graph s)
+let is_exact t = Graph.complete t.graph
+
+let count t v =
+  let c = ref 0 in
+  Array.iteri (fun i _ -> if equal_verdict (verdict t i) v then incr c) t.mask;
+  !c
+
+let first_disagreement t =
+  Graph.find_state t.graph (fun s -> List.length (Model.State.decided_values s) > 1)
+
+let first_invalid_decision t =
+  Graph.find_state t.graph (fun s ->
+    let inputs =
+      Array.to_list s.Model.State.inputs
+      |> List.filter_map Fun.id
+      |> List.sort_uniq Ioa.Value.compare
+    in
+    List.exists
+      (fun v -> not (List.exists (Ioa.Value.equal v) inputs))
+      (Model.State.decided_values s))

@@ -1,0 +1,55 @@
+(** Valence of finite failure-free input-first executions (paper §3.2).
+
+    A finite failure-free input-first execution is 0-valent if some
+    failure-free extension contains [decide(0)_i] and none contains
+    [decide(1)_i]; 1-valent symmetrically; bivalent if both are reachable.
+    Under the determinism assumptions valence is a function of the end state,
+    so this module computes, for {e every} vertex of a materialized G(C), the
+    set of decision values contained in some extension — exactly, by a
+    strongly-connected-component condensation pass.
+
+    Beyond the paper's three cases, two anomalies are reported, because
+    candidate (i.e. flawed) protocols exhibit them: [Blank] (no decision
+    reachable at all — a termination anomaly) and, via {!first_disagreement},
+    reachable states that already contain two different decisions (an
+    agreement violation). *)
+
+type verdict =
+  | Zero_valent
+  | One_valent
+  | Bivalent
+  | Blank  (** No failure-free extension contains any decision. *)
+
+val pp_verdict : Format.formatter -> verdict -> unit
+val equal_verdict : verdict -> verdict -> bool
+
+type t
+(** A valence analysis of one execution graph. *)
+
+val analyze : Graph.t -> t
+(** Computes the reachable-decision mask of every vertex. Decisions are read
+    from the recorded per-process decision values, which must be integers 0
+    or 1 (binary consensus); other decided values raise
+    [Invalid_argument]. *)
+
+val graph : t -> Graph.t
+val verdict : t -> int -> verdict
+(** Verdict of a vertex. *)
+
+val verdict_of_state : t -> Model.State.t -> verdict option
+(** Verdict of a state, if it is a vertex of the analyzed graph. *)
+
+val is_exact : t -> bool
+(** True iff the underlying graph is complete, making every verdict exact
+    rather than a lower bound. *)
+
+val count : t -> verdict -> int
+(** Number of vertices with the given verdict. *)
+
+val first_disagreement : t -> int option
+(** A vertex whose state already records two distinct decisions, if any —
+    a concrete agreement violation. *)
+
+val first_invalid_decision : t -> int option
+(** A vertex recording a decision that is not any process's input — a
+    concrete validity violation. *)

@@ -1,0 +1,40 @@
+let own_mask s =
+  List.fold_left
+    (fun m (_, v) ->
+      match Ioa.Value.to_int v with
+      | 0 -> m lor 1
+      | 1 -> m lor 2
+      | _ -> invalid_arg "Valence_naive: non-binary decision value")
+    0
+    (Model.State.decided_pairs s)
+
+let verdicts (g : Graph.t) =
+  let n = Graph.size g in
+  let result = Array.make n Valence.Blank in
+  let visited = Array.make n (-1) in
+  for v = 0 to n - 1 do
+    (* BFS over all states reachable from v, unioning their recorded
+       decisions. *)
+    let mask = ref 0 in
+    let queue = Queue.create () in
+    visited.(v) <- v;
+    Queue.add v queue;
+    while not (Queue.is_empty queue) do
+      let u = Queue.pop queue in
+      mask := !mask lor own_mask (Graph.state g u);
+      List.iter
+        (fun (_e, w) ->
+          if visited.(w) <> v then begin
+            visited.(w) <- v;
+            Queue.add w queue
+          end)
+        (Graph.succs g u)
+    done;
+    result.(v) <-
+      (match !mask with
+      | 0 -> Valence.Blank
+      | 1 -> Valence.Zero_valent
+      | 2 -> Valence.One_valent
+      | _ -> Valence.Bivalent)
+  done;
+  result

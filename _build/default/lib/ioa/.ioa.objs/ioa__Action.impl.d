@@ -1,0 +1,1 @@
+lib/ioa/action.ml: Format Hashtbl String Value

@@ -1,0 +1,1 @@
+lib/ioa/action.mli: Format Value

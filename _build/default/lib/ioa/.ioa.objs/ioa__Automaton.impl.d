@@ -1,0 +1,1 @@
+lib/ioa/automaton.ml: Action Format List Task Value

@@ -1,0 +1,1 @@
+lib/ioa/automaton.mli: Action Format Task Value

@@ -1,0 +1,1 @@
+lib/ioa/compose.ml: Action Automaton Format List Option Task Value

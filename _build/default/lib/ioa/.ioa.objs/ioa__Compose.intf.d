@@ -1,0 +1,1 @@
+lib/ioa/compose.mli: Action Automaton

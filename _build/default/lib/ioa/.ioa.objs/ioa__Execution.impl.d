@@ -1,0 +1,1 @@
+lib/ioa/execution.ml: Action Automaton Format List Option Task Value

@@ -1,0 +1,1 @@
+lib/ioa/execution.mli: Action Automaton Format Task Value

@@ -1,0 +1,1 @@
+lib/ioa/implements.ml: Action Automaton Format List Queue Value

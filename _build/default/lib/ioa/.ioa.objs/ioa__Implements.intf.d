@@ -1,0 +1,1 @@
+lib/ioa/implements.mli: Action Automaton Format

@@ -1,0 +1,1 @@
+lib/ioa/rename.ml: Automaton List Task

@@ -1,0 +1,1 @@
+lib/ioa/rename.mli: Action Automaton

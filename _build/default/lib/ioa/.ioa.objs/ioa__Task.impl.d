@@ -1,0 +1,1 @@
+lib/ioa/task.ml: Action Format Value

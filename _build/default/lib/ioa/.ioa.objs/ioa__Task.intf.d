@@ -1,0 +1,1 @@
+lib/ioa/task.mli: Action Format Value

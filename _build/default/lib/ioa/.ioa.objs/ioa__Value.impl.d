@@ -1,0 +1,1 @@
+lib/ioa/value.ml: Bool Format Hashtbl Int List Option Printf String

@@ -1,0 +1,1 @@
+lib/ioa/value.mli: Format Hashtbl

@@ -1,0 +1,19 @@
+type t = { name : string; arg : Value.t }
+
+let make name arg = { name; arg }
+let name a = a.name
+let arg a = a.arg
+
+let compare a b =
+  let c = String.compare a.name b.name in
+  if c <> 0 then c else Value.compare a.arg b.arg
+
+let equal a b = compare a b = 0
+let hash a = (Hashtbl.hash a.name * 31) lxor Value.hash a.arg
+
+let pp ppf a =
+  match a.arg with
+  | Value.Unit -> Format.pp_print_string ppf a.name
+  | arg -> Format.fprintf ppf "%s(%a)" a.name Value.pp arg
+
+let to_string a = Format.asprintf "%a" pp a

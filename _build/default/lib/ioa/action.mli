@@ -1,0 +1,24 @@
+(** Actions of I/O automata.
+
+    An action is a name paired with a structural payload. Transitions of an
+    I/O automaton are labelled by actions; in a composition, automata
+    synchronize on actions with equal [name] {e and} equal [arg]
+    (paper §2.1.1). *)
+
+type t = {
+  name : string;  (** The action name, e.g. ["init"], ["perform"]. *)
+  arg : Value.t;  (** Structural payload, e.g. endpoint index and value. *)
+}
+
+val make : string -> Value.t -> t
+val name : t -> string
+val arg : t -> Value.t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit
+(** Renders as [name(arg)]; a [Unit] payload is omitted. *)
+
+val to_string : t -> string

@@ -1,0 +1,67 @@
+type kind = Input | Output | Internal
+
+let pp_kind ppf = function
+  | Input -> Format.pp_print_string ppf "input"
+  | Output -> Format.pp_print_string ppf "output"
+  | Internal -> Format.pp_print_string ppf "internal"
+
+type t = {
+  name : string;
+  classify : Action.t -> kind option;
+  start : Value.t list;
+  step : Value.t -> Action.t -> Value.t list;
+  tasks : Task.t list;
+}
+
+let make ~name ~classify ~start ~step ~tasks =
+  if start = [] then invalid_arg "Automaton.make: empty start set";
+  { name; classify; start; step; tasks }
+
+let is_locally_controlled a act =
+  match a.classify act with
+  | Some Output | Some Internal -> true
+  | Some Input | None -> false
+
+let is_external a act =
+  match a.classify act with
+  | Some Input | Some Output -> true
+  | Some Internal | None -> false
+
+let enabled_local a s = List.concat_map (fun e -> e.Task.enabled s) a.tasks
+
+let is_deterministic a ~states =
+  List.length a.start <= 1
+  && List.for_all
+       (fun s ->
+         List.for_all
+           (fun e ->
+             match e.Task.enabled s with
+             | [] -> true
+             | [ act ] -> List.length (a.step s act) <= 1
+             | _ :: _ :: _ -> false)
+           a.tasks)
+       states
+
+let check_input_enabled a ~states ~inputs =
+  let offending =
+    List.find_map
+      (fun s ->
+        List.find_map
+          (fun act ->
+            match a.classify act with
+            | Some Input when a.step s act = [] -> Some (s, act)
+            | _ -> None)
+          inputs)
+      states
+  in
+  match offending with
+  | None -> Ok ()
+  | Some (s, act) ->
+    Error
+      (Format.asprintf "automaton %s: input %a not enabled in state %a" a.name
+         Action.pp act Value.pp s)
+
+let task_of_action a act =
+  if is_locally_controlled a act then
+    List.find_opt (fun e -> e.Task.contains act) a.tasks
+  else None

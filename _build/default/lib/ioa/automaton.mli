@@ -1,0 +1,52 @@
+(** I/O automata (Lynch–Tuttle), monomorphic over {!Value.t} states.
+
+    An automaton is a state machine whose transitions are labelled with
+    actions classified as input, output or internal (paper §2.1.1). Automata
+    are input-enabled: every input action has at least one transition from
+    every state. Locally controlled actions (outputs and internals) are
+    partitioned into {!Task.t}s, the unit of fairness. *)
+
+type kind = Input | Output | Internal
+
+val pp_kind : Format.formatter -> kind -> unit
+
+type t = {
+  name : string;
+  classify : Action.t -> kind option;
+      (** The signature: [None] means the action is not an action of this
+          automaton. *)
+  start : Value.t list;  (** Nonempty set of start states. *)
+  step : Value.t -> Action.t -> Value.t list;
+      (** All states [s'] with a transition [(s, a, s')]. Empty means [a] is
+          not enabled in [s] (never allowed for input actions). *)
+  tasks : Task.t list;  (** Partition of the locally controlled actions. *)
+}
+
+val make :
+  name:string ->
+  classify:(Action.t -> kind option) ->
+  start:Value.t list ->
+  step:(Value.t -> Action.t -> Value.t list) ->
+  tasks:Task.t list ->
+  t
+
+val is_locally_controlled : t -> Action.t -> bool
+(** Output or internal action of the automaton. *)
+
+val is_external : t -> Action.t -> bool
+(** Input or output action of the automaton. *)
+
+val enabled_local : t -> Value.t -> Action.t list
+(** All locally controlled actions enabled in a state, across all tasks. *)
+
+val is_deterministic : t -> states:Value.t list -> bool
+(** Checks the §2.1.1 determinism condition on the given state sample: for
+    each task and each state, at most one enabled action, and [step] is
+    single-valued on it. *)
+
+val check_input_enabled : t -> states:Value.t list -> inputs:Action.t list -> (unit, string) result
+(** Checks input-enabledness of the given input actions on a state sample;
+    the error carries the offending state and action. *)
+
+val task_of_action : t -> Action.t -> Task.t option
+(** The unique task containing a locally controlled action, if any. *)

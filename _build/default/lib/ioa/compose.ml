@@ -1,0 +1,85 @@
+let product_states (per_component : Value.t list list) : Value.t list =
+  List.fold_right
+    (fun choices acc ->
+      List.concat_map (fun s -> List.map (fun rest -> s :: rest) acc) choices)
+    per_component [ [] ]
+  |> List.map (fun ss -> Value.List ss)
+
+let compose ~name (components : Automaton.t list) : Automaton.t =
+  if components = [] then invalid_arg "Compose.compose: empty component list";
+  let classify act =
+    let kinds = List.filter_map (fun a -> a.Automaton.classify act) components in
+    if kinds = [] then None
+    else if List.mem Automaton.Internal kinds then Some Automaton.Internal
+    else if List.mem Automaton.Output kinds then Some Automaton.Output
+    else Some Automaton.Input
+  in
+  let start = product_states (List.map (fun a -> a.Automaton.start) components) in
+  let step s act =
+    let ss = Value.to_list s in
+    let per_component =
+      List.map2
+        (fun a si ->
+          match a.Automaton.classify act with
+          | None -> Some [ si ]
+          | Some _ -> (
+            match a.Automaton.step si act with [] -> None | nexts -> Some nexts))
+        components ss
+    in
+    if List.exists Option.is_none per_component then []
+    else product_states (List.map Option.get per_component)
+  in
+  let lift_task idx (a : Automaton.t) (e : Task.t) =
+    let enabled s =
+      let si = List.nth (Value.to_list s) idx in
+      (* An action enabled locally is enabled in the composition: every other
+         participant has it as an input and automata are input-enabled. *)
+      List.filter (fun act -> step s act <> []) (e.Task.enabled si)
+    in
+    Task.make
+      ~label:(a.Automaton.name ^ "." ^ e.Task.label)
+      ~contains:e.Task.contains ~enabled
+  in
+  let tasks =
+    List.concat (List.mapi (fun i a -> List.map (lift_task i a) a.Automaton.tasks) components)
+  in
+  Automaton.make ~name ~classify ~start ~step ~tasks
+
+let check_compatible components ~alphabet =
+  let problem =
+    List.find_map
+      (fun act ->
+        let outputs =
+          List.filter (fun a -> a.Automaton.classify act = Some Automaton.Output) components
+        in
+        let internal_owners =
+          List.filter (fun a -> a.Automaton.classify act = Some Automaton.Internal) components
+        in
+        let in_signature a = a.Automaton.classify act <> None in
+        if List.length outputs > 1 then
+          Some
+            (Format.asprintf "action %a is an output of both %s and %s" Action.pp act
+               (List.nth outputs 0).Automaton.name (List.nth outputs 1).Automaton.name)
+        else
+          List.find_map
+            (fun owner ->
+              let other =
+                List.find_opt (fun a -> a != owner && in_signature a) components
+              in
+              Option.map
+                (fun a ->
+                  Format.asprintf "internal action %a of %s is in the signature of %s"
+                    Action.pp act owner.Automaton.name a.Automaton.name)
+                other)
+            internal_owners)
+      alphabet
+  in
+  match problem with None -> Ok () | Some msg -> Error msg
+
+let hide p (a : Automaton.t) =
+  let classify act =
+    match a.Automaton.classify act with
+    | Some Automaton.Output when p act -> Some Automaton.Internal
+    | k -> k
+  in
+  { a with Automaton.classify }

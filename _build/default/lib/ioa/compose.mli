@@ -1,0 +1,23 @@
+(** Parallel composition and hiding of I/O automata (paper §2.1.1, §2.2.3).
+
+    The composite state of [compose [a1; ...; an]] is
+    [Value.List [s1; ...; sn]]. All automata with an action in their
+    signature execute it concurrently for the action to occur. The composite
+    signature follows the standard rules: an action is an output of the
+    composition if it is an output of some component, internal if internal of
+    some component, and input otherwise. *)
+
+val compose : name:string -> Automaton.t list -> Automaton.t
+(** Parallel composition. Task labels are prefixed with the component
+    automaton's name to keep them unique. Raises [Invalid_argument] on an
+    empty component list. The caller is responsible for compatibility; use
+    {!check_compatible} to verify it on an action alphabet. *)
+
+val check_compatible : Automaton.t list -> alphabet:Action.t list -> (unit, string) result
+(** Checks, over the given action sample, that (a) no action is an output of
+    two components and (b) no internal action of one component is in the
+    signature of another. *)
+
+val hide : (Action.t -> bool) -> Automaton.t -> Automaton.t
+(** [hide p a] reclassifies the output actions of [a] satisfying [p] as
+    internal, as in the construction of the complete system C (§2.2.3). *)

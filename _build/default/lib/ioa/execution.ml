@@ -1,0 +1,48 @@
+type step = { action : Action.t; target : Value.t }
+type t = { start : Value.t; rev_steps : step list }
+
+let init start = { start; rev_steps = [] }
+
+let last_state exec =
+  match exec.rev_steps with [] -> exec.start | { target; _ } :: _ -> target
+
+let length exec = List.length exec.rev_steps
+let steps exec = List.rev exec.rev_steps
+let actions exec = List.rev_map (fun s -> s.action) exec.rev_steps
+let states exec = exec.start :: List.map (fun s -> s.target) (steps exec)
+
+let append exec action target = { exec with rev_steps = { action; target } :: exec.rev_steps }
+
+let concat alpha beta =
+  if not (Value.equal (last_state alpha) beta.start) then
+    invalid_arg "Execution.concat: fragments do not match";
+  { alpha with rev_steps = beta.rev_steps @ alpha.rev_steps }
+
+let apply_task (auto : Automaton.t) exec (e : Task.t) =
+  let s = last_state exec in
+  match e.Task.enabled s with
+  | [] -> None
+  | act :: _ -> (
+    match auto.Automaton.step s act with
+    | [] -> None
+    | s' :: _ -> Some (append exec act s'))
+
+let apply_tasks auto exec tasks =
+  List.fold_left
+    (fun acc e -> Option.bind acc (fun exec -> apply_task auto exec e))
+    (Some exec) tasks
+
+let trace auto exec = List.filter (Automaton.is_external auto) (actions exec)
+
+let is_fair_finite (auto : Automaton.t) exec =
+  let s = last_state exec in
+  List.for_all (fun e -> not (Task.is_enabled e s)) auto.Automaton.tasks
+
+let enabled_tasks (auto : Automaton.t) exec =
+  let s = last_state exec in
+  List.filter (fun e -> Task.is_enabled e s) auto.Automaton.tasks
+
+let pp ppf exec =
+  Format.fprintf ppf "@[<hov 2>%a@]"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf "@ . ") Action.pp)
+    (actions exec)

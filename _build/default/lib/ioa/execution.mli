@@ -1,0 +1,59 @@
+(** Executions, extensions and traces (paper §2.1.1).
+
+    An execution is an alternating sequence [s0 a1 s1 a2 s2 ...] such that
+    [s0] is a start state and each [(s_{i-1}, a_i, s_i)] is a transition.
+    Executions here are finite; fairness of a finite execution means no task
+    is enabled in its final state. *)
+
+type step = { action : Action.t; target : Value.t }
+
+type t = {
+  start : Value.t;
+  rev_steps : step list;  (** Most recent step first. *)
+}
+
+val init : Value.t -> t
+(** The empty execution from a start state. *)
+
+val last_state : t -> Value.t
+val length : t -> int
+val steps : t -> step list
+(** Steps in execution order (oldest first). *)
+
+val actions : t -> Action.t list
+(** The action sequence in execution order. *)
+
+val states : t -> Value.t list
+(** [s0; s1; ...; sn] in execution order. *)
+
+val append : t -> Action.t -> Value.t -> t
+(** [append exec a s'] extends the execution with one transition. It is the
+    caller's responsibility that the transition exists; use {!apply_task} for
+    checked extension. *)
+
+val concat : t -> t -> t
+(** [concat alpha beta] is the extension [alpha . beta] of §2.1.1; requires
+    [beta.start] to equal [last_state alpha]. Raises [Invalid_argument]
+    otherwise. *)
+
+val apply_task : Automaton.t -> t -> Task.t -> t option
+(** Run one task from the final state, deterministically: take the first
+    enabled action of the task and the first resulting state. [None] iff the
+    task is not applicable. For deterministic automata (§3.1) this is exactly
+    the function [e(α)]. *)
+
+val apply_tasks : Automaton.t -> t -> Task.t list -> t option
+(** Apply a task sequence left to right; [None] if any task is inapplicable
+    at its turn. *)
+
+val trace : Automaton.t -> t -> Action.t list
+(** External actions of the execution, in order (§2.1.1). *)
+
+val is_fair_finite : Automaton.t -> t -> bool
+(** A finite execution is fair iff no task is enabled in its final state. *)
+
+val enabled_tasks : Automaton.t -> t -> Task.t list
+(** Tasks applicable to the execution (enabled in its final state). *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints the action sequence. *)

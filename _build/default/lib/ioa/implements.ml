@@ -1,0 +1,97 @@
+type verdict =
+  | Included
+  | Counterexample of Action.t list
+  | Out_of_budget of { states_explored : int }
+
+let pp_verdict ppf = function
+  | Included -> Format.pp_print_string ppf "included"
+  | Counterexample tr ->
+    Format.fprintf ppf "counterexample: @[<hov>%a@]"
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf "@ . ") Action.pp)
+      tr
+  | Out_of_budget { states_explored } ->
+    Format.fprintf ppf "out of budget after %d states" states_explored
+
+(* Canonical representation of a set of spec states: sorted, deduplicated. *)
+let canon states = List.sort_uniq Value.compare states
+
+let closure_cap = 4096
+
+exception Closure_overflow
+
+(* Epsilon closure of a spec state set under the spec's internal actions,
+   enumerated through its task structure. *)
+let epsilon_closure (spec : Automaton.t) states =
+  let seen = Value.Tbl.create 64 in
+  let rec go frontier =
+    match frontier with
+    | [] -> ()
+    | s :: rest ->
+      if Value.Tbl.mem seen s then go rest
+      else begin
+        Value.Tbl.replace seen s ();
+        if Value.Tbl.length seen > closure_cap then raise Closure_overflow;
+        let nexts =
+          Automaton.enabled_local spec s
+          |> List.filter (fun a -> spec.Automaton.classify a = Some Automaton.Internal)
+          |> List.concat_map (fun a -> spec.Automaton.step s a)
+        in
+        go (nexts @ rest)
+      end
+  in
+  go states;
+  canon (Value.Tbl.fold (fun s () acc -> s :: acc) seen [])
+
+(* One external step of the subset-constructed spec. *)
+let spec_step (spec : Automaton.t) states act =
+  let post = List.concat_map (fun s -> spec.Automaton.step s act) states in
+  epsilon_closure spec (canon post)
+
+let check_traces ~(impl : Automaton.t) ~(spec : Automaton.t) ~inputs ~max_states =
+  let visited = Value.Tbl.create 1024 in
+  let key impl_state spec_set = Value.pair impl_state (Value.list spec_set) in
+  let queue = Queue.create () in
+  let explored = ref 0 in
+  let budget_hit = ref false in
+  let result = ref None in
+  (try
+     let start_spec = epsilon_closure spec spec.Automaton.start in
+     List.iter
+       (fun s0 -> Queue.add (s0, start_spec, []) queue)
+       impl.Automaton.start;
+     while (not (Queue.is_empty queue)) && !result = None do
+       let s, spec_set, rev_trace = Queue.pop queue in
+       let k = key s spec_set in
+       if not (Value.Tbl.mem visited k) then begin
+         Value.Tbl.replace visited k ();
+         incr explored;
+         if !explored > max_states then begin
+           budget_hit := true;
+           Queue.clear queue
+         end
+         else begin
+           let local = Automaton.enabled_local impl s in
+           let ins = List.filter (fun a -> impl.Automaton.classify a = Some Automaton.Input) inputs in
+           let candidates = local @ ins in
+           List.iter
+             (fun act ->
+               let nexts = impl.Automaton.step s act in
+               if nexts <> [] then begin
+                 let external_ = Automaton.is_external impl act in
+                 let spec_set', rev_trace' =
+                   if external_ then spec_step spec spec_set act, act :: rev_trace
+                   else spec_set, rev_trace
+                 in
+                 if external_ && spec_set' = [] then
+                   result := Some (Counterexample (List.rev (act :: rev_trace)))
+                 else
+                   List.iter (fun s' -> Queue.add (s', spec_set', rev_trace') queue) nexts
+               end)
+             candidates
+         end
+       end
+     done
+   with Closure_overflow -> budget_hit := true);
+  match !result with
+  | Some v -> v
+  | None -> if !budget_hit then Out_of_budget { states_explored = !explored } else Included

@@ -1,0 +1,37 @@
+(** Bounded trace-inclusion checking — the "implements" relation of §2.1.4.
+
+    [A] implements [B] when they have the same external interface and every
+    (finite or fair) trace of [A] is a trace of [B]. This module decides
+    finite-trace inclusion on a bounded fragment of [A]'s reachable state
+    space, using an on-the-fly subset construction on the specification side
+    (internal actions of [B] are treated as epsilon moves).
+
+    Fair-trace inclusion is not decided here; the system layer checks the
+    liveness side of f-resilience directly through the consensus property
+    checkers ({!Sys_model.Properties}), following Appendix B of the paper. *)
+
+type verdict =
+  | Included  (** Every explored trace of the implementation is a spec trace. *)
+  | Counterexample of Action.t list
+      (** A trace of the implementation that the specification cannot
+          produce. *)
+  | Out_of_budget of { states_explored : int }
+      (** The search hit [max_states] before completing; inclusion holds on
+          the explored fragment. *)
+
+val pp_verdict : Format.formatter -> verdict -> unit
+
+val check_traces :
+  impl:Automaton.t ->
+  spec:Automaton.t ->
+  inputs:Action.t list ->
+  max_states:int ->
+  verdict
+(** [check_traces ~impl ~spec ~inputs ~max_states] explores [impl] from its
+    start states, driving it with every locally controlled action its tasks
+    enable plus every input action from [inputs], and checks each external
+    action against the subset-constructed [spec].
+
+    [inputs] is the sample of environment actions to drive; it should cover
+    the external alphabet of interest (e.g. all [init(v)_i]). Internal
+    enumeration on the spec side uses the spec's task enumerators. *)

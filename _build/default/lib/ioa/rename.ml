@@ -1,0 +1,15 @@
+let apply ~forward ~backward (a : Automaton.t) =
+  let classify act = a.Automaton.classify (backward act) in
+  let step s act = a.Automaton.step s (backward act) in
+  let rename_task (e : Task.t) =
+    Task.make ~label:e.Task.label
+      ~contains:(fun act -> e.Task.contains (backward act))
+      ~enabled:(fun s -> List.map forward (e.Task.enabled s))
+  in
+  {
+    a with
+    Automaton.name = a.Automaton.name ^ ":renamed";
+    classify;
+    step;
+    tasks = List.map rename_task a.Automaton.tasks;
+  }

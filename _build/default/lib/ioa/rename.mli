@@ -1,0 +1,17 @@
+(** Action renaming of I/O automata.
+
+    Renaming relabels an automaton's interface without touching its
+    behaviour — the standard tool for matching interfaces before composition
+    or trace-inclusion checks. §2.2.4 of the paper identifies the consensus
+    problem's [init(v)_i]/[decide(v)_i] actions with the invocations and
+    responses of the canonical consensus object; {!apply} makes that
+    identification executable. *)
+
+val apply :
+  forward:(Action.t -> Action.t) ->
+  backward:(Action.t -> Action.t) ->
+  Automaton.t ->
+  Automaton.t
+(** [apply ~forward ~backward a] renames every action [x] of [a] to
+    [forward x]. [backward] must invert [forward] on the renamed signature
+    (identity elsewhere); kinds and transitions are preserved. *)

@@ -1,0 +1,9 @@
+type t = {
+  label : string;
+  contains : Action.t -> bool;
+  enabled : Value.t -> Action.t list;
+}
+
+let make ~label ~contains ~enabled = { label; contains; enabled }
+let is_enabled e s = e.enabled s <> []
+let pp ppf e = Format.pp_print_string ppf e.label

@@ -1,0 +1,26 @@
+(** Tasks of an I/O automaton.
+
+    The locally controlled actions of an I/O automaton are partitioned into
+    tasks (paper §2.1.1). A task is the unit of fairness: a fair execution
+    gives each task infinitely many turns. A task is described by a
+    membership predicate over actions together with an enumerator of the
+    task's actions that are enabled in a given state — the enumerator is what
+    makes fairness and the [transition(e, s)] function of §3.1 executable. *)
+
+type t = {
+  label : string;  (** Unique task label within its automaton, e.g. ["P1"], ["S:perform[2]"]. *)
+  contains : Action.t -> bool;  (** Membership of an action in this task. *)
+  enabled : Value.t -> Action.t list;
+      (** All actions of this task enabled in the given state. An automaton
+          is deterministic (§2.1.1) iff this list never has length > 1 and
+          the [step] relation is single-valued on it. *)
+}
+
+val make :
+  label:string -> contains:(Action.t -> bool) -> enabled:(Value.t -> Action.t list) -> t
+
+val is_enabled : t -> Value.t -> bool
+(** [is_enabled e s] holds iff some action of [e] is enabled in [s] —
+    "task [e] is applicable" in the sense of §2.2.3. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,129 @@
+(** Universal structural values.
+
+    Every piece of data that flows through the framework — invocation and
+    response payloads, object values, process program states — is represented
+    by this single structural type. This gives the exploration engine
+    structural equality, total ordering and hashing over arbitrary component
+    states for free, and lets one canonical-automaton implementation serve
+    every sequential or service type (paper §2.1.2, §5.1, §6.1).
+
+    Sets and finite maps are represented canonically (sorted, duplicate-free)
+    so that structural equality coincides with set/map equality. *)
+
+type t =
+  | Unit
+  | Bool of bool
+  | Int of int
+  | Str of string
+  | Pair of t * t
+  | List of t list
+
+(** {1 Equality, ordering, hashing} *)
+
+val equal : t -> t -> bool
+(** Structural equality. *)
+
+val compare : t -> t -> int
+(** Total structural order: [Unit < Bool < Int < Str < Pair < List], with
+    lexicographic ordering inside each constructor. *)
+
+val hash : t -> int
+(** Structural hash consistent with [equal]. Unlike [Hashtbl.hash], it folds
+    the entire structure, so deep states do not collide systematically. *)
+
+(** {1 Pretty-printing} *)
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable rendering, e.g. [(1, ["a"; true])]. *)
+
+val to_string : t -> string
+(** [to_string v] is [Format.asprintf "%a" pp v]. *)
+
+(** {1 Constructors} *)
+
+val unit : t
+val bool : bool -> t
+val int : int -> t
+val str : string -> t
+val pair : t -> t -> t
+val list : t list -> t
+val triple : t -> t -> t -> t
+(** [triple a b c] is [Pair (a, Pair (b, c))]. *)
+
+val of_int_list : int list -> t
+
+(** {1 Destructors}
+
+    Each destructor raises [Type_error] with a descriptive message when the
+    value has the wrong shape; use them for data whose shape is an internal
+    invariant. *)
+
+exception Type_error of string
+
+val to_bool : t -> bool
+val to_int : t -> int
+val to_str : t -> string
+val to_pair : t -> t * t
+val to_list : t -> t list
+val to_triple : t -> t * t * t
+
+(** {1 Canonical sets}
+
+    A set is a sorted duplicate-free [List]. All operations preserve
+    canonicity, so [equal] is set equality. *)
+
+val set_empty : t
+val set_of_list : t list -> t
+val set_mem : t -> t -> bool
+(** [set_mem x s] tests membership of [x] in set [s]. *)
+
+val set_add : t -> t -> t
+(** [set_add x s] inserts [x] into set [s]. *)
+
+val set_remove : t -> t -> t
+val set_union : t -> t -> t
+val set_elements : t -> t list
+val set_cardinal : t -> int
+val set_subset : t -> t -> bool
+(** [set_subset s1 s2] is true iff every element of [s1] is in [s2]. *)
+
+(** {1 Canonical finite maps}
+
+    A map is a sorted [List] of [Pair (key, value)] with unique keys. *)
+
+val map_empty : t
+val map_find : t -> t -> t option
+(** [map_find k m] looks up key [k] in map [m]. *)
+
+val map_get : default:t -> t -> t -> t
+(** [map_get ~default k m] is [map_find k m] or [default]. *)
+
+val map_add : t -> t -> t -> t
+(** [map_add k v m] binds [k] to [v] in map [m], replacing any previous
+    binding. *)
+
+val map_remove : t -> t -> t
+val map_bindings : t -> (t * t) list
+
+(** {1 Queues}
+
+    A queue is a plain [List] used FIFO: enqueue at the tail, dequeue at the
+    head. These are the inv/resp buffers of canonical services (Fig. 1). *)
+
+val queue_empty : t
+val queue_push : t -> t -> t
+(** [queue_push x q] appends [x] at the tail of [q]. *)
+
+val queue_pop : t -> (t * t) option
+(** [queue_pop q] is [Some (head, rest)] or [None] if [q] is empty. *)
+
+val queue_is_empty : t -> bool
+val queue_length : t -> int
+
+(** {1 Hash tables keyed by values}
+
+    [Hashtbl.hash] inspects only a bounded prefix of a structure, so deep
+    states (long queues, big maps) collide systematically and lookups
+    degrade; this functor instance uses the full-structure {!hash}. *)
+
+module Tbl : Hashtbl.S with type key = t

@@ -1,0 +1,1 @@
+lib/model/exec.ml: Event Format Ioa List Option State System Task

@@ -1,0 +1,1 @@
+lib/model/linearize.ml: Array Event Exec Format Ioa List Spec String

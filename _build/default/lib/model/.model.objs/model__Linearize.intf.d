@@ -1,0 +1,1 @@
+lib/model/linearize.mli: Exec Format Ioa Spec Value

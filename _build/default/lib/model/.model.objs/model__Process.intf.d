@@ -1,0 +1,1 @@
+lib/model/process.mli: Ioa Value

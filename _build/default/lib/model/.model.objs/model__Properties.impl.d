@@ -1,0 +1,1 @@
+lib/model/properties.ml: Array Exec Format Fun Hashtbl Ioa List Option Spec State Value

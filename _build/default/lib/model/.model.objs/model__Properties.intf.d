@@ -1,0 +1,1 @@
+lib/model/properties.mli: Exec Format Ioa State Value

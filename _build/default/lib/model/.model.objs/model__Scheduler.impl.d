@@ -1,0 +1,1 @@
+lib/model/scheduler.ml: Array Exec Format Fun List Random Spec State Stdlib System Task

@@ -1,0 +1,1 @@
+lib/model/scheduler.mli: Exec Format State System Task

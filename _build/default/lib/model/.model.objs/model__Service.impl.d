@@ -1,0 +1,1 @@
+lib/model/service.ml: Array Format Int List Spec

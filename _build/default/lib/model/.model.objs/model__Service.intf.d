@@ -1,0 +1,1 @@
+lib/model/service.mli: Format Spec

@@ -1,0 +1,1 @@
+lib/model/state.ml: Array Format Fun Int Ioa List Option Spec Value

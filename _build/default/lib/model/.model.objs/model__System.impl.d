@@ -1,0 +1,1 @@
+lib/model/system.ml: Array Event Format Hashtbl Ioa List Option Printf Process Service Spec State String Task

@@ -1,0 +1,1 @@
+lib/model/system.mli: Event Format Ioa Process Service State Task

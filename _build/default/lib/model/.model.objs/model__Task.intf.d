@@ -1,0 +1,1 @@
+lib/model/task.mli: Format

@@ -1,0 +1,1 @@
+lib/model/to_ioa.ml: Array Event Fun Ioa List Option Printf Service Services Spec State String System Task

@@ -1,0 +1,1 @@
+lib/model/to_ioa.mli: Ioa State System

@@ -1,0 +1,59 @@
+module Value = Ioa.Value
+
+type label = L_init of int * Value.t | L_fail of int | L_task of Task.t
+
+let pp_label ppf = function
+  | L_init (i, v) -> Format.fprintf ppf "init(%a)_%d" Value.pp v i
+  | L_fail i -> Format.fprintf ppf "fail_%d" i
+  | L_task e -> Task.pp ppf e
+
+type step = { label : label; event : Event.t; state : State.t }
+type t = { start : State.t; rev_steps : step list }
+
+let init start = { start; rev_steps = [] }
+let last_state t = match t.rev_steps with [] -> t.start | { state; _ } :: _ -> state
+let length t = List.length t.rev_steps
+let steps t = List.rev t.rev_steps
+let events t = List.rev_map (fun s -> s.event) t.rev_steps
+let labels t = List.rev_map (fun s -> s.label) t.rev_steps
+
+let task_labels t =
+  List.filter_map (function { label = L_task e; _ } -> Some e | _ -> None) (steps t)
+
+let is_failure_free t =
+  List.for_all (function { label = L_fail _; _ } -> false | _ -> true) t.rev_steps
+
+let push t label event state = { t with rev_steps = { label; event; state } :: t.rev_steps }
+
+let append_init sys t i v =
+  let event, state = System.apply_init sys (last_state t) i v in
+  push t (L_init (i, v)) event state
+
+let append_fail sys t i =
+  let event, state = System.apply_fail sys (last_state t) i in
+  push t (L_fail i) event state
+
+let append_task ?policy sys t task =
+  match System.transition ?policy sys (last_state t) task with
+  | None -> None
+  | Some (event, state) -> Some (push t (L_task task) event state)
+
+let replay_tasks ?policy sys t tasks =
+  List.fold_left
+    (fun acc task -> Option.bind acc (fun t -> append_task ?policy sys t task))
+    (Some t) tasks
+
+let decide_events t =
+  List.filter_map
+    (function { event = Event.Decide (i, v); _ } -> Some (i, v) | _ -> None)
+    (steps t)
+
+let strip t ~keep =
+  List.filter_map
+    (fun s -> match s.label with L_task e when keep s -> Some e | _ -> None)
+    (steps t)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<hov 2>%a@]"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf "@ . ") Event.pp)
+    (events t)

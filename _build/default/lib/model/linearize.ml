@@ -1,0 +1,85 @@
+module Value = Ioa.Value
+
+type event =
+  | Call of { endpoint : int; op : Value.t }
+  | Return of { endpoint : int; resp : Value.t }
+
+let pp_event ppf = function
+  | Call { endpoint; op } -> Format.fprintf ppf "call(%d, %a)" endpoint Value.pp op
+  | Return { endpoint; resp } -> Format.fprintf ppf "return(%d, %a)" endpoint Value.pp resp
+
+let history exec ~service =
+  List.filter_map
+    (fun (step : Exec.step) ->
+      match step.Exec.event with
+      | Event.Invoke (i, k, op) when String.equal k service -> Some (Call { endpoint = i; op })
+      | Event.Respond (i, k, resp) when String.equal k service ->
+        Some (Return { endpoint = i; resp })
+      | _ -> None)
+    (Exec.steps exec)
+
+(* Search state: position in the event list, per-endpoint FIFO of invoked but
+   not-yet-linearized operations, per-endpoint FIFO of linearized responses
+   awaiting their Return event, and the object value. Encoded structurally
+   for memoization. *)
+let encode_key idx pending inflight value =
+  Value.list [ Value.int idx; pending; inflight; value ]
+
+let push_q m i x =
+  let q = Value.map_get ~default:Value.queue_empty (Value.int i) m in
+  Value.map_add (Value.int i) (Value.queue_push x q) m
+
+let pop_q m i =
+  let q = Value.map_get ~default:Value.queue_empty (Value.int i) m in
+  match Value.queue_pop q with
+  | None -> None
+  | Some (x, rest) -> Some (x, Value.map_add (Value.int i) rest m)
+
+let endpoints_with_pending m =
+  List.filter_map
+    (fun (k, q) -> if Value.queue_is_empty q then None else Some (Value.to_int k))
+    (Value.map_bindings m)
+
+let check (t : Spec.Seq_type.t) events =
+  let events = Array.of_list events in
+  let n = Array.length events in
+  let visited = Value.Tbl.create 1024 in
+  (* DFS over (idx, pending, inflight, value); returns true iff some
+     completion linearizes the suffix from this configuration. *)
+  let rec go idx pending inflight value =
+    let key = encode_key idx pending inflight value in
+    if Value.Tbl.mem visited key then false
+      (* already explored and failed: successful paths return immediately *)
+    else begin
+      let result =
+        consume idx pending inflight value || linearize_now idx pending inflight value
+      in
+      if not result then Value.Tbl.replace visited key ();
+      result
+    end
+  and consume idx pending inflight value =
+    if idx >= n then true
+    else
+      match events.(idx) with
+      | Call { endpoint; op } -> go (idx + 1) (push_q pending endpoint op) inflight value
+      | Return { endpoint; resp } -> (
+        (* The response must be the oldest linearized-but-unreturned result
+           of this endpoint. *)
+        match pop_q inflight endpoint with
+        | Some (r, inflight') when Value.equal r resp -> go (idx + 1) pending inflight' value
+        | _ -> false)
+  and linearize_now idx pending inflight value =
+    List.exists
+      (fun endpoint ->
+        match pop_q pending endpoint with
+        | None -> false
+        | Some (op, pending') ->
+          List.exists
+            (fun (resp, value') ->
+              go idx pending' (push_q inflight endpoint resp) value')
+            (t.Spec.Seq_type.delta op value))
+      (endpoints_with_pending pending)
+  in
+  List.exists
+    (fun v0 -> go 0 Value.map_empty Value.map_empty v0)
+    t.Spec.Seq_type.initials

@@ -1,0 +1,35 @@
+(** Linearizability checking of service histories against sequential types
+    (Herlihy–Wing [12], adapted to the canonical objects' pipelined FIFO
+    semantics).
+
+    A history is the sequence of invocation and response events observed at
+    one service during an execution. The checker searches for a
+    linearization: an interleaving-consistent order of operation "takes
+    effect" points such that (a) each operation linearizes between its
+    invocation and its response, (b) operations of one endpoint linearize in
+    invocation order (the canonical object's per-endpoint FIFO buffers), and
+    (c) the resulting sequential behaviour is allowed by the type's δ —
+    including nondeterministic δ, where any resolution may justify the
+    history. Pending operations at the end of the history may or may not
+    have taken effect.
+
+    Canonical atomic objects are linearizable by construction (their val and
+    buffers ARE the linearization); this module is the independent observer
+    that verifies it from histories alone, and the tool users get for
+    checking their own object implementations. *)
+
+open Ioa
+
+type event =
+  | Call of { endpoint : int; op : Value.t }
+  | Return of { endpoint : int; resp : Value.t }
+
+val pp_event : Format.formatter -> event -> unit
+
+val history : Exec.t -> service:string -> event list
+(** Project an execution onto one service's invocation/response events. *)
+
+val check : Spec.Seq_type.t -> event list -> bool
+(** Whether the history is linearizable with respect to the type. Complete
+    backtracking search with memoization; exponential worst case, intended
+    for test-sized histories. *)

@@ -1,0 +1,21 @@
+open Ioa
+
+type outcome =
+  | Invoke of { service : string; op : Value.t; next : Value.t }
+  | Decide of { value : Value.t; next : Value.t }
+  | Internal of Value.t
+
+type t = {
+  pid : int;
+  start : Value.t;
+  step : Value.t -> outcome;
+  on_init : Value.t -> Value.t -> Value.t;
+  on_response : Value.t -> service:string -> Value.t -> Value.t;
+}
+
+let make ~pid ~start ~step ?(on_init = fun _state v -> v)
+    ?(on_response = fun state ~service:_ _ -> state) () =
+  { pid; start; step; on_init; on_response }
+
+let idle ~pid =
+  make ~pid ~start:Value.unit ~step:(fun s -> Internal s) ~on_init:(fun s _ -> s) ()

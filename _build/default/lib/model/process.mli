@@ -1,0 +1,48 @@
+(** Process automata P_i (paper §2.2.1).
+
+    A process is a deterministic automaton with a single task comprising all
+    its locally controlled actions. Its inputs are [init(v)_i], responses
+    from connected services, and [fail_i]; its outputs are invocations on
+    services and [decide(v)_i]. In every state some locally controlled
+    action is enabled — {!outcome} makes this structural: [step] is total and
+    [Internal] with an unchanged state is the "dummy" step.
+
+    The [fail_i] semantics of the paper (no output action enabled from the
+    failure onward) is enforced by the system layer: a failed process's task
+    always takes a dummy internal step. *)
+
+open Ioa
+
+type outcome =
+  | Invoke of { service : string; op : Value.t; next : Value.t }
+      (** Issue invocation [op] on [service] and move to [next]. *)
+  | Decide of { value : Value.t; next : Value.t }
+      (** Output [decide(value)_i], record the decision, move to [next]. *)
+  | Internal of Value.t
+      (** An internal step; returning the current state is a no-op dummy. *)
+
+type t = {
+  pid : int;
+  start : Value.t;
+  step : Value.t -> outcome;  (** The single task's deterministic choice. *)
+  on_init : Value.t -> Value.t -> Value.t;
+      (** [on_init state v] handles the [init(v)_i] input action. *)
+  on_response : Value.t -> service:string -> Value.t -> Value.t;
+      (** [on_response state ~service b] handles the response input
+          [b_{i,k}]. *)
+}
+
+val make :
+  pid:int ->
+  start:Value.t ->
+  step:(Value.t -> outcome) ->
+  ?on_init:(Value.t -> Value.t -> Value.t) ->
+  ?on_response:(Value.t -> service:string -> Value.t -> Value.t) ->
+  unit ->
+  t
+(** [on_init] defaults to replacing the whole state with the input; both
+    handlers default to ignoring the event if omitted where noted. *)
+
+val idle : pid:int -> t
+(** A process that only ever takes dummy internal steps — useful as a passive
+    observer in tests. *)

@@ -1,0 +1,50 @@
+open Ioa
+
+type report = {
+  agreement : bool;
+  validity : bool;
+  termination : bool;
+  distinct_decisions : Value.t list;
+}
+
+let pp_report ppf r =
+  Format.fprintf ppf "agreement=%b validity=%b termination=%b decided={%a}" r.agreement
+    r.validity r.termination
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ") Value.pp)
+    r.distinct_decisions
+
+let agreement ?(k = 1) (s : State.t) = List.length (State.decided_values s) <= k
+
+let validity (s : State.t) =
+  let inputs =
+    Array.to_list s.State.inputs |> List.filter_map Fun.id |> List.sort_uniq Value.compare
+  in
+  List.for_all (fun v -> List.exists (Value.equal v) inputs) (State.decided_values s)
+
+let termination (s : State.t) =
+  let n = Array.length s.State.procs in
+  List.for_all
+    (fun i ->
+      Spec.Iset.mem i s.State.failed
+      || Option.is_none s.State.inputs.(i)
+      || Option.is_some s.State.decisions.(i))
+    (List.init n Fun.id)
+
+let per_process_agreement exec =
+  let seen = Hashtbl.create 8 in
+  List.for_all
+    (fun (i, v) ->
+      match Hashtbl.find_opt seen i with
+      | None ->
+        Hashtbl.replace seen i v;
+        true
+      | Some v' -> Value.equal v v')
+    (Exec.decide_events exec)
+
+let check ?k s =
+  {
+    agreement = agreement ?k s;
+    validity = validity s;
+    termination = termination s;
+    distinct_decisions = State.decided_values s;
+  }

@@ -1,0 +1,36 @@
+(** Consensus and k-set-consensus correctness conditions (paper §2.2.4 and
+    Appendix B).
+
+    These are the agreement, validity and {e modified termination} conditions
+    of the paper: inputs arrive via [init(v)_i] actions, not every process
+    need receive an input, and only nonfaulty processes that received an
+    input must decide. *)
+
+open Ioa
+
+type report = {
+  agreement : bool;  (** ≤ k distinct decided values ([k = 1] for consensus). *)
+  validity : bool;  (** Every decided value is some process's input. *)
+  termination : bool;
+      (** Every nonfaulty process that received an input has decided. *)
+  distinct_decisions : Value.t list;  (** The decided values, deduplicated. *)
+}
+
+val pp_report : Format.formatter -> report -> unit
+
+val agreement : ?k:int -> State.t -> bool
+(** [agreement ~k s] holds iff at most [k] (default 1) distinct values have
+    been decided. *)
+
+val validity : State.t -> bool
+(** Every recorded decision equals some recorded input. *)
+
+val termination : State.t -> bool
+(** Modified termination at this state: all nonfaulty input-receiving
+    processes have decided. Meaningful at the end of a fair execution. *)
+
+val per_process_agreement : Exec.t -> bool
+(** No process emits two [decide] events with different values. *)
+
+val check : ?k:int -> State.t -> report
+(** Full report at a (final) state. *)

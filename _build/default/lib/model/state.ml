@@ -1,0 +1,171 @@
+open Ioa
+
+type svc = {
+  value : Value.t;
+  inv_bufs : Value.t list array;
+  resp_bufs : Value.t list array;
+}
+
+type t = {
+  procs : Value.t array;
+  svcs : svc array;
+  failed : Spec.Iset.t;
+  decisions : Value.t option array;
+  inputs : Value.t option array;
+}
+
+let compare_list cmp xs ys =
+  let rec go xs ys =
+    match xs, ys with
+    | [], [] -> 0
+    | [], _ :: _ -> -1
+    | _ :: _, [] -> 1
+    | x :: xs', y :: ys' ->
+      let c = cmp x y in
+      if c <> 0 then c else go xs' ys'
+  in
+  go xs ys
+
+let compare_array cmp a b =
+  let c = Int.compare (Array.length a) (Array.length b) in
+  if c <> 0 then c
+  else
+    let rec go i =
+      if i >= Array.length a then 0
+      else
+        let c = cmp a.(i) b.(i) in
+        if c <> 0 then c else go (i + 1)
+    in
+    go 0
+
+let compare_svc s1 s2 =
+  let c = Value.compare s1.value s2.value in
+  if c <> 0 then c
+  else
+    let c = compare_array (compare_list Value.compare) s1.inv_bufs s2.inv_bufs in
+    if c <> 0 then c
+    else compare_array (compare_list Value.compare) s1.resp_bufs s2.resp_bufs
+
+let compare_opt cmp a b =
+  match a, b with
+  | None, None -> 0
+  | None, Some _ -> -1
+  | Some _, None -> 1
+  | Some x, Some y -> cmp x y
+
+let compare s1 s2 =
+  let c = compare_array Value.compare s1.procs s2.procs in
+  if c <> 0 then c
+  else
+    let c = compare_array compare_svc s1.svcs s2.svcs in
+    if c <> 0 then c
+    else
+      let c = Spec.Iset.compare s1.failed s2.failed in
+      if c <> 0 then c
+      else
+        let c = compare_array (compare_opt Value.compare) s1.decisions s2.decisions in
+        if c <> 0 then c
+        else compare_array (compare_opt Value.compare) s1.inputs s2.inputs
+
+let equal s1 s2 = compare s1 s2 = 0
+
+let hash s =
+  let combine h x = (h * 16777619) lxor x in
+  let h = ref 2166136261 in
+  Array.iter (fun v -> h := combine !h (Value.hash v)) s.procs;
+  Array.iter
+    (fun svc ->
+      h := combine !h (Value.hash svc.value);
+      Array.iter (fun q -> List.iter (fun v -> h := combine !h (Value.hash v)) q) svc.inv_bufs;
+      Array.iter (fun q -> List.iter (fun v -> h := combine !h (Value.hash v)) q) svc.resp_bufs)
+    s.svcs;
+  Spec.Iset.iter (fun i -> h := combine !h i) s.failed;
+  Array.iter
+    (fun d -> h := combine !h (match d with None -> 17 | Some v -> Value.hash v))
+    s.decisions;
+  Array.iter
+    (fun d -> h := combine !h (match d with None -> 23 | Some v -> Value.hash v))
+    s.inputs;
+  !h land max_int
+
+let pp_buf ppf q =
+  Format.fprintf ppf "[%a]"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ") Value.pp)
+    q
+
+let pp ppf s =
+  Format.fprintf ppf "@[<v 2>state:";
+  Array.iteri (fun i v -> Format.fprintf ppf "@,P%d = %a" i Value.pp v) s.procs;
+  Array.iteri
+    (fun i svc ->
+      Format.fprintf ppf "@,S#%d val=%a" i Value.pp svc.value;
+      Array.iteri (fun p q -> if q <> [] then Format.fprintf ppf " inv[%d]=%a" p pp_buf q) svc.inv_bufs;
+      Array.iteri (fun p q -> if q <> [] then Format.fprintf ppf " resp[%d]=%a" p pp_buf q) svc.resp_bufs)
+    s.svcs;
+  Format.fprintf ppf "@,failed=%a" Spec.Iset.pp s.failed;
+  Array.iteri
+    (fun i d -> match d with Some v -> Format.fprintf ppf "@,decided[%d]=%a" i Value.pp v | None -> ())
+    s.decisions;
+  Format.fprintf ppf "@]"
+
+let with_proc s i v =
+  let procs = Array.copy s.procs in
+  procs.(i) <- v;
+  { s with procs }
+
+let with_svc s idx svc =
+  let svcs = Array.copy s.svcs in
+  svcs.(idx) <- svc;
+  { s with svcs }
+
+let with_decision s i v =
+  let decisions = Array.copy s.decisions in
+  decisions.(i) <- Some v;
+  { s with decisions }
+
+let with_input s i v =
+  let inputs = Array.copy s.inputs in
+  inputs.(i) <- Some v;
+  { s with inputs }
+
+let with_failed s failed = { s with failed }
+
+let svc_push_inv svc ~pos a =
+  let inv_bufs = Array.copy svc.inv_bufs in
+  inv_bufs.(pos) <- inv_bufs.(pos) @ [ a ];
+  { svc with inv_bufs }
+
+let svc_pop_inv svc ~pos =
+  match svc.inv_bufs.(pos) with
+  | [] -> None
+  | a :: rest ->
+    let inv_bufs = Array.copy svc.inv_bufs in
+    inv_bufs.(pos) <- rest;
+    Some (a, { svc with inv_bufs })
+
+let rec last = function [] -> None | [ x ] -> Some x | _ :: rest -> last rest
+
+let svc_push_resp ?(coalesce = false) svc ~pos b =
+  if coalesce && (match last svc.resp_bufs.(pos) with Some b' -> Value.equal b b' | None -> false)
+  then svc
+  else begin
+    let resp_bufs = Array.copy svc.resp_bufs in
+    resp_bufs.(pos) <- resp_bufs.(pos) @ [ b ];
+    { svc with resp_bufs }
+  end
+
+let svc_pop_resp svc ~pos =
+  match svc.resp_bufs.(pos) with
+  | [] -> None
+  | b :: rest ->
+    let resp_bufs = Array.copy svc.resp_bufs in
+    resp_bufs.(pos) <- rest;
+    Some (b, { svc with resp_bufs })
+
+let decided_pairs s =
+  Array.to_list s.decisions
+  |> List.mapi (fun i d -> Option.map (fun v -> i, v) d)
+  |> List.filter_map Fun.id
+
+let decided_values s =
+  decided_pairs s |> List.map snd |> List.sort_uniq Value.compare

@@ -1,0 +1,59 @@
+(** Global states of the complete system C (paper §2.2.3).
+
+    A state packs the local state of every process, the state of every
+    service (value + per-endpoint invocation/response buffers), the set of
+    failed processes, and the decisions recorded so far (the paper's
+    technical assumption that a [decide(v)_i] output records [v] in the state
+    of [P_i], §2.2.1).
+
+    States are immutable; all updates copy. Equality, ordering and hashing
+    are structural, which is what the exploration engine memoizes on. *)
+
+open Ioa
+
+type svc = {
+  value : Value.t;  (** The service value [val]. *)
+  inv_bufs : Value.t list array;
+      (** [inv_buffer(i)], indexed by endpoint {e position} in the service's
+          endpoint list; head = oldest. *)
+  resp_bufs : Value.t list array;  (** [resp_buffer(i)], same indexing. *)
+}
+
+type t = {
+  procs : Value.t array;  (** Process program states, indexed by pid. *)
+  svcs : svc array;  (** Service states, indexed by service position. *)
+  failed : Spec.Iset.t;  (** Failed processes. *)
+  decisions : Value.t option array;  (** Recorded decision per process. *)
+  inputs : Value.t option array;  (** init(v) received per process. *)
+}
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+
+val with_proc : t -> int -> Value.t -> t
+(** Functional update of one process state. *)
+
+val with_svc : t -> int -> svc -> t
+val with_decision : t -> int -> Value.t -> t
+val with_input : t -> int -> Value.t -> t
+val with_failed : t -> Spec.Iset.t -> t
+
+val svc_push_inv : svc -> pos:int -> Value.t -> svc
+(** Appends an invocation at the tail of [inv_buffer] at endpoint position
+    [pos]. *)
+
+val svc_pop_inv : svc -> pos:int -> (Value.t * svc) option
+val svc_push_resp : ?coalesce:bool -> svc -> pos:int -> Value.t -> svc
+(** Appends a response; with [coalesce] (default false), appending a response
+    equal to the current tail is a no-op (used to keep spontaneous
+    failure-detector output buffers finite — see DESIGN.md §6). *)
+
+val svc_pop_resp : svc -> pos:int -> (Value.t * svc) option
+
+val decided_pairs : t -> (int * Value.t) list
+(** All [(pid, v)] with a recorded decision. *)
+
+val decided_values : t -> Value.t list
+(** Distinct decided values, sorted. *)

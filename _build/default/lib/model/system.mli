@@ -1,0 +1,83 @@
+(** The complete system C (paper §2.2.3): processes composed with canonical
+    resilient services and reliable registers, with the paper's task
+    structure and the determinized transition function [transition(e, s)] of
+    §3.1.
+
+    Failures and resilience follow §2.1.3 exactly: a [fail_i] input makes
+    P_i's task permanently take dummy steps, and enables the dummy actions of
+    every i-perform/i-output task of services connected to [i]; once more
+    than [f] endpoints of an f-resilient service have failed, {e all} its
+    dummy actions are enabled, so a (dummy-preferring) adversary can silence
+    the service while fairness still holds. *)
+
+module Value = Ioa.Value
+
+type t = {
+  processes : Process.t array;
+  services : Service.t array;
+  tasks : Task.t array;  (** All tasks, in a fixed round-robin order. *)
+}
+
+val make : processes:Process.t list -> services:Service.t list -> t
+(** Validates that process ids are [0 .. n−1] in order, service ids are
+    unique, and every service endpoint names an existing process. Raises
+    [Invalid_argument] otherwise. *)
+
+val n_processes : t -> int
+val service_pos : t -> string -> int
+(** Position of a service by id. Raises [Invalid_argument] if unknown. *)
+
+val initial_state : t -> State.t
+
+(** {1 Environment inputs} *)
+
+val apply_init : t -> State.t -> int -> Value.t -> Event.t * State.t
+(** The [init(v)_i] input action. *)
+
+val apply_fail : t -> State.t -> int -> Event.t * State.t
+(** The [fail_i] input action: marks the process failed (idempotent). *)
+
+val initialize : t -> Value.t list -> State.t
+(** [initialize sys vs] is the §3.2 initialization: the initial state
+    extended with one [init(v_i)_i] per process. Requires one value per
+    process. *)
+
+(** {1 Task transitions} *)
+
+type pref =
+  | Prefer_real
+      (** Take the non-dummy action when one is enabled (the "helpful"
+          resolution of the canonical automaton's nondeterminism). *)
+  | Prefer_dummy
+      (** Take the dummy action whenever it is enabled — the adversarial
+          resolution that silences services past their resilience budget. *)
+
+type policy = Task.t -> pref
+(** Per-task resolution of the real-vs-dummy nondeterminism. In failure-free
+    states no dummy is enabled, so the policy is irrelevant there and
+    [transition] is the paper's deterministic [transition(e, s)]. *)
+
+val real_policy : policy
+val dummy_policy : policy
+
+val silence_policy : silenced:(int -> bool) -> policy
+(** Prefer dummies exactly for tasks of services selected by [silenced]
+    (by service position); real otherwise. *)
+
+val transition : ?policy:policy -> t -> State.t -> Task.t -> (Event.t * State.t) option
+(** One turn of a task: [None] iff no action of the task is enabled. Dummy
+    steps return the state unchanged. *)
+
+val enabled : ?policy:policy -> t -> State.t -> Task.t -> bool
+(** Whether the task is applicable (some action enabled) — §2.2.3. *)
+
+(** {1 Participants (§2.2.3)} *)
+
+type participant = P of int | S of int
+
+val pp_participant : Format.formatter -> participant -> unit
+
+val participants : ?policy:policy -> t -> State.t -> Task.t -> participant list
+(** Participants of [action(e, s)] — the automata having the action in their
+    signature. Empty if the task is disabled. At most two, and if two, one
+    process and one service (§2.2.3). *)

@@ -1,0 +1,16 @@
+type t =
+  | Proc of int
+  | Svc_perform of { svc : int; endpoint : int }
+  | Svc_output of { svc : int; endpoint : int }
+  | Svc_compute of { svc : int; glob : string }
+
+let compare = Stdlib.compare
+let equal a b = compare a b = 0
+
+let pp ppf = function
+  | Proc i -> Format.fprintf ppf "proc[%d]" i
+  | Svc_perform { svc; endpoint } -> Format.fprintf ppf "perform[s%d,%d]" svc endpoint
+  | Svc_output { svc; endpoint } -> Format.fprintf ppf "output[s%d,%d]" svc endpoint
+  | Svc_compute { svc; glob } -> Format.fprintf ppf "compute[s%d,%s]" svc glob
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,19 @@
+(** Tasks of the complete system (paper §2.2.3).
+
+    Each process has a single task; each service has an i-perform and an
+    i-output task per endpoint and a g-compute task per global task name.
+    These partition all locally controlled actions of the composed system.
+    Tasks are the unit of fairness and the edges of the execution graph G(C)
+    (§3.3). *)
+
+type t =
+  | Proc of int  (** The single task of process [pid]. *)
+  | Svc_perform of { svc : int; endpoint : int }
+      (** i-perform task of the service at position [svc]. *)
+  | Svc_output of { svc : int; endpoint : int }  (** i-output task. *)
+  | Svc_compute of { svc : int; glob : string }  (** g-compute task. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,47 @@
+(** The complete system C as a single generic I/O automaton (§2.2.3).
+
+    This is the formal view the paper's definitions quantify over: the
+    parallel composition of processes, services and registers, with the
+    communication actions hidden. External actions are [init(v)_i] and
+    [fail_i] (inputs) and [decide(v)_i] (outputs); everything else —
+    invocations, responses, performs, computes, process steps, dummies — is
+    internal.
+
+    Together with {!Ioa.Rename} and {!Ioa.Implements} this makes the paper's
+    §2.2.4 definition of "solving f-resilient consensus" executable: the
+    system automaton implements the canonical consensus object for the full
+    endpoint set, with [init]/[decide] identified with the object's
+    invocations and responses. The real-vs-dummy nondeterminism of canonical
+    services is preserved: when both resolutions are enabled, the task
+    enumerates both actions. *)
+
+val automaton : System.t -> Ioa.Automaton.t
+(** The generic-automaton view of a system. State encoding is an opaque
+    {!Ioa.Value} packing of {!State.t}; use {!encode_state}/{!decode_state}
+    to cross the boundary. *)
+
+val encode_state : State.t -> Ioa.Value.t
+val decode_state : System.t -> Ioa.Value.t -> State.t
+
+val consensus_spec : System.t -> f:int -> Ioa.Automaton.t
+(** The §2.2.4 specification: the canonical f-resilient binary consensus
+    object for the system's full endpoint set, renamed so that its
+    invocation at endpoint i is [init(v)_i] and its response is
+    [decide(v)_i]. A system solves f-resilient consensus iff its
+    {!automaton} implements this (§2.2.4). *)
+
+val environment : inputs:Ioa.Value.t list -> Ioa.Automaton.t
+(** A closing environment: one task per process that outputs [init(v_i)_i]
+    exactly once. Composing it with {!automaton} (and with
+    {!consensus_spec}) closes the init interface, so bounded trace-inclusion
+    checks terminate — repeated open [init] inputs would otherwise grow the
+    specification object's buffers without bound. *)
+
+val closed : inputs:Ioa.Value.t list -> System.t -> Ioa.Automaton.t
+(** [automaton sys] composed with [environment ~inputs]. The [init] actions
+    become outputs of the composition (not hidden), so they still appear in
+    traces and synchronize with the specification side of an inclusion
+    check. *)
+
+val closed_spec : inputs:Ioa.Value.t list -> f:int -> System.t -> Ioa.Automaton.t
+(** [consensus_spec] composed with the same environment. *)

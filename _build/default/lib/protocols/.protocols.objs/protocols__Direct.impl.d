@@ -1,0 +1,1 @@
+lib/protocols/direct.ml: Fun List Model Proto_util Spec

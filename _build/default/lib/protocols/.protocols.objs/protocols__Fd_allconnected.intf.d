@@ -1,0 +1,1 @@
+lib/protocols/fd_allconnected.mli: Model

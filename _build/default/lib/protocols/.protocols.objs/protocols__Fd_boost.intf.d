@@ -1,0 +1,1 @@
+lib/protocols/fd_boost.mli: Ioa Model Spec Value

@@ -1,0 +1,1 @@
+lib/protocols/fd_network.ml: Array Fun Ioa List Model Printf Proto_util Services Spec String Value

@@ -1,0 +1,1 @@
+lib/protocols/fd_network.mli: Model Spec

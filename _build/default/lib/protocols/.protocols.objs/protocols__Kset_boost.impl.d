@@ -1,0 +1,1 @@
+lib/protocols/kset_boost.ml: Fun List Model Printf Proto_util Spec

@@ -1,0 +1,1 @@
+lib/protocols/kset_boost.mli: Model

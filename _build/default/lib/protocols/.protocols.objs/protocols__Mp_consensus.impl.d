@@ -1,0 +1,1 @@
+lib/protocols/mp_consensus.ml: Fun Ioa List Model Option Proto_util Services String Value

@@ -1,0 +1,1 @@
+lib/protocols/mp_consensus.mli: Model

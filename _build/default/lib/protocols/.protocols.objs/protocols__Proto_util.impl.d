@@ -1,0 +1,1 @@
+lib/protocols/proto_util.ml: Ioa List Model Spec String Value

@@ -1,0 +1,1 @@
+lib/protocols/queue_consensus.mli: Ioa Model

@@ -1,0 +1,1 @@
+lib/protocols/register_vote.ml: Ioa List Model Printf Proto_util Spec String Value

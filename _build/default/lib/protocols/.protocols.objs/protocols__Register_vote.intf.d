@@ -1,0 +1,1 @@
+lib/protocols/register_vote.mli: Model

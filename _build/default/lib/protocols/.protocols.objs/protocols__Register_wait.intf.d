@@ -1,0 +1,1 @@
+lib/protocols/register_wait.mli: Model

@@ -1,0 +1,1 @@
+lib/protocols/split.ml: List Model Printf Proto_util Spec

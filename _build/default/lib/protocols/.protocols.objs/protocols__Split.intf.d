@@ -1,0 +1,1 @@
+lib/protocols/split.mli: Model

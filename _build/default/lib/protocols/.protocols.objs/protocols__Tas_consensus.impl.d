@@ -1,0 +1,1 @@
+lib/protocols/tas_consensus.ml: Ioa List Model Printf Proto_util Spec String Value

@@ -1,0 +1,1 @@
+lib/protocols/tas_consensus.mli: Model

@@ -1,0 +1,1 @@
+lib/protocols/tob_direct.ml: Fun Ioa List Model Proto_util Services Spec String Value

@@ -1,0 +1,1 @@
+lib/protocols/tob_direct.mli: Model

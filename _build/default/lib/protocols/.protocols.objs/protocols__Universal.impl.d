@@ -1,0 +1,1 @@
+lib/protocols/universal.ml: Array Fun Ioa List Model Option Printf Proto_util Spec String Value

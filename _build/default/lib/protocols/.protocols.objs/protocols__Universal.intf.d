@@ -1,0 +1,1 @@
+lib/protocols/universal.mli: Ioa Model Spec Value

@@ -1,0 +1,13 @@
+let service_id = "cons"
+
+let system ~n ~f =
+  let processes =
+    List.init n (fun pid -> Proto_util.one_shot_client ~service_of:(fun _ -> service_id) ~pid)
+  in
+  let services =
+    [
+      Model.Service.atomic ~id:service_id ~endpoints:(List.init n Fun.id) ~f
+        (Spec.Seq_consensus.make ());
+    ]
+  in
+  Model.System.make ~processes ~services

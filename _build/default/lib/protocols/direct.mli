@@ -1,0 +1,14 @@
+(** The canonical Theorem 2 target: n processes coordinating through a
+    single f-resilient consensus atomic object.
+
+    Each process forwards its input to the shared object and echoes the
+    object's decision. For [f ≥ n − 1] (wait-free object) the system is a
+    correct (n−1)-resilient consensus implementation; for [f < n − 1] it is
+    the textbook candidate for boosting — claiming (f+1)-resilient consensus
+    from an f-resilient object — that Theorem 2 refutes. *)
+
+val service_id : string
+
+val system : n:int -> f:int -> Model.System.t
+(** [system ~n ~f] — n client processes and one f-resilient binary consensus
+    object connected to all of them. *)

@@ -1,0 +1,86 @@
+open Ioa
+open Proto_util
+
+let fd_id = "fd"
+let register_id pid = Printf.sprintf "reg%d" pid
+
+(* States:
+   - idle
+   - have [v]
+   - scan [v; j; suspects; seen]   -- about to poll register j
+   - await [v; j; suspects; seen]  -- read of register j outstanding
+   - got [w]
+   - done [w] *)
+
+let client ~n pid =
+  let scan_fields s = field s 0, Value.to_int (field s 1), field s 2, field s 3 in
+  let step s =
+    if is "have" s then
+      Model.Process.Invoke
+        {
+          service = register_id pid;
+          op = Spec.Seq_register.write (field s 0);
+          next = st "scan" [ field s 0; Value.int 0; Value.set_empty; Value.map_empty ];
+        }
+    else if is "scan" s then begin
+      let v, j, su, seen = scan_fields s in
+      if j >= n then begin
+        (* Decide the value of the smallest written index. *)
+        match Value.map_bindings seen with
+        | (_, w) :: _ -> Model.Process.Decide { value = w; next = st "done" [ w ] }
+        | [] -> Model.Process.Internal s (* unreachable: own register is written *)
+      end
+      else
+        Model.Process.Invoke
+          {
+            service = register_id j;
+            op = Spec.Seq_register.read;
+            next = st "await" [ v; Value.int j; su; seen ];
+          }
+    end
+    else Model.Process.Internal s
+  in
+  let on_init s v = if is "idle" s then st "have" [ v ] else s in
+  let on_response s ~service b =
+    if String.equal service fd_id && Spec.Op.is "suspect" b then begin
+      (* Merge the detector's report into the suspicion set, wherever we are
+         in the scan. *)
+      if is "scan" s || is "await" s then begin
+        let v, j, su, seen = scan_fields s in
+        let su' =
+          Spec.Iset.to_value
+            (Spec.Iset.union (Spec.Iset.of_value su) (Services.Perfect_fd.suspected_set b))
+        in
+        st (tag s) [ v; Value.int j; su'; seen ]
+      end
+      else s
+    end
+    else if is "await" s && Spec.Op.is "val" b then begin
+      let v, j, su, seen = scan_fields s in
+      if String.equal service (register_id j) then begin
+        let w = Spec.Seq_register.read_value b in
+        if not (is_none w) then
+          st "scan" [ v; Value.int (j + 1); su; Value.map_add (Value.int j) w seen ]
+        else if Value.set_mem (Value.int j) su then
+          st "scan" [ v; Value.int (j + 1); su; seen ]
+        else st "scan" [ v; Value.int j; su; seen ]
+      end
+      else s
+    end
+    else s
+  in
+  Model.Process.make ~pid ~start:(st "idle" []) ~step ~on_init ~on_response ()
+
+let system ~n ~f =
+  let endpoints = List.init n Fun.id in
+  let values = [ none; Value.int 0; Value.int 1 ] in
+  let registers =
+    List.init n (fun pid ->
+      Model.Service.register ~id:(register_id pid) ~endpoints
+        (Spec.Seq_register.make ~values ~initial:none))
+  in
+  let fd =
+    Model.Service.general ~coalesce:true ~id:fd_id ~endpoints ~f
+      (Services.Perfect_fd.make ~endpoints)
+  in
+  Model.System.make ~processes:(List.init n (client ~n)) ~services:(fd :: registers)

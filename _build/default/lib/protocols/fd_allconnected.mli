@@ -1,0 +1,21 @@
+(** The Theorem 10 target: a candidate using an f-resilient perfect failure
+    detector connected to {e all} processes, plus reliable registers.
+
+    Each process writes its input to its own register, then scans registers
+    0..n−1, waiting at index j until either R_j carries a value or j is
+    suspected by the failure detector; it then decides the value of the
+    smallest written index. Failure-free the detector reports nothing, every
+    write is awaited, and the decision is deterministic — so the Lemma 4
+    staircase flips rather than going bivalent. Failing f+1 processes
+    (including the flip process) lets the adversary silence the all-connected
+    f-resilient detector, survivors block on the dead process's register with
+    no suspicion ever arriving, and termination fails: general services
+    cannot boost when each is connected to all processes. *)
+
+val fd_id : string
+val register_id : int -> string
+
+val system : n:int -> f:int -> Model.System.t
+(** [f] is the resilience of the failure detector (and must satisfy
+    [f < failures] for the refutation to go through — with [f ≥ failures]
+    the detector survives and the claim holds, which is the §6.3 boundary). *)

@@ -1,0 +1,103 @@
+open Ioa
+open Proto_util
+
+let fd_id i j =
+  let a, b = if i < j then i, j else j, i in
+  Printf.sprintf "fd_%d_%d" a b
+
+let phase_register c = Printf.sprintf "est%d" c
+
+(* States:
+   - idle
+   - run [est; c; suspects]    -- about to act in phase c
+   - await [est; c; suspects]  -- read of est_c outstanding
+   - done [w] *)
+
+let run_fields s = field s 0, Value.to_int (field s 1), field s 2
+
+let client ~n pid =
+  let step s =
+    if is "run" s then begin
+      let est, c, su = run_fields s in
+      if c >= n then Model.Process.Decide { value = est; next = st "done" [ est ] }
+      else if c = pid then
+        (* Coordinator: publish the estimate and advance. *)
+        Model.Process.Invoke
+          {
+            service = phase_register c;
+            op = Spec.Seq_register.write est;
+            next = st "run" [ est; Value.int (c + 1); su ];
+          }
+      else
+        Model.Process.Invoke
+          {
+            service = phase_register c;
+            op = Spec.Seq_register.read;
+            next = st "await" [ est; Value.int c; su ];
+          }
+    end
+    else Model.Process.Internal s
+  in
+  let on_init s v = if is "idle" s then st "run" [ v; Value.int 0; Value.set_empty ] else s in
+  let on_response s ~service b =
+    if Spec.Op.is "suspect" b then begin
+      if is "run" s || is "await" s then begin
+        let est, c, su = run_fields s in
+        let su' =
+          Spec.Iset.to_value
+            (Spec.Iset.union (Spec.Iset.of_value su) (Services.Perfect_fd.suspected_set b))
+        in
+        st (tag s) [ est; Value.int c; su' ]
+      end
+      else s
+    end
+    else if is "await" s && Spec.Op.is "val" b then begin
+      let est, c, su = run_fields s in
+      if String.equal service (phase_register c) then begin
+        let w = Spec.Seq_register.read_value b in
+        if not (is_none w) then st "run" [ w; Value.int (c + 1); su ]
+        else if Value.set_mem (Value.int c) su then st "run" [ est; Value.int (c + 1); su ]
+        else st "run" [ est; Value.int c; su ]
+      end
+      else s
+    end
+    else s
+  in
+  Model.Process.make ~pid ~start:(st "idle" []) ~step ~on_init ~on_response ()
+
+let system_with_fd ~n ~fd =
+  if n < 2 then invalid_arg "Fd_boost.system: need n >= 2";
+  let endpoints = List.init n Fun.id in
+  let values = none :: List.map Value.int (List.init n Fun.id) in
+  let registers =
+    List.init n (fun c ->
+      Model.Service.register ~id:(phase_register c) ~endpoints
+        (Spec.Seq_register.make ~values ~initial:none))
+  in
+  let fds =
+    List.concat
+      (List.init n (fun i ->
+         List.filter_map (fun j -> if i < j then Some (fd i j) else None) endpoints))
+  in
+  Model.System.make ~processes:(List.init n (client ~n)) ~services:(registers @ fds)
+
+let system ~n =
+  system_with_fd ~n ~fd:(fun i j ->
+    Model.Service.general ~coalesce:true ~id:(fd_id i j) ~endpoints:[ i; j ] ~f:1
+      (Services.Perfect_fd.make ~endpoints:[ i; j ]))
+
+let system_paranoid_ep ~n =
+  system_with_fd ~n ~fd:(fun i j ->
+    Model.Service.general ~coalesce:true ~id:(fd_id i j) ~endpoints:[ i; j ] ~f:1
+      (Services.Eventually_perfect_fd.make ~paranoid:true ~endpoints:[ i; j ] ()))
+
+let suspected_of (s : Model.State.t) ~pid =
+  let ps = s.Model.State.procs.(pid) in
+  if is "run" ps || is "await" ps then
+    let _, _, su = run_fields ps in
+    Spec.Iset.of_value su
+  else Spec.Iset.empty
+
+let estimate_of (s : Model.State.t) ~pid =
+  let ps = s.Model.State.procs.(pid) in
+  if is "run" ps || is "await" ps || is "done" ps then Some (field ps 0) else None

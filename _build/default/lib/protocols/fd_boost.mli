@@ -1,0 +1,42 @@
+(** The §6.3 positive result: consensus for any number of failures from
+    1-resilient 2-process perfect failure detectors and reliable registers.
+
+    Every pair {i, j} of processes shares a 1-resilient (hence wait-free)
+    2-process perfect failure detector, so each process continually receives
+    accurate failure information about every other process — together the
+    pairwise services emulate a wait-free n-process perfect detector. On top
+    of that, consensus runs as a rotating-coordinator protocol: in phase
+    c = 0..n−1 the coordinator writes its current estimate to the phase
+    register; every other process waits until the register is written or c
+    is suspected, adopting the written value when present. After the first
+    phase whose coordinator is correct, all estimates coincide, so all
+    survivors decide the same value after phase n−1 — for {e any} number of
+    failures up to n−1, boosting resilience from 1 to n−1. *)
+
+open Ioa
+
+val fd_id : int -> int -> string
+(** [fd_id i j] (unordered pair) — the 2-process detector of {i, j}. *)
+
+val phase_register : int -> string
+(** The estimate register of phase [c]. *)
+
+val system : n:int -> Model.System.t
+(** Inputs are integers (use distinct values per process to make agreement
+    observable). *)
+
+val system_with_fd : n:int -> fd:(int -> int -> Model.Service.t) -> Model.System.t
+(** The same protocol over custom pairwise detector services ([fd i j] must
+    have endpoints [{i, j}] and id [fd_id i j]). *)
+
+val system_paranoid_ep : n:int -> Model.System.t
+(** The same protocol over ◇P detectors whose imperfect phase wrongly
+    suspects everyone — the §6.2 contrast: the rotating coordinator needs
+    strong accuracy, and under adversarial-◇P it loses agreement. *)
+
+val suspected_of : Model.State.t -> pid:int -> Spec.Iset.t
+(** The suspicion set process [pid] has accumulated from its pairwise
+    detectors (for failure-detector emulation experiments). *)
+
+val estimate_of : Model.State.t -> pid:int -> Value.t option
+(** The current estimate of process [pid], when it is running or decided. *)

@@ -1,0 +1,110 @@
+open Ioa
+open Proto_util
+
+let fd_id i j =
+  let a, b = if i < j then i, j else j, i in
+  Printf.sprintf "nfd_%d_%d" a b
+
+let suspect_register pid = Printf.sprintf "sus%d" pid
+
+(* States (the process runs forever — a continuous service):
+   - loop [local; out; j; published] -- decide next action
+   - await [local; out; j; published] -- read of sus_j outstanding
+   local: union of pairwise-detector reports; out: emulated detector output;
+   j: register scan cursor; published: last value written to our register. *)
+
+let loop_fields s = field s 0, field s 1, Value.to_int (field s 2), field s 3
+
+let client ~n pid =
+  let step s =
+    if is "loop" s then begin
+      let local, out, j, published = loop_fields s in
+      if not (Value.equal local published) then
+        Model.Process.Invoke
+          {
+            service = suspect_register pid;
+            op = Spec.Seq_register.write local;
+            next = st "loop" [ local; out; Value.int j; local ];
+          }
+      else
+        Model.Process.Invoke
+          {
+            service = suspect_register j;
+            op = Spec.Seq_register.read;
+            next = st "await" [ local; out; Value.int j; published ];
+          }
+    end
+    else Model.Process.Internal s
+  in
+  let on_response s ~service b =
+    if Spec.Op.is "suspect" b then begin
+      if is "loop" s || is "await" s then begin
+        let local, out, j, published = loop_fields s in
+        let local' =
+          Spec.Iset.to_value
+            (Spec.Iset.union (Spec.Iset.of_value local)
+               (Services.Perfect_fd.suspected_set b))
+        in
+        st (tag s) [ local'; out; Value.int j; published ]
+      end
+      else s
+    end
+    else if is "await" s && Spec.Op.is "val" b then begin
+      let local, out, j, published = loop_fields s in
+      if String.equal service (suspect_register j) then begin
+        let w = Spec.Seq_register.read_value b in
+        let out' =
+          if is_none w then out
+          else Spec.Iset.to_value (Spec.Iset.union (Spec.Iset.of_value out) (Spec.Iset.of_value w))
+        in
+        st "loop" [ local; out'; Value.int ((j + 1) mod n); published ]
+      end
+      else s
+    end
+    else s
+  in
+  Model.Process.make ~pid
+    ~start:(st "loop" [ Value.set_empty; Value.set_empty; Value.int 0; Value.set_empty ])
+    ~step
+    ~on_init:(fun s _ -> s)
+    ~on_response ()
+
+let system ~n =
+  if n < 2 then invalid_arg "Fd_network.system: need n >= 2";
+  let endpoints = List.init n Fun.id in
+  let registers =
+    (* The register's value set is open-ended (suspicion sets); the [values]
+       sample only seeds invocation enumeration for generic tools. *)
+    List.init n (fun pid ->
+      Model.Service.register ~id:(suspect_register pid) ~endpoints
+        (Spec.Seq_register.make ~values:[ none ] ~initial:none))
+  in
+  let fds =
+    List.concat
+      (List.init n (fun i ->
+         List.filter_map
+           (fun j ->
+             if i < j then
+               Some
+                 (Model.Service.general ~coalesce:true ~id:(fd_id i j) ~endpoints:[ i; j ]
+                    ~f:1
+                    (Services.Perfect_fd.make ~endpoints:[ i; j ]))
+             else None)
+           endpoints))
+  in
+  Model.System.make ~processes:(List.init n (client ~n)) ~services:(registers @ fds)
+
+let local_of (s : Model.State.t) ~pid =
+  let ps = s.Model.State.procs.(pid) in
+  if is "loop" ps || is "await" ps then
+    let local, _, _, _ = loop_fields ps in
+    Spec.Iset.of_value local
+  else Spec.Iset.empty
+
+let output_of (s : Model.State.t) ~pid =
+  let ps = s.Model.State.procs.(pid) in
+  if is "loop" ps || is "await" ps then begin
+    let local, out, _, _ = loop_fields ps in
+    Spec.Iset.union (Spec.Iset.of_value local) (Spec.Iset.of_value out)
+  end
+  else Spec.Iset.empty

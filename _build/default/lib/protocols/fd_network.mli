@@ -1,0 +1,27 @@
+(** The §6.3 emulation proper: a wait-free n-process perfect failure
+    detector built from 1-resilient 2-process perfect failure detectors and
+    reliable registers.
+
+    Process i listens to all pairwise detectors it is connected to,
+    accumulates the union of suspected processes, and publishes it in a
+    dedicated register; periodically it reads every published register and
+    outputs the union. The emulated detector is perfect: the published sets
+    contain only crashed processes (strong accuracy lifts from the pairwise
+    services) and eventually every crashed process appears in every
+    survivor's output (strong completeness: every pair is covered by a
+    wait-free service). The experiments check both properties on adversarial
+    runs. *)
+
+val fd_id : int -> int -> string
+val suspect_register : int -> string
+
+val system : n:int -> Model.System.t
+
+val output_of : Model.State.t -> pid:int -> Spec.Iset.t
+(** The emulated n-process detector's current output at process [pid]
+    (the union of all register contents it has read, plus its own
+    accumulation). *)
+
+val local_of : Model.State.t -> pid:int -> Spec.Iset.t
+(** The suspicions accumulated directly from [pid]'s own pairwise
+    detectors. *)

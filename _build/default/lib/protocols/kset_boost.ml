@@ -1,0 +1,19 @@
+let service_id g = Printf.sprintf "grp%d" g
+let group_of ~group_size pid = pid / group_size
+
+let system ~groups ~group_size =
+  if groups < 1 || group_size < 1 then invalid_arg "Kset_boost.system";
+  let n = groups * group_size in
+  let processes =
+    List.init n (fun pid ->
+      Proto_util.one_shot_client
+        ~service_of:(fun pid -> service_id (group_of ~group_size pid))
+        ~pid)
+  in
+  let services =
+    List.init groups (fun g ->
+      let endpoints = List.init group_size (fun k -> (g * group_size) + k) in
+      Model.Service.atomic ~id:(service_id g) ~endpoints ~f:(group_size - 1)
+        (Spec.Seq_consensus.make ~values:(List.init n Fun.id) ()))
+  in
+  Model.System.make ~processes ~services

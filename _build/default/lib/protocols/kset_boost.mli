@@ -1,0 +1,23 @@
+(** The §4 positive result: boosting IS possible for k-set consensus.
+
+    The endpoint set is split into [groups] disjoint groups of [group_size]
+    processes; each group shares one wait-free ([group_size − 1]-resilient)
+    consensus service with exactly that group as endpoints. Every process
+    forwards its input to its group's service and echoes the response, so at
+    most [groups] distinct values are decided overall: the system solves
+    wait-free [groups]-set consensus for [groups × group_size] processes out
+    of services resilient to only [group_size − 1] failures — resilience is
+    boosted from [group_size − 1] to [n − 1].
+
+    With [groups = 2] this is the paper's concrete instance: wait-free
+    n-endpoint 2-set consensus from wait-free n/2-endpoint consensus. *)
+
+val service_id : int -> string
+(** Service id of group [g]. *)
+
+val group_of : group_size:int -> int -> int
+(** The group a process belongs to. *)
+
+val system : groups:int -> group_size:int -> Model.System.t
+(** Inputs are expected to be integers in [0 .. n−1] (multi-valued
+    consensus), so that the ≤ [groups] bound is observable. *)

@@ -1,0 +1,69 @@
+open Ioa
+open Proto_util
+
+let net_id = "net"
+
+(* States:
+   - idle
+   - have [v; dst; stash]  -- broadcasting v, next destination dst, with a
+     stash of deliveries that arrived before the broadcast finished
+   - collecting [seen]     -- seen: canonical map src → value (self included)
+   - got [w] / done [w] *)
+
+let min_of_map seen =
+  List.fold_left
+    (fun acc (_, v) ->
+      match acc with
+      | None -> Some v
+      | Some w -> Some (if Value.compare v w < 0 then v else w))
+    None (Value.map_bindings seen)
+
+let client ~n ~quorum pid =
+  let settle seen =
+    if List.length (Value.map_bindings seen) >= quorum then
+      st "got" [ Option.get (min_of_map seen) ]
+    else st "collecting" [ seen ]
+  in
+  let step s =
+    if is "have" s then begin
+      let v = field s 0 and dst = Value.to_int (field s 1) and stash = field s 2 in
+      if dst >= n then
+        Model.Process.Internal (settle (Value.map_add (Value.int pid) v stash))
+      else if dst = pid then
+        (* Own value is accounted for locally; no self-send. *)
+        Model.Process.Internal (st "have" [ v; Value.int (dst + 1); stash ])
+      else
+        Model.Process.Invoke
+          {
+            service = net_id;
+            op = Services.Network.send ~dst v;
+            next = st "have" [ v; Value.int (dst + 1); stash ];
+          }
+    end
+    else if is "got" s then
+      Model.Process.Decide { value = field s 0; next = st "done" [ field s 0 ] }
+    else Model.Process.Internal s
+  in
+  let on_init s v = if is "idle" s then st "have" [ v; Value.int 0; Value.map_empty ] else s in
+  let on_response s ~service b =
+    if String.equal service net_id && Services.Network.is_packet b then begin
+      let m, src = Services.Network.packet_parts b in
+      if is "collecting" s then settle (Value.map_add (Value.int src) m (field s 0))
+      else if is "have" s then
+        st "have" [ field s 0; field s 1; Value.map_add (Value.int src) m (field s 2) ]
+      else s
+    end
+    else s
+  in
+  Model.Process.make ~pid ~start:(st "idle" []) ~step ~on_init ~on_response ()
+
+let system ~n ~quorum =
+  let endpoints = List.init n Fun.id in
+  let net =
+    Model.Service.oblivious ~id:net_id ~endpoints ~f:(n - 1)
+      (Services.Network.make ~endpoints ~alphabet:[ Value.int 0; Value.int 1 ])
+  in
+  Model.System.make ~processes:(List.init n (client ~n ~quorum)) ~services:[ net ]
+
+let all_system ~n = system ~n ~quorum:n
+let quorum_system ~n = system ~n ~quorum:(n - 1)

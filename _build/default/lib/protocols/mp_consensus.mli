@@ -1,0 +1,26 @@
+(** Message-passing consensus candidates over the reliable network service —
+    the setting of the paper's original technical report [2] ("boosting
+    fault-tolerance in asynchronous message passing systems is impossible")
+    and of FLP.
+
+    Every process broadcasts its input over the network, collects values
+    (its own included), and decides the minimum once it holds [quorum]
+    values:
+
+    - [quorum = n] ({!all_system}): safe — the decision is always the global
+      minimum — but a single crash blocks everyone, so the 1-resilience
+      claim fails on termination (staircase-flip refutation);
+    - [quorum = n − 1] ({!quorum_system}): live with one failure, but two
+      processes can decide over different (n−1)-subsets and disagree — a
+      failure-free agreement violation the engine extracts as an execution.
+
+    FLP says no choice of protocol fixes both; these two candidates exhibit
+    the two failure modes the dichotomy allows. *)
+
+val net_id : string
+
+val all_system : n:int -> Model.System.t
+(** Wait for all [n] values, decide the minimum. *)
+
+val quorum_system : n:int -> Model.System.t
+(** Wait for [n − 1] values, decide the minimum of those seen. *)

@@ -1,0 +1,31 @@
+open Ioa
+
+let st tag fields = Value.pair (Value.str tag) (Value.list fields)
+let tag s = Value.to_str (fst (Value.to_pair s))
+let fields s = Value.to_list (snd (Value.to_pair s))
+let field s i = List.nth (fields s) i
+let is t s = String.equal t (tag s)
+let none = Value.str "none"
+let is_none v = Value.equal v none
+
+let one_shot_client ~service_of ~pid =
+  let service = service_of pid in
+  let step s =
+    if is "have" s then
+      Model.Process.Invoke
+        {
+          service;
+          op = Spec.Seq_consensus.init (Value.to_int (field s 0));
+          next = st "waiting" [ field s 0 ];
+        }
+    else if is "got" s then
+      Model.Process.Decide { value = field s 0; next = st "done" [ field s 0 ] }
+    else Model.Process.Internal s
+  in
+  let on_init s v = if is "idle" s then st "have" [ v ] else s in
+  let on_response s ~service:src b =
+    if is "waiting" s && String.equal src service && Spec.Seq_consensus.is_decide b then
+      st "got" [ Value.int (Spec.Seq_consensus.decided_value b) ]
+    else s
+  in
+  Model.Process.make ~pid ~start:(st "idle" []) ~step ~on_init ~on_response ()

@@ -1,0 +1,29 @@
+(** Helpers for writing process programs as tagged state machines.
+
+    Process program states are encoded as [Pair (Str tag, List fields)] so
+    that programs are finite-state, structurally comparable and printable —
+    prerequisites for exact exploration by the impossibility engine. *)
+
+open Ioa
+
+val st : string -> Value.t list -> Value.t
+(** [st tag fields] builds a tagged program state. *)
+
+val tag : Value.t -> string
+val fields : Value.t -> Value.t list
+val field : Value.t -> int -> Value.t
+(** [field s i] is the i-th field. Raises [Value.Type_error]/[Failure] on
+    shape mismatch. *)
+
+val is : string -> Value.t -> bool
+(** [is tag s] tests the tag of a state. *)
+
+val none : Value.t
+(** The distinguished "no value" register content, [Str "none"]. *)
+
+val is_none : Value.t -> bool
+
+val one_shot_client : service_of:(int -> string) -> pid:int -> Model.Process.t
+(** The §4-style client: upon [init(v)] invoke [init(v)] on the (unique)
+    consensus service [service_of pid]; upon the [decide(w)] response, output
+    [decide(w)] and stop. All waiting states take dummy internal steps. *)

@@ -1,0 +1,61 @@
+open Ioa
+open Proto_util
+
+let queue_id = "queue"
+let register_id pid = Printf.sprintf "reg%d" pid
+let token = Value.str "token"
+
+let client pid =
+  let peer = 1 - pid in
+  let step s =
+    if is "have" s then
+      Model.Process.Invoke
+        {
+          service = register_id pid;
+          op = Spec.Seq_register.write (field s 0);
+          next = st "wrote" [ field s 0 ];
+        }
+    else if is "ready" s then
+      Model.Process.Invoke
+        { service = queue_id; op = Spec.Seq_queue.dequeue; next = st "racing" [ field s 0 ] }
+    else if is "read" s then
+      Model.Process.Invoke
+        {
+          service = register_id peer;
+          op = Spec.Seq_register.read;
+          next = st "reading" [ field s 0 ];
+        }
+    else if is "got" s then
+      Model.Process.Decide { value = field s 0; next = st "done" [ field s 0 ] }
+    else Model.Process.Internal s
+  in
+  let on_init s v = if is "idle" s then st "have" [ v ] else s in
+  let on_response s ~service b =
+    if is "wrote" s && String.equal service (register_id pid) && Spec.Op.is "ack" b then
+      st "ready" [ field s 0 ]
+    else if is "racing" s && String.equal service queue_id then begin
+      if Spec.Op.is "item" b then st "got" [ field s 0 ] (* took the token: winner *)
+      else if Spec.Op.is "empty" b then st "read" [ field s 0 ]
+      else s
+    end
+    else if is "reading" s && String.equal service (register_id peer) && Spec.Op.is "val" b
+    then begin
+      let w = Spec.Seq_register.read_value b in
+      if is_none w then st "read" [ field s 0 ] else st "got" [ w ]
+    end
+    else s
+  in
+  Model.Process.make ~pid ~start:(st "idle" []) ~step ~on_init ~on_response ()
+
+let system ~f =
+  let values = [ none; Value.int 0; Value.int 1 ] in
+  let registers =
+    List.init 2 (fun pid ->
+      Model.Service.register ~id:(register_id pid) ~endpoints:[ 0; 1 ]
+        (Spec.Seq_register.make ~values ~initial:none))
+  in
+  let queue =
+    Model.Service.atomic ~id:queue_id ~endpoints:[ 0; 1 ] ~f
+      (Spec.Seq_queue.make ~initial:[ token ] ~elements:[ token ] ())
+  in
+  Model.System.make ~processes:[ client 0; client 1 ] ~services:(queue :: registers)

@@ -1,0 +1,14 @@
+(** Two-process consensus from a FIFO queue pre-filled with one token — the
+    other classic consensus-number-2 construction.
+
+    Each process publishes its input, awaits the ack, then dequeues: the
+    process that obtains the token decides its own input; the one that finds
+    the queue empty adopts the winner's published input. Correct with a
+    wait-free queue (the engine does not refute 1-resilience); refuted with a
+    0-resilient queue. *)
+
+val queue_id : string
+val register_id : int -> string
+val token : Ioa.Value.t
+
+val system : f:int -> Model.System.t

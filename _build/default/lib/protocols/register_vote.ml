@@ -1,0 +1,48 @@
+open Ioa
+open Proto_util
+
+let register_id pid = Printf.sprintf "reg%d" pid
+
+let vmin a b = if Value.compare a b <= 0 then a else b
+
+let client pid =
+  let peer = 1 - pid in
+  let step s =
+    if is "have" s then
+      Model.Process.Invoke
+        {
+          service = register_id pid;
+          op = Spec.Seq_register.write (field s 0);
+          next = st "wrote" [ field s 0 ];
+        }
+    else if is "wrote" s then
+      Model.Process.Invoke
+        {
+          service = register_id peer;
+          op = Spec.Seq_register.read;
+          next = st "reading" [ field s 0 ];
+        }
+    else if is "got" s then
+      Model.Process.Decide { value = field s 0; next = st "done" [ field s 0 ] }
+    else Model.Process.Internal s
+  in
+  let on_init s v = if is "idle" s then st "have" [ v ] else s in
+  let on_response s ~service b =
+    if is "reading" s && String.equal service (register_id peer) && Spec.Op.is "val" b
+    then begin
+      let w = Spec.Seq_register.read_value b in
+      let own = field s 0 in
+      st "got" [ (if is_none w then own else vmin own w) ]
+    end
+    else s
+  in
+  Model.Process.make ~pid ~start:(st "idle" []) ~step ~on_init ~on_response ()
+
+let system () =
+  let values = [ none; Value.int 0; Value.int 1 ] in
+  let services =
+    List.init 2 (fun pid ->
+      Model.Service.register ~id:(register_id pid) ~endpoints:[ 0; 1 ]
+        (Spec.Seq_register.make ~values ~initial:none))
+  in
+  Model.System.make ~processes:[ client 0; client 1 ] ~services

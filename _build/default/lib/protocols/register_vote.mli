@@ -1,0 +1,13 @@
+(** A racy two-process register-only consensus candidate.
+
+    Each process writes its input to its own register, reads the peer's
+    register once, and decides: the minimum of the two inputs if the peer's
+    value was visible, its own input otherwise. A fast reader that misses the
+    peer's write decides its own input while the slower peer decides the
+    minimum — a failure-free agreement violation that the engine's
+    direct-violation phase extracts as an execution. *)
+
+val register_id : int -> string
+
+val system : unit -> Model.System.t
+(** Two processes, two wait-free single-writer registers. *)

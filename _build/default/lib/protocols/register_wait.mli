@@ -1,0 +1,12 @@
+(** A blocking two-process register-only consensus candidate.
+
+    Each process writes its input to its own register, then polls the peer's
+    register until a value appears, and decides the minimum of the two
+    inputs. Failure-free the decision is always [min(v0, v1)] — every
+    initialization is univalent — but a single crash leaves the survivor
+    polling forever, so the claim of 1-resilience fails on termination. This
+    exercises the engine's Lemma 4 staircase-flip path: the flip process is
+    failed and the fair run never decides. *)
+
+val register_id : int -> string
+val system : unit -> Model.System.t

@@ -1,0 +1,12 @@
+let service_id pid = Printf.sprintf "cons%d" pid
+
+let system ~n =
+  let processes =
+    List.init n (fun pid -> Proto_util.one_shot_client ~service_of:service_id ~pid)
+  in
+  let services =
+    List.init n (fun pid ->
+      Model.Service.atomic ~id:(service_id pid) ~endpoints:[ pid ] ~f:0
+        (Spec.Seq_consensus.make ()))
+  in
+  Model.System.make ~processes ~services

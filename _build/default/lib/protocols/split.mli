@@ -1,0 +1,12 @@
+(** A broken "boosting" candidate: every process consults its own private
+    wait-free consensus object.
+
+    Each private object trivially answers its sole client with the client's
+    own input, so any heterogeneous input vector yields an immediate
+    agreement violation. The impossibility engine's direct-violation phase
+    finds the offending execution without needing the hook machinery — a
+    sanity anchor for the safety checkers. *)
+
+val service_id : int -> string
+
+val system : n:int -> Model.System.t

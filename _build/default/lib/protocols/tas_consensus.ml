@@ -1,0 +1,62 @@
+open Ioa
+open Proto_util
+
+let tas_id = "tas"
+let register_id pid = Printf.sprintf "reg%d" pid
+
+(* States: idle / have[v] / wrote[v] (awaiting ack) / racing[v] (awaiting the
+   test&set response) / reading[v] / got[w] / done[w]. *)
+
+let client pid =
+  let peer = 1 - pid in
+  let step s =
+    if is "have" s then
+      Model.Process.Invoke
+        {
+          service = register_id pid;
+          op = Spec.Seq_register.write (field s 0);
+          next = st "wrote" [ field s 0 ];
+        }
+    else if is "ready" s then
+      Model.Process.Invoke
+        { service = tas_id; op = Spec.Seq_tas.test_and_set; next = st "racing" [ field s 0 ] }
+    else if is "read" s then
+      Model.Process.Invoke
+        {
+          service = register_id peer;
+          op = Spec.Seq_register.read;
+          next = st "reading" [ field s 0 ];
+        }
+    else if is "got" s then
+      Model.Process.Decide { value = field s 0; next = st "done" [ field s 0 ] }
+    else Model.Process.Internal s
+  in
+  let on_init s v = if is "idle" s then st "have" [ v ] else s in
+  let on_response s ~service b =
+    if is "wrote" s && String.equal service (register_id pid) && Spec.Op.is "ack" b then
+      (* Own write completed: safe to race. *)
+      st "ready" [ field s 0 ]
+    else if is "racing" s && String.equal service tas_id && Spec.Op.is "bit" b then begin
+      if Spec.Op.int_arg b = 0 then st "got" [ field s 0 ] (* winner *)
+      else st "read" [ field s 0 ] (* loser: adopt the winner's input *)
+    end
+    else if is "reading" s && String.equal service (register_id peer) && Spec.Op.is "val" b
+    then begin
+      let w = Spec.Seq_register.read_value b in
+      (* The winner's write completed before its test&set, which preceded
+         ours, so the value is there; poll again defensively otherwise. *)
+      if is_none w then st "read" [ field s 0 ] else st "got" [ w ]
+    end
+    else s
+  in
+  Model.Process.make ~pid ~start:(st "idle" []) ~step ~on_init ~on_response ()
+
+let system ~f =
+  let values = [ none; Value.int 0; Value.int 1 ] in
+  let registers =
+    List.init 2 (fun pid ->
+      Model.Service.register ~id:(register_id pid) ~endpoints:[ 0; 1 ]
+        (Spec.Seq_register.make ~values ~initial:none))
+  in
+  let tas = Model.Service.atomic ~id:tas_id ~endpoints:[ 0; 1 ] ~f (Spec.Seq_tas.make ()) in
+  Model.System.make ~processes:[ client 0; client 1 ] ~services:(tas :: registers)

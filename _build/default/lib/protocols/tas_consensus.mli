@@ -1,0 +1,17 @@
+(** Two-process consensus from a test&set object and registers — the classic
+    consensus-number-2 construction (Herlihy), here both as a correct system
+    and as a Theorem 2 target.
+
+    Each process publishes its input in its own register, waits for the
+    write's ack, then performs test&set: the winner (who saw 0) decides its
+    own input; the loser reads the winner's register and decides what it
+    finds. With a wait-free test&set object the system solves 1-resilient
+    2-process consensus, and the engine correctly fails to refute it; with a
+    0-resilient object the claim is refuted by silencing the object. *)
+
+val tas_id : string
+val register_id : int -> string
+
+val system : f:int -> Model.System.t
+(** [f] is the test&set object's resilience ([f ≥ 1] makes it wait-free for
+    its two endpoints). *)

@@ -1,0 +1,45 @@
+open Ioa
+open Proto_util
+
+let service_id = "tob"
+
+(* The first delivered message decides, no matter where in the protocol it
+   arrives: total order makes the first delivery identical at every endpoint,
+   and dropping an early delivery (e.g. one arriving before our own
+   broadcast) would break agreement. *)
+let client pid =
+  let step s =
+    if is "have" s then
+      Model.Process.Invoke
+        {
+          service = service_id;
+          op = Services.Tob.bcast (field s 0);
+          next = st "waiting" [ field s 0 ];
+        }
+    else if is "got" s then
+      Model.Process.Decide { value = field s 0; next = st "done" [ field s 0 ] }
+    else Model.Process.Internal s
+  in
+  let on_init s v =
+    if is "idle" s then st "have" [ v ] else if is "idle_got" s then st "got" [ field s 0 ] else s
+  in
+  let on_response s ~service b =
+    if String.equal service service_id && Spec.Op.is "rcv" b then begin
+      let m, _sender = Services.Tob.rcv_parts b in
+      if is "waiting" s || is "have" s then st "got" [ m ]
+      else if is "idle" s then st "idle_got" [ m ]
+      else s
+    end
+    else s
+  in
+  Model.Process.make ~pid ~start:(st "idle" []) ~step ~on_init ~on_response ()
+
+let system ~n ~f =
+  let endpoints = List.init n Fun.id in
+  let services =
+    [
+      Model.Service.oblivious ~id:service_id ~endpoints ~f
+        (Services.Tob.make ~endpoints ~alphabet:[ Value.int 0; Value.int 1 ]);
+    ]
+  in
+  Model.System.make ~processes:(List.init n client) ~services

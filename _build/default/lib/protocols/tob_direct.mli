@@ -1,0 +1,14 @@
+(** The Theorem 9 target: consensus through an f-resilient totally ordered
+    broadcast service (a failure-oblivious service, §5.2).
+
+    Each process broadcasts its input and decides the value of the first
+    message the service delivers to it — total order makes that consistent
+    failure-free. The hook of the failure-free analysis pivots on the TOB
+    service itself (Claim 4, case 1: two perform steps of the same service),
+    and failing f+1 of its endpoints silences it, so the Lemma 7 construction
+    yields a termination violation: boosting fails for failure-oblivious
+    services exactly as for atomic objects. *)
+
+val service_id : string
+
+val system : n:int -> f:int -> Model.System.t

@@ -1,0 +1,1 @@
+lib/services/atomic_broadcast.ml: Ioa List Spec String Value

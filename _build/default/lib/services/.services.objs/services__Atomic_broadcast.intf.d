@@ -1,0 +1,1 @@
+lib/services/atomic_broadcast.mli: Ioa Spec Value

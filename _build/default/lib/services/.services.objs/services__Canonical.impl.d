@@ -1,0 +1,1 @@
+lib/services/canonical.ml: Action Automaton Ioa List Printf Sig_names Spec String Task Value

@@ -1,0 +1,1 @@
+lib/services/canonical.mli: Automaton Ioa Spec Value

@@ -1,0 +1,1 @@
+lib/services/eventually_perfect_fd.ml: Ioa List Spec String Value

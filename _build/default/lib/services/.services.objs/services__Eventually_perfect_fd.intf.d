@@ -1,0 +1,1 @@
+lib/services/eventually_perfect_fd.mli: Ioa Spec Value

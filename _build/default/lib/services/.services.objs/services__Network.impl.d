@@ -1,0 +1,1 @@
+lib/services/network.ml: Ioa List Spec Value

@@ -1,0 +1,1 @@
+lib/services/network.mli: Ioa Spec Value

@@ -1,0 +1,1 @@
+lib/services/perfect_fd.ml: Ioa List Spec Value

@@ -1,0 +1,1 @@
+lib/services/perfect_fd.mli: Ioa Spec Value

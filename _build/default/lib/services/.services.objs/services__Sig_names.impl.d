@@ -1,0 +1,1 @@
+lib/services/sig_names.ml: Action Ioa String Value

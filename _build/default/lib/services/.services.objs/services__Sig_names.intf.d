@@ -1,0 +1,1 @@
+lib/services/sig_names.mli: Action Ioa Value

@@ -1,0 +1,1 @@
+lib/services/tob.ml: Ioa List Spec String Value

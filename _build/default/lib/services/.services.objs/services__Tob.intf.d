@@ -1,0 +1,1 @@
+lib/services/tob.mli: Ioa Spec Value

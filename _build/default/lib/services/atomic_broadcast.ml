@@ -1,0 +1,56 @@
+open Ioa
+
+let bcast m = Spec.Op.v "bcast" m
+let rcv m i = Spec.Op.v "rcv" (Value.pair m (Value.int i))
+let crashed i = Spec.Op.v "crashed" (Value.int i)
+let is_rcv = Spec.Op.is "rcv"
+let is_crashed = Spec.Op.is "crashed"
+
+let rcv_parts resp =
+  let m, i = Value.to_pair (Spec.Op.arg resp) in
+  m, Value.to_int i
+
+let crashed_endpoint resp = Spec.Op.int_arg resp
+let global_task = "g"
+
+(* val = Pair (msgs queue, announced crash set). *)
+let initial = Value.pair Value.queue_empty Value.set_empty
+
+let make ~endpoints ~alphabet =
+  let deliver_all resp = List.map (fun j -> j, [ resp ]) endpoints in
+  let delta_inv inv i v ~failed:_ =
+    if Spec.Op.is "bcast" inv then begin
+      let msgs, announced = Value.to_pair v in
+      [ [], Value.pair (Value.queue_push (Value.pair (Spec.Op.arg inv) (Value.int i)) msgs) announced ]
+    end
+    else []
+  in
+  let delta_glob g v ~failed =
+    if not (String.equal g global_task) then []
+    else begin
+      let msgs, announced = Value.to_pair v in
+      (* Announce the smallest unannounced failure first; failure knowledge
+         is exactly what makes this service failure-aware. *)
+      let unannounced =
+        Spec.Iset.filter
+          (fun i -> not (Value.set_mem (Value.int i) announced))
+          failed
+      in
+      match Spec.Iset.min_elt_opt unannounced with
+      | Some i ->
+        [ deliver_all (crashed i), Value.pair msgs (Value.set_add (Value.int i) announced) ]
+      | None -> (
+        match Value.queue_pop msgs with
+        | None -> [ [], v ]
+        | Some (entry, rest) ->
+          let m, sender = Value.to_pair entry in
+          [ deliver_all (rcv m (Value.to_int sender)), Value.pair rest announced ])
+    end
+  in
+  Spec.General_type.make ~name:"atomic-broadcast" ~initials:[ initial ]
+    ~invocations:(List.map bcast alphabet)
+    ~responses:
+      (List.concat_map (fun m -> List.map (rcv m) endpoints) alphabet
+      @ List.map crashed endpoints)
+    ~global_tasks:[ global_task ]
+    ~delta_inv ~delta_glob

@@ -1,0 +1,33 @@
+(** Atomic broadcast as a general (failure-aware) service.
+
+    The paper's introduction lists atomic broadcast, alongside failure
+    detectors, as a service whose behaviour may depend on failures (§1, §6).
+    This instance extends totally ordered broadcast: the delivery stream is
+    still one global sequence consistent at every endpoint, but the ordering
+    task also injects [crashed(i)] notifications into the stream when it
+    observes endpoint failures — so all endpoints see messages and crash
+    announcements in one agreed order (view-synchrony style).
+
+    The service value is the pair (pending message queue, announced crash
+    set). δ2 prefers announcing an unannounced failure over delivering the
+    next message; both are broadcast to every endpoint. *)
+
+open Ioa
+
+val bcast : Value.t -> Value.t
+(** [bcast m] invocation. *)
+
+val rcv : Value.t -> int -> Value.t
+(** [rcv m i] — delivery of message [m] from sender [i]. *)
+
+val crashed : int -> Value.t
+(** [crashed i] — delivery of the crash announcement for endpoint [i]. *)
+
+val is_rcv : Value.t -> bool
+val is_crashed : Value.t -> bool
+val rcv_parts : Value.t -> Value.t * int
+val crashed_endpoint : Value.t -> int
+
+val global_task : string
+
+val make : endpoints:int list -> alphabet:Value.t list -> Spec.General_type.t

@@ -1,0 +1,193 @@
+open Ioa
+
+(* State layout: triple val (Pair (inv_buffers, resp_buffers)) failed. *)
+
+let pack ~value ~inv_bufs ~resp_bufs ~failed =
+  Value.triple value (Value.pair inv_bufs resp_bufs) failed
+
+let unpack s =
+  let value, bufs, failed = Value.to_triple s in
+  let inv_bufs, resp_bufs = Value.to_pair bufs in
+  value, inv_bufs, resp_bufs, failed
+
+let empty_bufs endpoints =
+  List.fold_left
+    (fun m i -> Value.map_add (Value.int i) Value.queue_empty m)
+    Value.map_empty endpoints
+
+let initial_state (u : Spec.General_type.t) ~endpoints =
+  pack
+    ~value:(List.hd u.Spec.General_type.initials)
+    ~inv_bufs:(empty_bufs endpoints) ~resp_bufs:(empty_bufs endpoints)
+    ~failed:Value.set_empty
+
+let buf_of bufs i = Value.map_get ~default:Value.queue_empty (Value.int i) bufs
+
+let apply_response_map resp_bufs (rmap : Spec.Service_type.response_map) =
+  List.fold_left
+    (fun bufs (j, rs) ->
+      let q = List.fold_left (fun q r -> Value.queue_push r q) (buf_of bufs j) rs in
+      Value.map_add (Value.int j) q bufs)
+    resp_bufs rmap
+
+let general (u : Spec.General_type.t) ~endpoints ~f ~k =
+  let j_set = Spec.Iset.of_list endpoints in
+  let failed_of s =
+    let _, _, _, failed = unpack s in
+    Spec.Iset.of_value failed
+  in
+  let dummy_io_enabled s i =
+    let failed = failed_of s in
+    Spec.Iset.mem i failed || Spec.Iset.cardinal failed > f
+  in
+  let dummy_compute_enabled s =
+    let failed = failed_of s in
+    Spec.Iset.cardinal failed > f || Spec.Iset.subset j_set failed
+  in
+  let classify act =
+    let owns_endpoint i = List.mem i endpoints in
+    match Sig_names.as_invoke act with
+    | Some (i, k', _) when String.equal k k' && owns_endpoint i -> Some Automaton.Input
+    | _ -> (
+      match Sig_names.as_respond act with
+      | Some (i, k', _) when String.equal k k' && owns_endpoint i -> Some Automaton.Output
+      | _ -> (
+        match Sig_names.as_fail act with
+        | Some i when owns_endpoint i -> Some Automaton.Input
+        | _ ->
+          let internal_with_k payload_k = String.equal k payload_k in
+          let kind_of_internal () =
+            match Sig_names.as_perform act with
+            | Some (i, k') when internal_with_k k' && owns_endpoint i ->
+              Some Automaton.Internal
+            | _ -> (
+              match Sig_names.as_compute act with
+              | Some (g, k')
+                when internal_with_k k' && List.mem g u.Spec.General_type.global_tasks ->
+                Some Automaton.Internal
+              | _ -> (
+                match Action.name act with
+                | "dummy_perform" | "dummy_output" ->
+                  let i, k' = Value.to_pair (Action.arg act) in
+                  if String.equal k (Value.to_str k') && owns_endpoint (Value.to_int i)
+                  then Some Automaton.Internal
+                  else None
+                | "dummy_compute" ->
+                  let g, k' = Value.to_pair (Action.arg act) in
+                  if
+                    String.equal k (Value.to_str k')
+                    && List.mem (Value.to_str g) u.Spec.General_type.global_tasks
+                  then Some Automaton.Internal
+                  else None
+                | _ -> None))
+          in
+          kind_of_internal ()))
+  in
+  let step s act =
+    let value, inv_bufs, resp_bufs, failed_v = unpack s in
+    let failed = Spec.Iset.of_value failed_v in
+    match Sig_names.as_invoke act with
+    | Some (i, _, a) ->
+      let q = Value.queue_push a (buf_of inv_bufs i) in
+      [ pack ~value ~inv_bufs:(Value.map_add (Value.int i) q inv_bufs) ~resp_bufs
+          ~failed:failed_v ]
+    | None -> (
+      match Sig_names.as_fail act with
+      | Some i ->
+        [ pack ~value ~inv_bufs ~resp_bufs
+            ~failed:(Value.set_add (Value.int i) failed_v) ]
+      | None -> (
+        match Sig_names.as_perform act with
+        | Some (i, _) -> (
+          match Value.queue_pop (buf_of inv_bufs i) with
+          | None -> []
+          | Some (a, rest) ->
+            let inv_bufs = Value.map_add (Value.int i) rest inv_bufs in
+            u.Spec.General_type.delta_inv a i value ~failed
+            |> List.map (fun (rmap, value') ->
+                 pack ~value:value' ~inv_bufs
+                   ~resp_bufs:(apply_response_map resp_bufs rmap)
+                   ~failed:failed_v))
+        | None -> (
+          match Sig_names.as_respond act with
+          | Some (i, _, b) -> (
+            match Value.queue_pop (buf_of resp_bufs i) with
+            | Some (b', rest) when Value.equal b b' ->
+              [ pack ~value ~inv_bufs
+                  ~resp_bufs:(Value.map_add (Value.int i) rest resp_bufs)
+                  ~failed:failed_v ]
+            | _ -> [])
+          | None -> (
+            match Sig_names.as_compute act with
+            | Some (g, _) ->
+              u.Spec.General_type.delta_glob g value ~failed
+              |> List.map (fun (rmap, value') ->
+                   pack ~value:value' ~inv_bufs
+                     ~resp_bufs:(apply_response_map resp_bufs rmap)
+                     ~failed:failed_v)
+            | None -> (
+              match Action.name act with
+              | "dummy_perform" | "dummy_output" ->
+                let i = Value.to_int (fst (Value.to_pair (Action.arg act))) in
+                if dummy_io_enabled s i then [ s ] else []
+              | "dummy_compute" -> if dummy_compute_enabled s then [ s ] else []
+              | _ -> [])))))
+  in
+  let perform_task i =
+    Task.make
+      ~label:(Printf.sprintf "%s.perform[%d]" k i)
+      ~contains:(fun act ->
+        Action.equal act (Sig_names.perform i k)
+        || Action.equal act (Sig_names.dummy_perform i k))
+      ~enabled:(fun s ->
+        let _, inv_bufs, _, _ = unpack s in
+        let real =
+          if Value.queue_is_empty (buf_of inv_bufs i) then []
+          else [ Sig_names.perform i k ]
+        in
+        let dummy = if dummy_io_enabled s i then [ Sig_names.dummy_perform i k ] else [] in
+        real @ dummy)
+  in
+  let output_task i =
+    Task.make
+      ~label:(Printf.sprintf "%s.output[%d]" k i)
+      ~contains:(fun act ->
+        (match Sig_names.as_respond act with
+        | Some (i', k', _) -> i = i' && String.equal k k'
+        | None -> false)
+        || Action.equal act (Sig_names.dummy_output i k))
+      ~enabled:(fun s ->
+        let _, _, resp_bufs, _ = unpack s in
+        let real =
+          match Value.queue_pop (buf_of resp_bufs i) with
+          | None -> []
+          | Some (b, _) -> [ Sig_names.respond i k b ]
+        in
+        let dummy = if dummy_io_enabled s i then [ Sig_names.dummy_output i k ] else [] in
+        real @ dummy)
+  in
+  let compute_task g =
+    Task.make
+      ~label:(Printf.sprintf "%s.compute[%s]" k g)
+      ~contains:(fun act ->
+        Action.equal act (Sig_names.compute g k)
+        || Action.equal act (Sig_names.dummy_compute g k))
+      ~enabled:(fun s ->
+        (* δ2 is total, so the compute action is always enabled. *)
+        let real = [ Sig_names.compute g k ] in
+        let dummy = if dummy_compute_enabled s then [ Sig_names.dummy_compute g k ] else [] in
+        real @ dummy)
+  in
+  let tasks =
+    List.concat_map (fun i -> [ perform_task i; output_task i ]) endpoints
+    @ List.map compute_task u.Spec.General_type.global_tasks
+  in
+  Automaton.make
+    ~name:(Printf.sprintf "canonical:%s:%s" u.Spec.General_type.name k)
+    ~classify
+    ~start:[ initial_state u ~endpoints ]
+    ~step ~tasks
+
+let oblivious u ~endpoints ~f ~k = general (Spec.General_type.of_oblivious u) ~endpoints ~f ~k
+let atomic t ~endpoints ~f ~k = general (Spec.General_type.of_sequential t) ~endpoints ~f ~k
+let register t ~endpoints ~k = atomic t ~endpoints ~f:(List.length endpoints - 1) ~k

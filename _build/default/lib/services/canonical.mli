@@ -1,0 +1,41 @@
+(** Canonical f-resilient services as generic I/O automata.
+
+    This module is a direct transcription of the paper's canonical automata:
+    Fig. 1 (atomic object), Fig. 4 (failure-oblivious service) and Fig. 8
+    (general service), built on top of {!Ioa.Automaton}. All three are
+    produced by the single {!general} constructor through the type
+    embeddings of §5.1 and §6.1; {!atomic} and {!oblivious} are the derived
+    special cases.
+
+    State layout: [Value.triple val (Pair (inv_buffers, resp_buffers)) failed]
+    where the buffers are maps from endpoint to FIFO queue and [failed] is
+    the set of failed endpoints.
+
+    Tasks, per §2.1.3 and §5.1:
+    - [i-perform] = [{perform(i,k), dummy_perform(i,k)}];
+    - [i-output]  = [{respond(i,k,b) : b ∈ resps} ∪ {dummy_output(i,k)}];
+    - [g-compute] = [{compute(g,k), dummy_compute(g,k)}].
+
+    The dummy actions are enabled exactly when [i ∈ failed ∨ |failed| > f]
+    (for compute: [|failed| > f ∨ failed ⊇ J]); fairness of the task system
+    then expresses f-resilience exactly as in the paper. *)
+
+open Ioa
+
+val general : Spec.General_type.t -> endpoints:int list -> f:int -> k:string -> Automaton.t
+(** CanonicalGeneralService(U, J, f, k) — Fig. 8 semantics. *)
+
+val oblivious : Spec.Service_type.t -> endpoints:int list -> f:int -> k:string -> Automaton.t
+(** CanonicalFailureObliviousService(U, J, f, k) — Fig. 4, via the §6.1
+    embedding. *)
+
+val atomic : Spec.Seq_type.t -> endpoints:int list -> f:int -> k:string -> Automaton.t
+(** CanonicalAtomicObject(T, J, f, k) — Fig. 1, via the §5.1 embedding. *)
+
+val register : Spec.Seq_type.t -> endpoints:int list -> k:string -> Automaton.t
+(** A canonical reliable (wait-free) register: an atomic object with
+    [f = |J| − 1]. The sequential type should be a read/write type. *)
+
+val initial_state : Spec.General_type.t -> endpoints:int list -> Value.t
+(** The start state of the canonical automaton (first initial value, empty
+    buffers, no failures). *)

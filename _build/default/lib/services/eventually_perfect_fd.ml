@@ -1,0 +1,55 @@
+open Ioa
+
+let suspect s = Spec.Op.v "suspect" (Spec.Iset.to_value s)
+let suspected_set resp = Spec.Iset.of_value (Spec.Op.arg resp)
+let task_for i = string_of_int i
+let switch_task = "g"
+let mode_perfect = Value.str "perfect"
+let mode_imperfect = Value.str "imperfect"
+
+let rec subsets = function
+  | [] -> [ Spec.Iset.empty ]
+  | x :: rest ->
+    let tails = subsets rest in
+    List.map (Spec.Iset.add x) tails @ tails
+
+let make ?(paranoid = false) ~endpoints () =
+  let all_subsets = subsets endpoints in
+  let delta_glob g mode ~failed =
+    if String.equal g switch_task then
+      (* Nondeterministically switch to perfect; first choice switches so the
+         determinized service stabilizes at its first [g] turn. *)
+      [ [], mode_perfect; [], mode ]
+    else
+      match int_of_string_opt g with
+      | Some i when List.mem i endpoints ->
+        if Value.equal mode mode_perfect then [ [ i, [ suspect failed ] ], mode ]
+        else begin
+          (* Imperfect period: any suspicion is allowed. The first choice is
+             what the §3.1 determinization keeps: accurate by default, or —
+             with [paranoid] — "suspect everyone else", the adversarial
+             resolution that exposes algorithms needing P rather than ◇P. *)
+          let first =
+            if paranoid then
+              [ i, [ suspect (Spec.Iset.remove i (Spec.Iset.of_list endpoints)) ] ], mode
+            else [ i, [ suspect failed ] ], mode
+          in
+          first
+          :: List.filter_map
+               (fun s ->
+                 let fst_set =
+                   if paranoid then Spec.Iset.remove i (Spec.Iset.of_list endpoints)
+                   else failed
+                 in
+                 if Spec.Iset.equal s fst_set then None
+                 else Some ([ i, [ suspect s ] ], mode))
+               all_subsets
+        end
+      | _ -> []
+  in
+  Spec.General_type.make ~name:"eventually-perfect-fd" ~initials:[ mode_imperfect ]
+    ~invocations:[]
+    ~responses:(List.map suspect all_subsets)
+    ~global_tasks:(switch_task :: List.map task_for endpoints)
+    ~delta_inv:(fun _ _ _ ~failed:_ -> [])
+    ~delta_glob

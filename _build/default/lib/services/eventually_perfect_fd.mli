@@ -1,0 +1,28 @@
+(** The eventually perfect failure detector ◇P as a general service (paper
+    §6.2.2, Figs. 10–11).
+
+    The service value is a [mode] flag, initially [imperfect]. While
+    imperfect, the per-endpoint global tasks may emit arbitrary [suspect]
+    responses; a background global task [g] eventually (nondeterministically,
+    but guaranteed under task fairness after determinization) switches the
+    mode to [perfect], after which every response is [suspect(failed)] —
+    recent and accurate. *)
+
+open Ioa
+
+val suspect : Spec.Iset.t -> Value.t
+val suspected_set : Value.t -> Spec.Iset.t
+val task_for : int -> string
+val switch_task : string
+(** The background task [g] that switches the mode to perfect. *)
+
+val mode_perfect : Value.t
+val mode_imperfect : Value.t
+
+val make : ?paranoid:bool -> endpoints:int list -> unit -> Spec.General_type.t
+(** While imperfect, the per-endpoint δ2 enumerates all subsets of the
+    endpoint set as possible suspicions. The first choice — which the §3.1
+    determinization keeps — is the accurate set by default, so the
+    determinized service behaves like P from the start; with [paranoid] it is
+    "suspect everyone else", the adversarial imperfect period that
+    distinguishes algorithms needing P from those content with ◇P. *)

@@ -1,0 +1,29 @@
+open Ioa
+
+let send ~dst m = Spec.Op.v "send" (Value.pair (Value.int dst) m)
+let packet m ~src = Spec.Op.v "packet" (Value.pair m (Value.int src))
+
+let packet_parts resp =
+  let m, src = Value.to_pair (Spec.Op.arg resp) in
+  m, Value.to_int src
+
+let is_packet = Spec.Op.is "packet"
+
+let make ~endpoints ~alphabet =
+  let delta_inv inv src v =
+    if Spec.Op.is "send" inv then begin
+      let dst, m = Value.to_pair (Spec.Op.arg inv) in
+      let dst = Value.to_int dst in
+      if List.mem dst endpoints then [ [ dst, [ packet m ~src ] ], v ]
+      else [ [], v ] (* sends to unknown endpoints vanish; δ1 stays total *)
+    end
+    else []
+  in
+  Spec.Service_type.make ~name:"network" ~initials:[ Value.unit ]
+    ~invocations:
+      (List.concat_map (fun dst -> List.map (fun m -> send ~dst m) alphabet) endpoints)
+    ~responses:
+      (List.concat_map (fun src -> List.map (fun m -> packet m ~src) alphabet) endpoints)
+    ~global_tasks:[]
+    ~delta_inv
+    ~delta_glob:(fun _ _ -> [])

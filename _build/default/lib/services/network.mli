@@ -1,0 +1,29 @@
+(** Reliable point-to-point messaging as a failure-oblivious service.
+
+    The paper's results were first stated for asynchronous message passing
+    (the 2002 technical report [2] it builds on); a reliable network is
+    itself a failure-oblivious service: [send(dst, m)] invoked at endpoint
+    [src] deposits [packet(m, src)] in [dst]'s response buffer. The service
+    is stateless (val = unit); per-pair FIFO follows from the buffer
+    discipline of the canonical automaton, and fairness of the delivery
+    tasks gives guaranteed eventual delivery — the FLP network model.
+
+    A wait-free instance cannot be silenced, yet boosting candidates over it
+    are still refuted: delivery order to a single destination is the
+    nondeterminism the bivalence argument exploits, and hooks pivot on the
+    receiving {e process} (Lemma 6), exactly as in FLP. *)
+
+open Ioa
+
+val send : dst:int -> Value.t -> Value.t
+(** [send ~dst m] invocation. *)
+
+val packet : Value.t -> src:int -> Value.t
+(** [packet m ~src] — the delivery carrying [m] from [src]. *)
+
+val packet_parts : Value.t -> Value.t * int
+(** Decodes a delivery into [(message, source)]. *)
+
+val is_packet : Value.t -> bool
+
+val make : endpoints:int list -> alphabet:Value.t list -> Spec.Service_type.t

@@ -1,0 +1,17 @@
+open Ioa
+
+let suspect s = Spec.Op.v "suspect" (Spec.Iset.to_value s)
+let suspected_set resp = Spec.Iset.of_value (Spec.Op.arg resp)
+let task_for i = string_of_int i
+
+let make ~endpoints =
+  let delta_glob g _v ~failed =
+    match int_of_string_opt g with
+    | Some i when List.mem i endpoints -> [ [ i, [ suspect failed ] ], Value.unit ]
+    | _ -> []
+  in
+  Spec.General_type.make ~name:"perfect-fd" ~initials:[ Value.unit ] ~invocations:[]
+    ~responses:[ suspect Spec.Iset.empty ]
+    ~global_tasks:(List.map task_for endpoints)
+    ~delta_inv:(fun _ _ _ ~failed:_ -> [])
+    ~delta_glob

@@ -1,0 +1,22 @@
+(** The perfect failure detector P as a general service (paper §6.2.1,
+    Fig. 9).
+
+    The service maintains no internal state beyond the failed set. It has no
+    invocations; one global task per endpoint [i] deposits a
+    [suspect(failed)] response — the current, accurate failed set — into
+    [i]'s response buffer. Strong completeness and strong accuracy both
+    follow: the reported set is always exactly the set of crashed
+    endpoints. *)
+
+open Ioa
+
+val suspect : Spec.Iset.t -> Value.t
+(** [suspect s] response carrying the suspected set. *)
+
+val suspected_set : Value.t -> Spec.Iset.t
+(** Decodes a [suspect] response. *)
+
+val task_for : int -> string
+(** Name of the global task that serves endpoint [i]. *)
+
+val make : endpoints:int list -> Spec.General_type.t

@@ -1,0 +1,53 @@
+open Ioa
+
+let triple i k x = Value.triple (Value.int i) (Value.str k) x
+let invoke i k a = Action.make "invoke" (triple i k a)
+let respond i k b = Action.make "respond" (triple i k b)
+let perform i k = Action.make "perform" (Value.pair (Value.int i) (Value.str k))
+let compute g k = Action.make "compute" (Value.pair (Value.str g) (Value.str k))
+let dummy_perform i k = Action.make "dummy_perform" (Value.pair (Value.int i) (Value.str k))
+let dummy_output i k = Action.make "dummy_output" (Value.pair (Value.int i) (Value.str k))
+let dummy_compute g k = Action.make "dummy_compute" (Value.pair (Value.str g) (Value.str k))
+let fail i = Action.make "fail" (Value.int i)
+let init i v = Action.make "init" (Value.pair (Value.int i) v)
+let decide i v = Action.make "decide" (Value.pair (Value.int i) v)
+let step i = Action.make "step" (Value.int i)
+
+let as_triple act expected =
+  if String.equal (Action.name act) expected then
+    let i, k, x = Value.to_triple (Action.arg act) in
+    Some (Value.to_int i, Value.to_str k, x)
+  else None
+
+let as_invoke act = as_triple act "invoke"
+let as_respond act = as_triple act "respond"
+
+let as_perform act =
+  if String.equal (Action.name act) "perform" then
+    let i, k = Value.to_pair (Action.arg act) in
+    Some (Value.to_int i, Value.to_str k)
+  else None
+
+let as_compute act =
+  if String.equal (Action.name act) "compute" then
+    let g, k = Value.to_pair (Action.arg act) in
+    Some (Value.to_str g, Value.to_str k)
+  else None
+
+let as_fail act =
+  if String.equal (Action.name act) "fail" then Some (Value.to_int (Action.arg act))
+  else None
+
+let as_pid_value act expected =
+  if String.equal (Action.name act) expected then
+    let i, v = Value.to_pair (Action.arg act) in
+    Some (Value.to_int i, v)
+  else None
+
+let as_init act = as_pid_value act "init"
+let as_decide act = as_pid_value act "decide"
+
+let is_dummy act =
+  match Action.name act with
+  | "dummy_perform" | "dummy_output" | "dummy_compute" -> true
+  | _ -> false

@@ -1,0 +1,41 @@
+(** Shared action-name conventions for canonical services and processes.
+
+    Every action of the complete system is an {!Ioa.Action.t} built by the
+    smart constructors below, so that canonical service automata, process
+    automata and the analysis tools agree on the wire format:
+
+    - [invoke(i, k, a)] — process [i] invokes operation [a] on service [k]
+      (output of the process, input of the service);
+    - [respond(i, k, b)] — service [k] responds [b] to process [i];
+    - [perform(i, k)], [compute(g, k)] — internal service steps;
+    - [dummy_perform(i, k)], [dummy_output(i, k)], [dummy_compute(g, k)];
+    - [fail(i)] — failure of process [i] (input everywhere);
+    - [init(i, v)], [decide(i, v)] — the external consensus interface;
+    - [step(i)] — an internal process step. *)
+
+open Ioa
+
+val invoke : int -> string -> Value.t -> Action.t
+val respond : int -> string -> Value.t -> Action.t
+val perform : int -> string -> Action.t
+val compute : string -> string -> Action.t
+val dummy_perform : int -> string -> Action.t
+val dummy_output : int -> string -> Action.t
+val dummy_compute : string -> string -> Action.t
+val fail : int -> Action.t
+val init : int -> Value.t -> Action.t
+val decide : int -> Value.t -> Action.t
+val step : int -> Action.t
+
+(** {1 Recognizers}
+
+    Each recognizer returns the decoded payload when the action matches. *)
+
+val as_invoke : Action.t -> (int * string * Value.t) option
+val as_respond : Action.t -> (int * string * Value.t) option
+val as_perform : Action.t -> (int * string) option
+val as_compute : Action.t -> (string * string) option
+val as_fail : Action.t -> int option
+val as_init : Action.t -> (int * Value.t) option
+val as_decide : Action.t -> (int * Value.t) option
+val is_dummy : Action.t -> bool

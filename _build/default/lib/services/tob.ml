@@ -1,0 +1,32 @@
+open Ioa
+
+let bcast m = Spec.Op.v "bcast" m
+let rcv m i = Spec.Op.v "rcv" (Value.pair m (Value.int i))
+
+let rcv_parts resp =
+  let m, i = Value.to_pair (Spec.Op.arg resp) in
+  m, Value.to_int i
+
+let global_task = "g"
+
+let make ~endpoints ~alphabet =
+  let delta_inv inv i v =
+    if Spec.Op.is "bcast" inv then [ [], Value.queue_push (Value.pair (Spec.Op.arg inv) (Value.int i)) v ]
+    else []
+  in
+  let delta_glob g v =
+    if not (String.equal g global_task) then []
+    else
+      match Value.queue_pop v with
+      | None -> [ [], v ]
+      | Some (entry, rest) ->
+        let m, sender = Value.to_pair entry in
+        let resp = rcv m (Value.to_int sender) in
+        [ List.map (fun j -> j, [ resp ]) endpoints, rest ]
+  in
+  Spec.Service_type.make ~name:"totally-ordered-broadcast"
+    ~initials:[ Value.queue_empty ]
+    ~invocations:(List.map bcast alphabet)
+    ~responses:(List.concat_map (fun m -> List.map (rcv m) endpoints) alphabet)
+    ~global_tasks:[ global_task ]
+    ~delta_inv ~delta_glob

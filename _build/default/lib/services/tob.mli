@@ -1,0 +1,27 @@
+(** Totally ordered broadcast as a failure-oblivious service (paper §5.2,
+    Figs. 5–7).
+
+    The service value is a queue [msgs] of [(message, sender)] pairs that
+    have been totally ordered. δ1 processes a [bcast(m)] invocation from
+    endpoint [i] by appending [(m, i)] to [msgs] and producing no responses;
+    the single global task [g] takes the head of [msgs] and delivers
+    [rcv(m, i)] to {e every} endpoint. TOB cannot be expressed as an atomic
+    object, since one invocation triggers many responses. *)
+
+open Ioa
+
+val bcast : Value.t -> Value.t
+(** [bcast m] invocation. *)
+
+val rcv : Value.t -> int -> Value.t
+(** [rcv m i] — receipt of message [m] from sender [i]. *)
+
+val rcv_parts : Value.t -> Value.t * int
+(** Decodes a [rcv] response into [(message, sender)]. *)
+
+val global_task : string
+(** The name of the single global task [g]. *)
+
+val make : endpoints:int list -> alphabet:Value.t list -> Spec.Service_type.t
+(** The TOB service type for the given endpoint set and message alphabet
+    sample. *)

@@ -1,0 +1,1 @@
+lib/spec/general_type.ml: Ioa Iset List Service_type

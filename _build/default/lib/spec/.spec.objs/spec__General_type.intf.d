@@ -1,0 +1,1 @@
+lib/spec/general_type.mli: Ioa Iset Seq_type Service_type Value

@@ -1,0 +1,1 @@
+lib/spec/op.ml: Ioa String Value

@@ -1,0 +1,1 @@
+lib/spec/seq_cas.mli: Ioa Seq_type Value

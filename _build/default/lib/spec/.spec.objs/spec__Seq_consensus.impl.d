@@ -1,0 +1,1 @@
+lib/spec/seq_consensus.ml: Ioa List Op Seq_type Value

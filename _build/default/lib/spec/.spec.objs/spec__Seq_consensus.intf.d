@@ -1,0 +1,1 @@
+lib/spec/seq_consensus.mli: Ioa Seq_type Value

@@ -1,0 +1,1 @@
+lib/spec/seq_counter.mli: Ioa Seq_type Value

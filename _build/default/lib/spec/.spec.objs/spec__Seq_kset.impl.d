@@ -1,0 +1,1 @@
+lib/spec/seq_kset.ml: Fun Ioa List Op Printf Seq_type Value

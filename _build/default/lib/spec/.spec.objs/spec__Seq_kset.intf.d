@@ -1,0 +1,1 @@
+lib/spec/seq_kset.mli: Ioa Seq_type Value

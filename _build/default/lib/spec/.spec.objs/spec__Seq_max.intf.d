@@ -1,0 +1,1 @@
+lib/spec/seq_max.mli: Ioa Seq_type Value

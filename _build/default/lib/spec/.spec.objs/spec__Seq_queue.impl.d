@@ -1,0 +1,1 @@
+lib/spec/seq_queue.ml: Ioa List Op Seq_type Value

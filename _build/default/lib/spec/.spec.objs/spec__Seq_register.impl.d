@@ -1,0 +1,1 @@
+lib/spec/seq_register.ml: List Op Seq_type

@@ -1,0 +1,1 @@
+lib/spec/seq_register.mli: Ioa Seq_type Value

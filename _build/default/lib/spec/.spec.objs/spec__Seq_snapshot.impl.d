@@ -1,0 +1,1 @@
+lib/spec/seq_snapshot.ml: Fun Ioa List Op Seq_type Value

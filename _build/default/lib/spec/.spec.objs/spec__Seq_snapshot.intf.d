@@ -1,0 +1,1 @@
+lib/spec/seq_snapshot.mli: Ioa Seq_type Value

@@ -1,0 +1,1 @@
+lib/spec/seq_tas.ml: Ioa Op Seq_type Value

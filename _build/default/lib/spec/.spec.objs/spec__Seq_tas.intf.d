@@ -1,0 +1,1 @@
+lib/spec/seq_tas.mli: Ioa Seq_type Value

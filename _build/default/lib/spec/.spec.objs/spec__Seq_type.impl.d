@@ -1,0 +1,1 @@
+lib/spec/seq_type.ml: Format Ioa List Queue Value

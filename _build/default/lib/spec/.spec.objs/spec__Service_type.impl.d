@@ -1,0 +1,1 @@
+lib/spec/service_type.ml: Ioa List Seq_type Value

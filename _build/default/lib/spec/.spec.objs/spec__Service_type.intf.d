@@ -1,0 +1,1 @@
+lib/spec/service_type.mli: Ioa Seq_type Value

@@ -1,0 +1,42 @@
+type t = {
+  name : string;
+  initials : Ioa.Value.t list;
+  invocations : Ioa.Value.t list;
+  responses : Ioa.Value.t list;
+  global_tasks : string list;
+  delta_inv :
+    Ioa.Value.t ->
+    int ->
+    Ioa.Value.t ->
+    failed:Iset.t ->
+    (Service_type.response_map * Ioa.Value.t) list;
+  delta_glob :
+    string -> Ioa.Value.t -> failed:Iset.t -> (Service_type.response_map * Ioa.Value.t) list;
+}
+
+let make ~name ~initials ~invocations ~responses ~global_tasks ~delta_inv ~delta_glob =
+  if initials = [] then invalid_arg "General_type.make: empty initial value set";
+  { name; initials; invocations; responses; global_tasks; delta_inv; delta_glob }
+
+let of_oblivious (u : Service_type.t) =
+  {
+    name = u.Service_type.name;
+    initials = u.Service_type.initials;
+    invocations = u.Service_type.invocations;
+    responses = u.Service_type.responses;
+    global_tasks = u.Service_type.global_tasks;
+    delta_inv = (fun inv i v ~failed:_ -> u.Service_type.delta_inv inv i v);
+    delta_glob = (fun g v ~failed:_ -> u.Service_type.delta_glob g v);
+  }
+
+let of_sequential st = of_oblivious (Service_type.of_sequential st)
+
+let first = function [] -> [] | outcome :: _ -> [ outcome ]
+
+let determinize t =
+  {
+    t with
+    initials = [ List.hd t.initials ];
+    delta_inv = (fun inv i v ~failed -> first (t.delta_inv inv i v ~failed));
+    delta_glob = (fun g v ~failed -> first (t.delta_glob g v ~failed));
+  }

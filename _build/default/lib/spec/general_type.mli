@@ -1,0 +1,44 @@
+(** General (potentially failure-aware) service types (paper §6.1).
+
+    A general service further generalizes a failure-oblivious service: its
+    δ1/δ2 receive the current [failed] set, so perform and compute steps may
+    depend on knowledge of past failures of the processes connected to the
+    service. Failure detectors (§6.2) are the canonical examples. *)
+
+open Ioa
+
+type t = {
+  name : string;
+  initials : Value.t list;
+  invocations : Value.t list;
+  responses : Value.t list;
+  global_tasks : string list;
+  delta_inv :
+    Value.t -> int -> Value.t -> failed:Iset.t -> (Service_type.response_map * Value.t) list;
+      (** δ1: total relation from invs × J × V × 2^I to ResponseMap × V. *)
+  delta_glob :
+    string -> Value.t -> failed:Iset.t -> (Service_type.response_map * Value.t) list;
+      (** δ2: total relation from glob × V × 2^I to ResponseMap × V. *)
+}
+
+val make :
+  name:string ->
+  initials:Value.t list ->
+  invocations:Value.t list ->
+  responses:Value.t list ->
+  global_tasks:string list ->
+  delta_inv:
+    (Value.t -> int -> Value.t -> failed:Iset.t -> (Service_type.response_map * Value.t) list) ->
+  delta_glob:
+    (string -> Value.t -> failed:Iset.t -> (Service_type.response_map * Value.t) list) ->
+  t
+
+val of_oblivious : Service_type.t -> t
+(** The §6.1 embedding: δ'1((a, i, v, F)) = δ1((a, i, v)) and
+    δ'2((g, v, F)) = δ2((g, v)) — the failed set is ignored. *)
+
+val of_sequential : Seq_type.t -> t
+(** Composition of the §5.1 and §6.1 embeddings. *)
+
+val determinize : t -> t
+(** First-choice restriction (§3.1). *)

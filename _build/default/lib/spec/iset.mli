@@ -1,0 +1,12 @@
+(** Sets of process indices (endpoints, failed sets). *)
+
+include Set.S with type elt = int
+
+val of_range : int -> int -> t
+(** [of_range lo hi] is [{lo, ..., hi}] (empty if [hi < lo]). *)
+
+val pp : Format.formatter -> t -> unit
+val to_value : t -> Ioa.Value.t
+(** Canonical {!Ioa.Value} set encoding, for embedding into component states. *)
+
+val of_value : Ioa.Value.t -> t

@@ -1,0 +1,12 @@
+open Ioa
+
+let v name arg = Value.pair (Value.str name) arg
+let v0 name = v name Value.unit
+
+let name op =
+  let n, _ = Value.to_pair op in
+  Value.to_str n
+
+let arg op = snd (Value.to_pair op)
+let is n op = match op with Value.Pair (Value.Str m, _) -> String.equal n m | _ -> false
+let int_arg op = Value.to_int (arg op)

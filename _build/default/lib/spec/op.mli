@@ -1,0 +1,22 @@
+(** Encoding of invocations and responses as structural values.
+
+    An operation is a name with an argument, encoded as
+    [Value.Pair (Str name, arg)]. All sequential and service types in this
+    library use this encoding, so the canonical automata and property
+    checkers can inspect operations uniformly. *)
+
+val v : string -> Ioa.Value.t -> Ioa.Value.t
+(** [v name arg] builds the operation value. *)
+
+val v0 : string -> Ioa.Value.t
+(** [v0 name] is [v name Value.unit] — a nullary operation such as [read]. *)
+
+val name : Ioa.Value.t -> string
+(** Raises [Value.Type_error] if the value is not an operation. *)
+
+val arg : Ioa.Value.t -> Ioa.Value.t
+val is : string -> Ioa.Value.t -> bool
+(** [is n op] holds iff [op] is an operation named [n]. *)
+
+val int_arg : Ioa.Value.t -> int
+(** [int_arg op] is the integer argument of [op]. *)

@@ -1,0 +1,24 @@
+open Ioa
+
+let cas ~expected ~desired = Op.v "cas" (Value.pair expected desired)
+let read = Op.v0 "read"
+let ok b = Op.v "ok" (Value.bool b)
+let value_resp v = Op.v "val" v
+
+let make ~values ~initial =
+  let delta inv v =
+    if Op.is "read" inv then [ value_resp v, v ]
+    else if Op.is "cas" inv then
+      let expected, desired = Value.to_pair (Op.arg inv) in
+      if Value.equal v expected then [ ok true, desired ] else [ ok false, v ]
+    else []
+  in
+  let cas_invs =
+    List.concat_map
+      (fun e -> List.map (fun d -> cas ~expected:e ~desired:d) values)
+      values
+  in
+  Seq_type.make ~name:"compare&swap" ~initials:[ initial ]
+    ~invocations:(read :: cas_invs)
+    ~responses:([ ok true; ok false ] @ List.map value_resp values)
+    ~delta

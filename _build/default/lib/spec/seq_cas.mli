@@ -1,0 +1,16 @@
+(** The compare&swap sequential type.
+
+    [cas(old, new)] atomically replaces the value with [new] if it currently
+    equals [old], returning whether the swap happened; [read] returns the
+    current value. Universal (infinite consensus number). *)
+
+open Ioa
+
+val cas : expected:Value.t -> desired:Value.t -> Value.t
+val read : Value.t
+val ok : bool -> Value.t
+(** The boolean response to a [cas]. *)
+
+val value_resp : Value.t -> Value.t
+
+val make : values:Value.t list -> initial:Value.t -> Seq_type.t

@@ -1,0 +1,21 @@
+open Ioa
+
+let init v = Op.v "init" (Value.int v)
+let decide v = Op.v "decide" (Value.int v)
+let decided_value resp = Op.int_arg resp
+let is_decide = Op.is "decide"
+
+let make ?(values = [ 0; 1 ]) () =
+  let empty = Value.set_empty in
+  let delta inv v =
+    if not (Op.is "init" inv) then []
+    else
+      let proposed = Op.int_arg inv in
+      match Value.set_elements v with
+      | [] -> [ decide proposed, Value.set_add (Value.int proposed) empty ]
+      | first :: _ -> [ decide (Value.to_int first), v ]
+  in
+  Seq_type.make ~name:"consensus" ~initials:[ empty ]
+    ~invocations:(List.map init values)
+    ~responses:(List.map decide values)
+    ~delta

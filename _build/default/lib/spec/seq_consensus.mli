@@ -1,0 +1,22 @@
+(** The binary consensus sequential type (paper §2.1.2, second example).
+
+    V = {∅, {0}, {1}}, V0 = {∅}. The first initial value is remembered and
+    returned by every operation. Deterministic. *)
+
+open Ioa
+
+val init : int -> Value.t
+(** [init v] invocation, [v ∈ {0, 1}]. *)
+
+val decide : int -> Value.t
+(** [decide v] response. *)
+
+val decided_value : Value.t -> int
+(** Projects the decision out of a [decide] response. *)
+
+val is_decide : Value.t -> bool
+
+val make : ?values:int list -> unit -> Seq_type.t
+(** [values] (default [[0; 1]]) is the proposal alphabet: binary consensus by
+    default, multi-valued when wider — the §4 boosting construction feeds it
+    one distinct value per process. *)

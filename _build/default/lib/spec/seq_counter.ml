@@ -1,0 +1,17 @@
+open Ioa
+
+let increment = Op.v0 "increment"
+let read = Op.v0 "read"
+let count n = Op.v "count" (Value.int n)
+
+let make ?(sample_bound = 8) () =
+  let delta inv v =
+    let n = Value.to_int v in
+    if Op.is "increment" inv then [ count n, Value.int (n + 1) ]
+    else if Op.is "read" inv then [ count n, v ]
+    else []
+  in
+  Seq_type.make ~name:"counter" ~initials:[ Value.int 0 ]
+    ~invocations:[ increment; read ]
+    ~responses:(List.init sample_bound count)
+    ~delta

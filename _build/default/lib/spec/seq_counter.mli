@@ -1,0 +1,15 @@
+(** A fetch&increment counter sequential type.
+
+    [increment] returns the pre-increment value; [read] returns the current
+    value. The value set is unbounded; [invocations]/[responses] carry a
+    bounded sample for enumeration-based tools. *)
+
+open Ioa
+
+val increment : Value.t
+val read : Value.t
+val count : int -> Value.t
+
+val make : ?sample_bound:int -> unit -> Seq_type.t
+(** [sample_bound] (default 8) bounds the response sample only; semantics are
+    unbounded. *)

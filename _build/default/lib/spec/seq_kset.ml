@@ -1,0 +1,24 @@
+open Ioa
+
+let init v = Op.v "init" (Value.int v)
+let decide v = Op.v "decide" (Value.int v)
+let decided_value resp = Op.int_arg resp
+
+let make ~k ~n =
+  if not (0 < k && k < n) then invalid_arg "Seq_kset.make: need 0 < k < n";
+  let delta inv w =
+    if not (Op.is "init" inv) then []
+    else
+      let v = Op.int_arg inv in
+      if Value.set_cardinal w < k then
+        let w' = Value.set_add (Value.int v) w in
+        List.map (fun v' -> decide (Value.to_int v'), w') (Value.set_elements w')
+      else List.map (fun v' -> decide (Value.to_int v'), w) (Value.set_elements w)
+  in
+  let range = List.init n Fun.id in
+  Seq_type.make
+    ~name:(Printf.sprintf "%d-set-consensus(%d)" k n)
+    ~initials:[ Value.set_empty ]
+    ~invocations:(List.map init range)
+    ~responses:(List.map decide range)
+    ~delta

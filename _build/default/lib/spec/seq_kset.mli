@@ -1,0 +1,15 @@
+(** The k-set-consensus sequential type (paper §2.1.2, third example).
+
+    V is the set of subsets of {0, ..., n−1} with at most k elements,
+    V0 = {∅}. The first k proposed values are remembered; every operation
+    returns one of the remembered values (or the value it just added). This
+    type is inherently {e nondeterministic}. *)
+
+open Ioa
+
+val init : int -> Value.t
+val decide : int -> Value.t
+val decided_value : Value.t -> int
+
+val make : k:int -> n:int -> Seq_type.t
+(** Requires [0 < k < n]; raises [Invalid_argument] otherwise. *)

@@ -1,0 +1,20 @@
+open Ioa
+
+let write v = Op.v "write" (Value.int v)
+let read = Op.v0 "read"
+let max_resp v = Op.v "max" (Value.int v)
+
+let make ?(initial = 0) ~sample () =
+  let delta inv v =
+    let cur = Value.to_int v in
+    if Op.is "read" inv then [ max_resp cur, v ]
+    else if Op.is "write" inv then begin
+      let x = Op.int_arg inv in
+      [ max_resp (max cur x), Value.int (max cur x) ]
+    end
+    else []
+  in
+  Seq_type.make ~name:"max-register" ~initials:[ Value.int initial ]
+    ~invocations:(read :: List.map write sample)
+    ~responses:(List.map max_resp sample)
+    ~delta

@@ -1,0 +1,14 @@
+(** A max-register sequential type.
+
+    [write(v)] raises the value to [max(current, v)] (by the structural
+    order on integers); [read] returns the current maximum. Deterministic,
+    and a useful monotone primitive for round-based protocols. *)
+
+open Ioa
+
+val write : int -> Value.t
+val read : Value.t
+val max_resp : int -> Value.t
+
+val make : ?initial:int -> sample:int list -> unit -> Seq_type.t
+(** [sample] seeds invocation enumeration; semantics cover all integers. *)

@@ -1,0 +1,24 @@
+open Ioa
+
+let enqueue x = Op.v "enqueue" x
+let dequeue = Op.v0 "dequeue"
+let ack = Op.v0 "ack"
+let item x = Op.v "item" x
+let empty_resp = Op.v0 "empty"
+
+let make ?(initial = []) ~elements () =
+  let delta inv v =
+    if Op.is "enqueue" inv then [ ack, Value.queue_push (Op.arg inv) v ]
+    else if Op.is "dequeue" inv then
+      match Value.queue_pop v with
+      | None -> [ empty_resp, v ]
+      | Some (x, rest) -> [ item x, rest ]
+    else []
+  in
+  let initial_queue =
+    List.fold_left (fun q x -> Value.queue_push x q) Value.queue_empty initial
+  in
+  Seq_type.make ~name:"fifo-queue" ~initials:[ initial_queue ]
+    ~invocations:(dequeue :: List.map enqueue elements)
+    ~responses:([ ack; empty_resp ] @ List.map item elements)
+    ~delta

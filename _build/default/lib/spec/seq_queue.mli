@@ -1,0 +1,17 @@
+(** A FIFO queue sequential type.
+
+    [enqueue x] appends; [dequeue] removes and returns the head, or returns
+    [empty] on an empty queue. Consensus number 2. *)
+
+open Ioa
+
+val enqueue : Value.t -> Value.t
+val dequeue : Value.t
+val ack : Value.t
+val item : Value.t -> Value.t
+val empty_resp : Value.t
+
+val make : ?initial:Value.t list -> elements:Value.t list -> unit -> Seq_type.t
+(** [elements] is the sample alphabet used for invocation enumeration;
+    [initial] (default empty) pre-fills the queue — one-shot synchronization
+    objects such as the queue-consensus construction rely on it. *)

@@ -1,0 +1,17 @@
+
+let read = Op.v0 "read"
+let write v = Op.v "write" v
+let ack = Op.v0 "ack"
+let value_resp v = Op.v "val" v
+let read_value resp = Op.arg resp
+
+let make ~values ~initial =
+  let delta inv v =
+    if Op.is "read" inv then [ value_resp v, v ]
+    else if Op.is "write" inv then [ ack, Op.arg inv ]
+    else []
+  in
+  Seq_type.make ~name:"read/write" ~initials:[ initial ]
+    ~invocations:(read :: List.map write values)
+    ~responses:(ack :: List.map value_resp values)
+    ~delta

@@ -1,0 +1,26 @@
+(** The read/write sequential type (paper §2.1.2, first example).
+
+    [invs = {read} ∪ {write(v)}], [resps = V ∪ {ack}],
+    [δ = {((read, v), (v, v))} ∪ {((write(v), v'), (ack, v))}].
+    Deterministic. *)
+
+open Ioa
+
+val read : Value.t
+(** The [read] invocation. *)
+
+val write : Value.t -> Value.t
+(** [write v] invocation. *)
+
+val ack : Value.t
+(** The [ack] response to a write. *)
+
+val value_resp : Value.t -> Value.t
+(** [value_resp v] is the response carrying the read value [v]. *)
+
+val read_value : Value.t -> Value.t
+(** Projects the value out of a read response. *)
+
+val make : values:Value.t list -> initial:Value.t -> Seq_type.t
+(** The read/write type over value set [values] with initial value
+    [initial]. *)

@@ -1,0 +1,36 @@
+open Ioa
+
+let update ~seg v = Op.v "update" (Value.pair (Value.int seg) v)
+let scan = Op.v0 "scan"
+let ack = Op.v0 "ack"
+let view m = Op.v "view" m
+
+let view_map resp =
+  List.map (fun (k, v) -> Value.to_int k, v) (Value.map_bindings (Op.arg resp))
+
+let make ~segments ~values ~initial =
+  if segments < 1 then invalid_arg "Seq_snapshot.make: need at least one segment";
+  let initial_map =
+    List.fold_left
+      (fun m seg -> Value.map_add (Value.int seg) initial m)
+      Value.map_empty
+      (List.init segments Fun.id)
+  in
+  let delta inv v =
+    if Op.is "scan" inv then [ view v, v ]
+    else if Op.is "update" inv then begin
+      let seg, x = Value.to_pair (Op.arg inv) in
+      if Value.to_int seg < 0 || Value.to_int seg >= segments then []
+      else [ ack, Value.map_add seg x v ]
+    end
+    else []
+  in
+  let updates =
+    List.concat_map
+      (fun seg -> List.map (fun x -> update ~seg x) values)
+      (List.init segments Fun.id)
+  in
+  Seq_type.make ~name:"snapshot" ~initials:[ initial_map ]
+    ~invocations:(scan :: updates)
+    ~responses:[ ack; view initial_map ]
+    ~delta

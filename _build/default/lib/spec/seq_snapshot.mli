@@ -1,0 +1,19 @@
+(** An atomic snapshot sequential type.
+
+    The value is a vector of [segments] cells. [update(seg, v)] writes cell
+    [seg]; [scan] returns the whole vector atomically. Deterministic.
+    Snapshot objects have consensus number 1; they are the canonical "strong
+    but not strong enough" object for the boosting discussion. *)
+
+open Ioa
+
+val update : seg:int -> Value.t -> Value.t
+val scan : Value.t
+val ack : Value.t
+val view : Value.t -> Value.t
+(** Response carrying the scanned vector (a canonical map seg → value). *)
+
+val view_map : Value.t -> (int * Value.t) list
+(** Decodes a scan response into bindings. *)
+
+val make : segments:int -> values:Value.t list -> initial:Value.t -> Seq_type.t

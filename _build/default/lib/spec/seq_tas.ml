@@ -1,0 +1,17 @@
+open Ioa
+
+let test_and_set = Op.v0 "test_and_set"
+let read = Op.v0 "read"
+let bit b = Op.v "bit" (Value.int b)
+
+let make () =
+  let delta inv v =
+    let b = Value.to_int v in
+    if Op.is "test_and_set" inv then [ bit b, Value.int 1 ]
+    else if Op.is "read" inv then [ bit b, v ]
+    else []
+  in
+  Seq_type.make ~name:"test&set" ~initials:[ Value.int 0 ]
+    ~invocations:[ test_and_set; read ]
+    ~responses:[ bit 0; bit 1 ]
+    ~delta

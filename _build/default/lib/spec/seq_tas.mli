@@ -1,0 +1,14 @@
+(** The test&set sequential type.
+
+    A one-shot bit: [test_and_set] returns the previous value and sets the
+    bit; [read] returns the current value. Consensus number 2 — included as a
+    representative "weak" atomic object for boosting experiments. *)
+
+open Ioa
+
+val test_and_set : Value.t
+val read : Value.t
+val bit : int -> Value.t
+(** Response carrying the observed bit. *)
+
+val make : unit -> Seq_type.t

@@ -1,0 +1,84 @@
+open Ioa
+
+type t = {
+  name : string;
+  initials : Value.t list;
+  invocations : Value.t list;
+  responses : Value.t list;
+  delta : Value.t -> Value.t -> (Value.t * Value.t) list;
+}
+
+let make ~name ~initials ~invocations ~responses ~delta =
+  if initials = [] then invalid_arg "Seq_type.make: empty initial value set";
+  { name; initials; invocations; responses; delta }
+
+let reachable_values ?(bound = 4096) t =
+  let seen = Value.Tbl.create 64 in
+  let order = ref [] in
+  (* Breadth-first, so the enumerated sample prefers small values when the
+     value space is unbounded and the bound kicks in. *)
+  let queue = Queue.create () in
+  List.iter (fun v -> Queue.add v queue) t.initials;
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    if not (Value.Tbl.mem seen v) && Value.Tbl.length seen < bound then begin
+      Value.Tbl.replace seen v ();
+      order := v :: !order;
+      List.iter
+        (fun inv -> List.iter (fun (_, v') -> Queue.add v' queue) (t.delta inv v))
+        t.invocations
+    end
+  done;
+  List.rev !order
+
+let is_deterministic t =
+  List.length t.initials = 1
+  && List.for_all
+       (fun v -> List.for_all (fun inv -> List.length (t.delta inv v) <= 1) t.invocations)
+       (reachable_values t)
+
+let determinize t =
+  {
+    t with
+    initials = [ List.hd t.initials ];
+    delta =
+      (fun inv v ->
+        match t.delta inv v with [] -> [] | outcome :: _ -> [ outcome ]);
+  }
+
+let check_total t =
+  let missing =
+    List.find_map
+      (fun v ->
+        List.find_map
+          (fun inv -> if t.delta inv v = [] then Some (inv, v) else None)
+          t.invocations)
+      (reachable_values t)
+  in
+  match missing with
+  | None -> Ok ()
+  | Some (inv, v) ->
+    Error
+      (Format.asprintf "type %s: delta undefined on (%a, %a)" t.name Value.pp inv
+         Value.pp v)
+
+let apply t inv v =
+  match t.delta inv v with
+  | [] ->
+    invalid_arg
+      (Format.asprintf "Seq_type.apply: %s: delta empty on (%a, %a)" t.name Value.pp
+         inv Value.pp v)
+  | outcome :: _ -> outcome
+
+let legal_sequence t ops =
+  (* Track the set of values consistent with the observed prefix. *)
+  let step values (inv, resp) =
+    List.concat_map
+      (fun v ->
+        List.filter_map
+          (fun (r, v') -> if Value.equal r resp then Some v' else None)
+          (t.delta inv v))
+      values
+    |> List.sort_uniq Value.compare
+  in
+  List.fold_left step (List.sort_uniq Value.compare t.initials) ops <> []

@@ -1,0 +1,57 @@
+(** Sequential types T = ⟨V, V0, invs, resps, δ⟩ (paper §2.1.2).
+
+    A sequential type describes the allowable sequential behaviour of an
+    atomic object. The transition relation δ is total: every invocation has
+    at least one outcome in every value. Nondeterminism is allowed both in
+    the initial value and in δ — the k-set-consensus type requires it. *)
+
+open Ioa
+
+type t = {
+  name : string;
+  initials : Value.t list;  (** V0: nonempty set of initial values. *)
+  invocations : Value.t list;
+      (** Enumeration (or representative sample, for unbounded types) of
+          invs, used by property tests and exhaustive drivers. *)
+  responses : Value.t list;
+      (** Enumeration or representative sample of resps. *)
+  delta : Value.t -> Value.t -> (Value.t * Value.t) list;
+      (** [delta inv v] is the nonempty list of [(response, new value)]
+          outcomes of δ on [(inv, v)]. *)
+}
+
+val make :
+  name:string ->
+  initials:Value.t list ->
+  invocations:Value.t list ->
+  responses:Value.t list ->
+  delta:(Value.t -> Value.t -> (Value.t * Value.t) list) ->
+  t
+(** Raises [Invalid_argument] if [initials] is empty. *)
+
+val is_deterministic : t -> bool
+(** True iff V0 is a singleton and δ is single-valued on the enumerated
+    invocations applied to all values reachable from V0 through them
+    (bounded closure; see {!reachable_values}). *)
+
+val determinize : t -> t
+(** The §3.1 restriction: keep the first initial value and the first outcome
+    of each δ application. The result is deterministic and every behaviour of
+    the result is a behaviour of the original. *)
+
+val reachable_values : ?bound:int -> t -> Value.t list
+(** Values reachable from V0 by applying enumerated invocations, up to
+    [bound] (default 4096) distinct values. *)
+
+val check_total : t -> (unit, string) result
+(** Checks δ totality on the reachable values and enumerated invocations. *)
+
+val apply : t -> Value.t -> Value.t -> Value.t * Value.t
+(** [apply t inv v] is the first outcome of [delta inv v]. Raises
+    [Invalid_argument] if δ is empty there (a totality violation). *)
+
+val legal_sequence : t -> (Value.t * Value.t) list -> bool
+(** [legal_sequence t ops] decides whether the sequence of
+    [(invocation, response)] pairs is a sequential behaviour of the type,
+    i.e. whether some choice of initial value and δ outcomes produces exactly
+    these responses. Used by the linearizability checker. *)

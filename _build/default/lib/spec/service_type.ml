@@ -1,0 +1,51 @@
+open Ioa
+
+type response_map = (int * Value.t list) list
+
+type t = {
+  name : string;
+  initials : Value.t list;
+  invocations : Value.t list;
+  responses : Value.t list;
+  global_tasks : string list;
+  delta_inv : Value.t -> int -> Value.t -> (response_map * Value.t) list;
+  delta_glob : string -> Value.t -> (response_map * Value.t) list;
+}
+
+let make ~name ~initials ~invocations ~responses ~global_tasks ~delta_inv ~delta_glob =
+  if initials = [] then invalid_arg "Service_type.make: empty initial value set";
+  { name; initials; invocations; responses; global_tasks; delta_inv; delta_glob }
+
+let of_sequential (st : Seq_type.t) =
+  {
+    name = st.Seq_type.name;
+    initials = st.Seq_type.initials;
+    invocations = st.Seq_type.invocations;
+    responses = st.Seq_type.responses;
+    global_tasks = [];
+    delta_inv =
+      (fun inv i v ->
+        List.map (fun (resp, v') -> [ i, [ resp ] ], v') (st.Seq_type.delta inv v));
+    delta_glob = (fun _ _ -> []);
+  }
+
+let first = function [] -> [] | outcome :: _ -> [ outcome ]
+
+let determinize t =
+  {
+    t with
+    initials = [ List.hd t.initials ];
+    delta_inv = (fun inv i v -> first (t.delta_inv inv i v));
+    delta_glob = (fun g v -> first (t.delta_glob g v));
+  }
+
+let is_deterministic t ~sample_values =
+  List.length t.initials = 1
+  && List.for_all
+       (fun v ->
+         List.for_all
+           (fun inv ->
+             List.for_all (fun i -> List.length (t.delta_inv inv i v) <= 1) [ 0; 1 ])
+           t.invocations
+         && List.for_all (fun g -> List.length (t.delta_glob g v) <= 1) t.global_tasks)
+       sample_values

@@ -1,0 +1,52 @@
+(** Failure-oblivious service types U = ⟨V, V0, invs, resps, glob, δ1, δ2⟩
+    (paper §5.1).
+
+    A failure-oblivious service generalizes an atomic object: a perform step
+    may deposit any number of responses in any subset of the response
+    buffers, and {e global tasks} perform spontaneous compute steps not
+    triggered by any invocation. The key constraint — enforced by the very
+    shape of δ1/δ2, which do not receive the failed set — is that no step may
+    depend on knowledge of failure events. *)
+
+open Ioa
+
+type response_map = (int * Value.t list) list
+(** Finite support of a mapping from endpoints to finite response sequences:
+    [(i, rs)] appends the responses [rs] (in order) to [resp_buffer(i)].
+    Endpoints not listed receive nothing. *)
+
+type t = {
+  name : string;
+  initials : Value.t list;  (** V0. *)
+  invocations : Value.t list;  (** Sample/enumeration of invs. *)
+  responses : Value.t list;  (** Sample/enumeration of resps. *)
+  global_tasks : string list;  (** glob: names of global (compute) tasks. *)
+  delta_inv : Value.t -> int -> Value.t -> (response_map * Value.t) list;
+      (** δ1: total relation from invs × J × V to ResponseMap × V, used by
+          perform steps. *)
+  delta_glob : string -> Value.t -> (response_map * Value.t) list;
+      (** δ2: total relation from glob × V to ResponseMap × V, used by
+          compute steps. *)
+}
+
+val make :
+  name:string ->
+  initials:Value.t list ->
+  invocations:Value.t list ->
+  responses:Value.t list ->
+  global_tasks:string list ->
+  delta_inv:(Value.t -> int -> Value.t -> (response_map * Value.t) list) ->
+  delta_glob:(string -> Value.t -> (response_map * Value.t) list) ->
+  t
+
+val of_sequential : Seq_type.t -> t
+(** The §5.1 embedding of a sequential type: [glob = ∅], δ2 empty, and
+    [δ1(a, i, v)] responds with the single δ response, delivered only to the
+    invoking endpoint [i]. *)
+
+val determinize : t -> t
+(** First-choice restriction of V0, δ1 and δ2 (§3.1 determinism assumption,
+    extended to failure-oblivious services in §5.3). *)
+
+val is_deterministic : t -> sample_values:Value.t list -> bool
+(** Single initial value and single-valued δ1/δ2 on the given value sample. *)

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Engine Ioa List Model QCheck2 QCheck_alcotest Spec Value

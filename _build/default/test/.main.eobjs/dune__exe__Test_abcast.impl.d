@@ -1,0 +1,1 @@
+test/test_abcast.ml: Alcotest Array Fun Helpers Ioa List Model Protocols Services Spec String Value

@@ -1,0 +1,1 @@
+test/test_axioms.ml: Alcotest Array Engine Format Fun Helpers Ioa List Model Option Protocols Services Spec Value

@@ -1,0 +1,1 @@
+test/test_canonical.ml: Action Alcotest Automaton Helpers Ioa List Services Spec String Task Value

@@ -1,0 +1,1 @@
+test/test_cn2.ml: Alcotest Array Engine Fun Helpers Ioa List Model Protocols QCheck2

@@ -1,0 +1,1 @@
+test/test_counterexample.ml: Alcotest Engine Helpers List Model Option Protocols Spec

@@ -1,0 +1,1 @@
+test/test_fair_run.ml: Alcotest Array Engine Helpers Model Option Protocols

@@ -1,0 +1,1 @@
+test/test_fd_services.ml: Alcotest Array Fun Helpers List Model Services Spec String

@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Engine Fun Helpers Ioa List Model Printf Protocols QCheck2 Spec String Value

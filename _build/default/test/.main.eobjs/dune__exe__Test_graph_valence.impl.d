@@ -1,0 +1,1 @@
+test/test_graph_valence.ml: Alcotest Engine Helpers List Model Option Protocols

@@ -1,0 +1,1 @@
+test/test_hook.ml: Alcotest Engine Helpers List Model Protocols

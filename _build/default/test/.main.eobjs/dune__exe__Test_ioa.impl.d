@@ -1,0 +1,1 @@
+test/test_ioa.ml: Action Alcotest Automaton Compose Execution Helpers Implements Ioa List String Task Value

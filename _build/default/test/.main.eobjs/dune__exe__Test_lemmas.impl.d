@@ -1,0 +1,1 @@
+test/test_lemmas.ml: Alcotest Engine List Protocols

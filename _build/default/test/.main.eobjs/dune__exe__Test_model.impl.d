@@ -1,0 +1,1 @@
+test/test_model.ml: Alcotest Array Helpers Ioa List Model Option Protocols Spec Value

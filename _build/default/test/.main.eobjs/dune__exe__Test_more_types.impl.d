@@ -1,0 +1,1 @@
+test/test_more_types.ml: Alcotest Array Helpers Ioa List Model QCheck2 Spec Value

@@ -1,0 +1,1 @@
+test/test_mp_universal_lin.ml: Alcotest Array Engine Fun Helpers Int Ioa List Model Protocols Services Spec String Value

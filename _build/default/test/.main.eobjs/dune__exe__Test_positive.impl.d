@@ -1,0 +1,1 @@
+test/test_positive.ml: Alcotest Array Engine Fun Helpers Ioa List Model Protocols QCheck2 Spec

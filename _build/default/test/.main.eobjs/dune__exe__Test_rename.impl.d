@@ -1,0 +1,1 @@
+test/test_rename.ml: Action Alcotest Automaton Ioa List Model Protocols Services String Task Value

@@ -1,0 +1,1 @@
+test/test_seq_types.ml: Alcotest Helpers Int Ioa List QCheck2 Queue Random Spec Value

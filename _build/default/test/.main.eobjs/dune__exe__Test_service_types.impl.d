@@ -1,0 +1,1 @@
+test/test_service_types.ml: Alcotest Helpers Ioa List Services Spec Value

@@ -1,0 +1,1 @@
+test/test_similarity_commute.ml: Alcotest Array Engine Helpers Ioa List Model Protocols Value

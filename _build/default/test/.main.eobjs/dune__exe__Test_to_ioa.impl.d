@@ -1,0 +1,1 @@
+test/test_to_ioa.ml: Alcotest Helpers Ioa List Model Protocols Services Spec String

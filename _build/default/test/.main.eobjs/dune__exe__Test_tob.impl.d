@@ -1,0 +1,1 @@
+test/test_tob.ml: Alcotest Array Fun Helpers Ioa List Model Printf Protocols QCheck2 Services Spec String Value

@@ -1,0 +1,1 @@
+test/test_value.ml: Alcotest Fun Helpers Int Ioa List Option QCheck2 Value

@@ -1,0 +1,61 @@
+(* Shared test utilities: qcheck generators for structural values, execution
+   builders, and common alcotest testables. *)
+
+open Ioa
+
+let value_testable = Alcotest.testable Value.pp Value.equal
+let state_testable = Alcotest.testable Model.State.pp Model.State.equal
+let task_testable = Alcotest.testable Model.Task.pp Model.Task.equal
+let iset_testable = Alcotest.testable Spec.Iset.pp Spec.Iset.equal
+
+let verdict_testable = Alcotest.testable Engine.Valence.pp_verdict Engine.Valence.equal_verdict
+
+(* QCheck generator for structural values, depth-bounded. *)
+let value_gen =
+  let open QCheck2.Gen in
+  sized_size (int_bound 4) @@ fix (fun self n ->
+    if n <= 0 then
+      oneof
+        [
+          return Value.Unit;
+          map (fun b -> Value.Bool b) bool;
+          map (fun i -> Value.Int i) (int_range (-100) 100);
+          map (fun s -> Value.Str s) (string_size ~gen:printable (int_bound 6));
+        ]
+    else
+      oneof
+        [
+          map (fun i -> Value.Int i) (int_range (-100) 100);
+          map2 (fun a b -> Value.Pair (a, b)) (self (n / 2)) (self (n / 2));
+          map (fun xs -> Value.List xs) (list_size (int_bound 4) (self (n / 2)));
+        ])
+
+(* Register a QCheck2 property as an alcotest case. *)
+let qtest name ?(count = 200) gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count gen prop)
+
+(* Build an initialized execution for a system. *)
+let initialized sys inputs =
+  List.fold_left
+    (fun (exec, i) v -> Model.Exec.append_init sys exec i v, i + 1)
+    (Model.Exec.init (Model.System.initial_state sys), 0)
+    inputs
+  |> fst
+
+let int_inputs vs = List.map Value.int vs
+
+(* Run a system round-robin to quiescence or bound; return the final state. *)
+let run_rr ?policy ?(faults = []) ?(max_steps = 20_000) sys inputs =
+  let exec0 = initialized sys (int_inputs inputs) in
+  let sched = Model.Scheduler.round_robin ~faults sys in
+  let exec, outcome = Model.Scheduler.run ?policy ~max_steps sys exec0 sched in
+  Model.Exec.last_state exec, outcome, exec
+
+(* Drive one system by a seeded random scheduler until the stop condition or
+   bound. *)
+let run_random ?policy ~seed ?(fail_prob = 0.0) ?(max_failures = 0) ?(max_steps = 30_000)
+    ?(stop_when = fun _ -> false) sys inputs =
+  let exec0 = initialized sys (int_inputs inputs) in
+  let sched = Model.Scheduler.random ~seed ~fail_prob ~max_failures sys in
+  let exec, outcome = Model.Scheduler.run ?policy ~stop_when ~max_steps sys exec0 sched in
+  Model.Exec.last_state exec, outcome, exec

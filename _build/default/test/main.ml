@@ -1,0 +1,27 @@
+let () =
+  Alcotest.run "boosting"
+    [
+      Test_value.suite;
+      Test_ioa.suite;
+      Test_seq_types.suite;
+      Test_service_types.suite;
+      Test_canonical.suite;
+      Test_model.suite;
+      Test_graph_valence.suite;
+      Test_hook.suite;
+      Test_similarity_commute.suite;
+      Test_counterexample.suite;
+      Test_positive.suite;
+      Test_tob.suite;
+      Test_fd_services.suite;
+      Test_axioms.suite;
+      Test_cn2.suite;
+      Test_lemmas.suite;
+      Test_to_ioa.suite;
+      Test_abcast.suite;
+      Test_more_types.suite;
+      Test_mp_universal_lin.suite;
+      Test_fair_run.suite;
+      Test_fuzz.suite;
+      Test_rename.suite;
+    ]

@@ -1,0 +1,176 @@
+(* Atomic broadcast (failure-aware ordered delivery): one agreed stream of
+   messages and crash announcements at every endpoint; crash announcements
+   are accurate and precede later messages consistently. *)
+
+open Ioa
+open Helpers
+open Protocols.Proto_util
+
+let ab_id = "ab"
+
+(* A replica logging everything delivered, broadcasting its input once. *)
+let replica pid =
+  let step s =
+    if is "have" s then
+      Model.Process.Invoke
+        {
+          service = ab_id;
+          op = Services.Atomic_broadcast.bcast (field s 0);
+          next = st "sent" [ field s 1 ];
+        }
+    else Model.Process.Internal s
+  in
+  let on_init s v = if is "ready" s then st "have" [ v; field s 0 ] else s in
+  let on_response s ~service b =
+    if String.equal service ab_id then begin
+      let log = if is "have" s then field s 1 else field s 0 in
+      let log = Value.queue_push b log in
+      if is "have" s then st "have" [ field s 0; log ] else st (tag s) [ log ]
+    end
+    else s
+  in
+  Model.Process.make ~pid ~start:(st "ready" [ Value.queue_empty ]) ~step ~on_init
+    ~on_response ()
+
+let log_of (s : Model.State.t) pid =
+  let ps = s.Model.State.procs.(pid) in
+  Value.to_list (if is "have" ps then field ps 1 else field ps 0)
+
+let system ~n ~f =
+  let endpoints = List.init n Fun.id in
+  let ab =
+    Model.Service.general ~id:ab_id ~endpoints ~f
+      (Services.Atomic_broadcast.make ~endpoints
+         ~alphabet:(List.map Value.int endpoints))
+  in
+  Model.System.make ~processes:(List.init n replica) ~services:[ ab ]
+
+let is_prefix xs ys =
+  let rec go xs ys =
+    match xs, ys with
+    | [], _ -> true
+    | _, [] -> false
+    | x :: xs', y :: ys' -> Value.equal x y && go xs' ys'
+  in
+  go xs ys
+
+let test_one_agreed_stream () =
+  let sys = system ~n:3 ~f:2 in
+  let final, _, _ = run_rr ~faults:[ (25, 1) ] sys [ 0; 1; 2 ] in
+  let survivors = [ 0; 2 ] in
+  List.iter
+    (fun i ->
+      List.iter
+        (fun j ->
+          if i < j then begin
+            let li = log_of final i and lj = log_of final j in
+            Alcotest.(check bool) "streams prefix-comparable" true
+              (is_prefix li lj || is_prefix lj li)
+          end)
+        survivors)
+    survivors
+
+let test_crash_announced () =
+  let sys = system ~n:3 ~f:2 in
+  let final, _, _ = run_rr ~faults:[ (10, 1) ] sys [ 0; 1; 2 ] in
+  List.iter
+    (fun pid ->
+      let crashes =
+        List.filter Services.Atomic_broadcast.is_crashed (log_of final pid)
+      in
+      Alcotest.(check (list int)) "exactly the real crash announced" [ 1 ]
+        (List.map Services.Atomic_broadcast.crashed_endpoint crashes))
+    [ 0; 2 ]
+
+let test_crash_accuracy () =
+  (* Failure-free: no crash announcements ever. *)
+  let sys = system ~n:3 ~f:2 in
+  let final, _, _ = run_rr sys [ 0; 1; 2 ] in
+  List.iter
+    (fun pid ->
+      Alcotest.(check int) "no spurious crashes" 0
+        (List.length (List.filter Services.Atomic_broadcast.is_crashed (log_of final pid))))
+    [ 0; 1; 2 ]
+
+let test_crash_positions_agree () =
+  (* The position of a crash announcement relative to messages is part of
+     the agreed order: identical across survivors. *)
+  let sys = system ~n:3 ~f:2 in
+  List.iter
+    (fun seed ->
+      let exec0 = initialized sys (int_inputs [ 0; 1; 2 ]) in
+      let sched = Model.Scheduler.random ~seed ~fail_prob:0.05 ~max_failures:1 sys in
+      let exec, _ = Model.Scheduler.run ~max_steps:4_000 sys exec0 sched in
+      let final = Model.Exec.last_state exec in
+      let alive =
+        List.filter (fun i -> not (Spec.Iset.mem i final.Model.State.failed)) [ 0; 1; 2 ]
+      in
+      List.iter
+        (fun i ->
+          List.iter
+            (fun j ->
+              if i < j then begin
+                let li = log_of final i and lj = log_of final j in
+                Alcotest.(check bool) "prefix-comparable with crashes interleaved" true
+                  (is_prefix li lj || is_prefix lj li)
+              end)
+            alive)
+        alive)
+    (List.init 10 Fun.id)
+
+let test_silenced_past_resilience () =
+  (* f = 0: a single failure allows total silence — no announcement even of
+     that very failure. *)
+  let sys = system ~n:3 ~f:0 in
+  let final, _, _ =
+    run_rr ~policy:Model.System.dummy_policy ~faults:[ (0, 0) ] sys [ 0; 1; 2 ]
+  in
+  List.iter
+    (fun pid -> Alcotest.(check int) "silenced" 0 (List.length (log_of final pid)))
+    [ 1; 2 ]
+
+let test_delta_semantics () =
+  let ab = Services.Atomic_broadcast.make ~endpoints:[ 0; 1 ] ~alphabet:[ Value.int 0 ] in
+  let v0 = List.hd ab.Spec.General_type.initials in
+  (* Identity on empty state. *)
+  (match ab.Spec.General_type.delta_glob "g" v0 ~failed:Spec.Iset.empty with
+  | [ ([], v) ] -> Alcotest.check value_testable "identity" v0 v
+  | _ -> Alcotest.fail "expected identity");
+  (* Crash announcement preferred over message delivery. *)
+  let _, v1 =
+    List.hd
+      (ab.Spec.General_type.delta_inv (Services.Atomic_broadcast.bcast (Value.int 0)) 1 v0
+         ~failed:Spec.Iset.empty)
+  in
+  match ab.Spec.General_type.delta_glob "g" v1 ~failed:(Spec.Iset.of_list [ 0 ]) with
+  | [ (rmap, v2) ] ->
+    List.iter
+      (fun (_, rs) ->
+        match rs with
+        | [ r ] ->
+          Alcotest.(check bool) "crash first" true (Services.Atomic_broadcast.is_crashed r)
+        | _ -> Alcotest.fail "one response per endpoint")
+      rmap;
+    (* Second turn delivers the message. *)
+    (match ab.Spec.General_type.delta_glob "g" v2 ~failed:(Spec.Iset.of_list [ 0 ]) with
+    | [ (rmap2, _) ] ->
+      List.iter
+        (fun (_, rs) ->
+          match rs with
+          | [ r ] ->
+            Alcotest.(check bool) "then message" true (Services.Atomic_broadcast.is_rcv r)
+          | _ -> Alcotest.fail "one response per endpoint")
+        rmap2
+    | _ -> Alcotest.fail "expected delivery")
+  | _ -> Alcotest.fail "expected announcement"
+
+let suite =
+  ( "atomic-broadcast",
+    [
+      Alcotest.test_case "one agreed stream" `Quick test_one_agreed_stream;
+      Alcotest.test_case "crash announced to survivors" `Quick test_crash_announced;
+      Alcotest.test_case "no spurious crash announcements" `Quick test_crash_accuracy;
+      Alcotest.test_case "crash positions agree" `Quick test_crash_positions_agree;
+      Alcotest.test_case "silenced past resilience" `Quick test_silenced_past_resilience;
+      Alcotest.test_case "δ semantics" `Quick test_delta_semantics;
+    ] )

@@ -1,0 +1,141 @@
+(* Theorem 11 (Appendix B): the canonical f-resilient consensus object
+   satisfies the axiomatic agreement, validity and modified-termination
+   conditions. Exercised operationally through the direct system with a
+   wait-free object and adversarial scheduling/failure injection, plus a
+   bounded trace-inclusion check of the system layer against the generic
+   canonical automaton (the §2.1.4 "implements" relation). *)
+
+open Ioa
+open Helpers
+module P = Model.Properties
+
+let test_agreement_validity_all_schedules () =
+  (* Exhaustive: every reachable state of the wait-free direct system
+     satisfies agreement and validity — over all 4 initializations. *)
+  let sys = Protocols.Direct.system ~n:2 ~f:1 in
+  List.iter
+    (fun (e : Engine.Initialization.entry) ->
+      let g = Engine.Valence.graph e.Engine.Initialization.analysis in
+      Alcotest.(check bool) "complete" true (Engine.Graph.complete g);
+      Engine.Graph.iter_states g (fun _ s ->
+        Alcotest.(check bool) "agreement everywhere" true (P.agreement s);
+        Alcotest.(check bool) "validity everywhere" true (P.validity s)))
+    (Engine.Initialization.all_binary sys)
+
+let test_modified_termination_with_failures () =
+  (* n = 3, wait-free object, up to 2 failures, dummy-preferring adversary:
+     every surviving initialized process decides. *)
+  let sys = Protocols.Direct.system ~n:3 ~f:2 in
+  List.iter
+    (fun seed ->
+      let final, _, _ =
+        run_random ~policy:Model.System.dummy_policy ~seed ~fail_prob:0.03 ~max_failures:2
+          ~stop_when:P.termination sys [ 0; 1; 1 ]
+      in
+      let r = P.check final in
+      Alcotest.(check bool) "agreement" true r.P.agreement;
+      Alcotest.(check bool) "validity" true r.P.validity;
+      Alcotest.(check bool) "modified termination" true r.P.termination)
+    (List.init 15 Fun.id)
+
+let test_partial_inputs () =
+  (* Modified termination: a process that receives no input need not decide;
+     the others still must. *)
+  let sys = Protocols.Direct.system ~n:3 ~f:2 in
+  let exec0 = Model.Exec.init (Model.System.initial_state sys) in
+  let exec0 = Model.Exec.append_init sys exec0 0 (Value.int 1) in
+  let exec0 = Model.Exec.append_init sys exec0 2 (Value.int 0) in
+  let sched = Model.Scheduler.round_robin sys in
+  let exec, _ = Model.Scheduler.run ~stop_when:P.termination ~max_steps:20_000 sys exec0 sched in
+  let final = Model.Exec.last_state exec in
+  Alcotest.(check bool) "P1 has no input" true (final.Model.State.inputs.(1) = None);
+  Alcotest.(check bool) "P1 need not decide" true (final.Model.State.decisions.(1) = None);
+  Alcotest.(check bool) "P0 decided" true (Option.is_some final.Model.State.decisions.(0));
+  Alcotest.(check bool) "P2 decided" true (Option.is_some final.Model.State.decisions.(2));
+  Alcotest.(check bool) "modified termination" true (P.termination final)
+
+(* Cross-validation of the system layer against the generic canonical
+   automaton: a fixed scenario is executed in both representations and must
+   produce the same value evolution and response stream. *)
+let test_system_vs_canonical_automaton () =
+  let consensus = Spec.Seq_consensus.make () in
+  let auto = Services.Canonical.atomic consensus ~endpoints:[ 0; 1 ] ~f:0 ~k:"cons" in
+  let sys = Protocols.Direct.system ~n:2 ~f:0 in
+  (* Drive the system: init, both invoke, both performed, both responses. *)
+  let exec = initialized sys (int_inputs [ 1; 0 ]) in
+  let tasks =
+    [
+      Model.Task.Proc 0;
+      Model.Task.Proc 1;
+      Model.Task.Svc_perform { svc = 0; endpoint = 0 };
+      Model.Task.Svc_perform { svc = 0; endpoint = 1 };
+      Model.Task.Svc_output { svc = 0; endpoint = 0 };
+      Model.Task.Svc_output { svc = 0; endpoint = 1 };
+    ]
+  in
+  let exec =
+    match Model.Exec.replay_tasks sys exec tasks with
+    | Some e -> e
+    | None -> Alcotest.fail "system replay"
+  in
+  (* Mirror the service-relevant actions on the canonical automaton. *)
+  let service_actions =
+    List.filter_map
+      (fun ev ->
+        match ev with
+        | Model.Event.Invoke _ | Model.Event.Respond _ | Model.Event.Perform _ ->
+          Some (Model.Event.to_ioa ev)
+        | _ -> None)
+      (Model.Exec.events exec)
+  in
+  let final_auto =
+    List.fold_left
+      (fun s a ->
+        match auto.Ioa.Automaton.step s a with
+        | [ s' ] -> s'
+        | [] -> Alcotest.failf "canonical automaton rejects %a" Ioa.Action.pp a
+        | _ -> Alcotest.failf "canonical automaton nondeterministic on %a" Ioa.Action.pp a)
+      (List.hd auto.Ioa.Automaton.start)
+      service_actions
+  in
+  (* Both report the same final object value, and the system's responses were
+     accepted verbatim by the canonical automaton (checked by the fold). *)
+  let value_auto, _, _ = Value.to_triple final_auto in
+  let sys_value = (Model.Exec.last_state exec).Model.State.svcs.(0).Model.State.value in
+  Alcotest.check value_testable "object value agrees" value_auto sys_value
+
+(* Bounded trace inclusion: the one-shot client composed with a wait-free
+   object only produces decide sequences the binary consensus spec allows.
+   (Checked on the external consensus interface via the agreement/validity
+   exhaustive test above; here we check the *service* interface instead:
+   the canonical 0-resilient object implements the canonical wait-free
+   object's *finite traces* — resilience is a liveness distinction only.) *)
+let test_resilience_is_liveness_only () =
+  let consensus = Spec.Seq_consensus.make () in
+  let weak = Services.Canonical.atomic consensus ~endpoints:[ 0; 1 ] ~f:0 ~k:"c" in
+  let strong = Services.Canonical.atomic consensus ~endpoints:[ 0; 1 ] ~f:1 ~k:"c" in
+  let inputs =
+    [
+      Services.Sig_names.invoke 0 "c" (Spec.Seq_consensus.init 0);
+      Services.Sig_names.invoke 1 "c" (Spec.Seq_consensus.init 1);
+    ]
+  in
+  match Ioa.Implements.check_traces ~impl:weak ~spec:strong ~inputs ~max_states:2_000 with
+  | Ioa.Implements.Included | Ioa.Implements.Out_of_budget _ -> ()
+  | Ioa.Implements.Counterexample tr ->
+    Alcotest.failf "unexpected counterexample: %a"
+      (Format.pp_print_list Ioa.Action.pp) tr
+
+let suite =
+  ( "axioms",
+    [
+      Alcotest.test_case "Thm 11: safety over all schedules" `Quick
+        test_agreement_validity_all_schedules;
+      Alcotest.test_case "Thm 11: modified termination" `Quick
+        test_modified_termination_with_failures;
+      Alcotest.test_case "Thm 11: partial inputs" `Quick test_partial_inputs;
+      Alcotest.test_case "system layer vs canonical automaton" `Quick
+        test_system_vs_canonical_automaton;
+      Alcotest.test_case "resilience is liveness-only (trace inclusion)" `Quick
+        test_resilience_is_liveness_only;
+    ] )

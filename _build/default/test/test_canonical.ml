@@ -1,0 +1,178 @@
+(* Tests for the canonical automata of Figs. 1/4/8 at the generic IOA level:
+   buffer flow, response nondeterminism resolution, dummy enabling conditions
+   as functions of the failed set and the resilience level f. *)
+
+open Ioa
+open Helpers
+module SN = Services.Sig_names
+
+let endpoints = [ 0; 1 ]
+let consensus = Spec.Seq_consensus.make ()
+
+(* A 0-resilient 2-endpoint canonical consensus object. *)
+let obj = Services.Canonical.atomic consensus ~endpoints ~f:0 ~k:"c"
+let start = List.hd obj.Automaton.start
+
+let step1 s a =
+  match obj.Automaton.step s a with
+  | [ s' ] -> s'
+  | [] -> Alcotest.failf "action %a not enabled" Action.pp a
+  | _ -> Alcotest.failf "action %a nondeterministic" Action.pp a
+
+let test_invoke_perform_respond () =
+  let s1 = step1 start (SN.invoke 0 "c" (Spec.Seq_consensus.init 1)) in
+  let s2 = step1 s1 (SN.perform 0 "c") in
+  (* The response must now be deliverable at endpoint 0. *)
+  let s3 = step1 s2 (SN.respond 0 "c" (Spec.Seq_consensus.decide 1)) in
+  (* A second invocation at endpoint 1 must get the remembered value. *)
+  let s4 = step1 s3 (SN.invoke 1 "c" (Spec.Seq_consensus.init 0)) in
+  let s5 = step1 s4 (SN.perform 1 "c") in
+  ignore (step1 s5 (SN.respond 1 "c" (Spec.Seq_consensus.decide 1)))
+
+let test_wrong_response_disabled () =
+  let s1 = step1 start (SN.invoke 0 "c" (Spec.Seq_consensus.init 1)) in
+  let s2 = step1 s1 (SN.perform 0 "c") in
+  Alcotest.(check int) "decide(0) not deliverable" 0
+    (List.length (obj.Automaton.step s2 (SN.respond 0 "c" (Spec.Seq_consensus.decide 0))))
+
+let test_perform_requires_pending () =
+  Alcotest.(check int) "perform disabled initially" 0
+    (List.length (obj.Automaton.step start (SN.perform 0 "c")))
+
+let test_fifo_buffers () =
+  (* Two invocations at the same endpoint are performed in order. *)
+  let s1 = step1 start (SN.invoke 0 "c" (Spec.Seq_consensus.init 0)) in
+  let s2 = step1 s1 (SN.invoke 0 "c" (Spec.Seq_consensus.init 1)) in
+  let s3 = step1 s2 (SN.perform 0 "c") in
+  let s4 = step1 s3 (SN.perform 0 "c") in
+  (* Both responses decide 0 (the first invocation wins), in FIFO order. *)
+  let s5 = step1 s4 (SN.respond 0 "c" (Spec.Seq_consensus.decide 0)) in
+  ignore (step1 s5 (SN.respond 0 "c" (Spec.Seq_consensus.decide 0)))
+
+let enabled_of_task label s =
+  match List.find_opt (fun t -> String.equal t.Task.label label) obj.Automaton.tasks with
+  | Some t -> t.Task.enabled s
+  | None -> Alcotest.failf "no task %s" label
+
+let test_dummy_disabled_when_failure_free () =
+  List.iter
+    (fun label ->
+      let acts = enabled_of_task label start in
+      Alcotest.(check bool)
+        (label ^ " has no dummy when failure-free")
+        false
+        (List.exists SN.is_dummy acts))
+    [ "c.perform[0]"; "c.output[0]"; "c.perform[1]"; "c.output[1]" ]
+
+let test_dummy_enabled_after_own_failure () =
+  let s1 = step1 start (SN.fail 0) in
+  let acts = enabled_of_task "c.perform[0]" s1 in
+  Alcotest.(check bool) "dummy_perform[0] enabled" true (List.exists SN.is_dummy acts);
+  (* f = 0: one failure exceeds the budget, so endpoint 1's dummies are also
+     enabled. *)
+  let acts1 = enabled_of_task "c.perform[1]" s1 in
+  Alcotest.(check bool) "dummy_perform[1] enabled (budget exceeded)" true
+    (List.exists SN.is_dummy acts1)
+
+let test_resilient_object_keeps_serving () =
+  (* A 1-resilient object: a single failure does NOT enable dummies at live
+     endpoints. *)
+  let obj1 = Services.Canonical.atomic consensus ~endpoints ~f:1 ~k:"c" in
+  let s1 =
+    match obj1.Automaton.step (List.hd obj1.Automaton.start) (SN.fail 0) with
+    | [ s ] -> s
+    | _ -> Alcotest.fail "fail must be enabled"
+  in
+  let task =
+    List.find (fun t -> String.equal t.Task.label "c.perform[1]") obj1.Automaton.tasks
+  in
+  Alcotest.(check bool) "no dummy at live endpoint of 1-resilient object" false
+    (List.exists SN.is_dummy (task.Task.enabled s1))
+
+let test_fail_idempotent_state () =
+  let s1 = step1 start (SN.fail 0) in
+  let s2 = step1 s1 (SN.fail 0) in
+  Alcotest.check value_testable "fail twice = fail once" s1 s2
+
+let test_dummy_preserves_state () =
+  let s1 = step1 start (SN.fail 0) in
+  let s2 = step1 s1 (SN.dummy_perform 0 "c") in
+  Alcotest.check value_testable "dummy no-op" s1 s2
+
+let test_compute_task_for_tob () =
+  let tob =
+    Services.Canonical.oblivious
+      (Services.Tob.make ~endpoints ~alphabet:[ Value.int 0 ])
+      ~endpoints ~f:0 ~k:"t"
+  in
+  let s0 = List.hd tob.Automaton.start in
+  (* compute is always enabled (δ2 total). *)
+  let compute_task =
+    List.find (fun t -> String.equal t.Task.label "t.compute[g]") tob.Automaton.tasks
+  in
+  Alcotest.(check bool) "compute enabled" true (Task.is_enabled compute_task s0);
+  (* bcast, perform, compute, then both endpoints have a deliverable rcv. *)
+  let s1 =
+    match tob.Automaton.step s0 (SN.invoke 1 "t" (Services.Tob.bcast (Value.int 0))) with
+    | [ s ] -> s
+    | _ -> Alcotest.fail "invoke"
+  in
+  let s2 = match tob.Automaton.step s1 (SN.perform 1 "t") with [ s ] -> s | _ -> Alcotest.fail "perform" in
+  let s3 = match tob.Automaton.step s2 (SN.compute "g" "t") with [ s ] -> s | _ -> Alcotest.fail "compute" in
+  let rcv = Services.Tob.rcv (Value.int 0) 1 in
+  Alcotest.(check int) "deliverable at 0" 1 (List.length (tob.Automaton.step s3 (SN.respond 0 "t" rcv)));
+  Alcotest.(check int) "deliverable at 1" 1 (List.length (tob.Automaton.step s3 (SN.respond 1 "t" rcv)))
+
+let test_register_is_wait_free () =
+  let reg =
+    Services.Canonical.register
+      (Spec.Seq_register.make ~values:[ Value.int 0; Value.int 1 ] ~initial:(Value.int 0))
+      ~endpoints ~k:"r"
+  in
+  (* One failure (f = |J| - 1 = 1): live endpoint dummies stay disabled. *)
+  let s1 =
+    match reg.Automaton.step (List.hd reg.Automaton.start) (SN.fail 0) with
+    | [ s ] -> s
+    | _ -> Alcotest.fail "fail"
+  in
+  let task = List.find (fun t -> String.equal t.Task.label "r.perform[1]") reg.Automaton.tasks in
+  Alcotest.(check bool) "register serves" false (List.exists SN.is_dummy (task.Task.enabled s1))
+
+let test_classify () =
+  Alcotest.(check bool) "invoke input" true
+    (obj.Automaton.classify (SN.invoke 0 "c" (Spec.Seq_consensus.init 0)) = Some Automaton.Input);
+  Alcotest.(check bool) "respond output" true
+    (obj.Automaton.classify (SN.respond 0 "c" (Spec.Seq_consensus.decide 0)) = Some Automaton.Output);
+  Alcotest.(check bool) "perform internal" true
+    (obj.Automaton.classify (SN.perform 0 "c") = Some Automaton.Internal);
+  Alcotest.(check bool) "fail input" true (obj.Automaton.classify (SN.fail 1) = Some Automaton.Input);
+  Alcotest.(check bool) "other service's actions not in signature" true
+    (obj.Automaton.classify (SN.perform 0 "other") = None);
+  Alcotest.(check bool) "non-endpoint invoke not in signature" true
+    (obj.Automaton.classify (SN.invoke 7 "c" (Spec.Seq_consensus.init 0)) = None)
+
+let test_deterministic_after_embedding () =
+  (* The §5.1/§6.1 embedding of a deterministic sequential type yields a
+     deterministic automaton on reachable states. *)
+  let s1 = step1 start (SN.invoke 0 "c" (Spec.Seq_consensus.init 1)) in
+  let s2 = step1 s1 (SN.perform 0 "c") in
+  Alcotest.(check bool) "deterministic" true
+    (Automaton.is_deterministic obj ~states:[ start; s1; s2 ])
+
+let suite =
+  ( "canonical",
+    [
+      Alcotest.test_case "invoke/perform/respond flow" `Quick test_invoke_perform_respond;
+      Alcotest.test_case "wrong response disabled" `Quick test_wrong_response_disabled;
+      Alcotest.test_case "perform requires pending invocation" `Quick test_perform_requires_pending;
+      Alcotest.test_case "FIFO buffers" `Quick test_fifo_buffers;
+      Alcotest.test_case "no dummies when failure-free" `Quick test_dummy_disabled_when_failure_free;
+      Alcotest.test_case "dummies after failure (f=0)" `Quick test_dummy_enabled_after_own_failure;
+      Alcotest.test_case "1-resilient object keeps serving" `Quick test_resilient_object_keeps_serving;
+      Alcotest.test_case "fail idempotent" `Quick test_fail_idempotent_state;
+      Alcotest.test_case "dummy preserves state" `Quick test_dummy_preserves_state;
+      Alcotest.test_case "TOB compute task" `Quick test_compute_task_for_tob;
+      Alcotest.test_case "register is wait-free" `Quick test_register_is_wait_free;
+      Alcotest.test_case "signature classification" `Quick test_classify;
+      Alcotest.test_case "determinism after embedding" `Quick test_deterministic_after_embedding;
+    ] )

@@ -1,0 +1,182 @@
+(* Tests for the counterexample engine: mechanized Theorems 2, 9, 10 on every
+   candidate protocol, plus the resilience boundary where refutation must
+   fail (the positive-results frontier). *)
+
+open Helpers
+module E = Engine
+module C = Engine.Counterexample
+
+let refute ?(failures = 1) sys = C.refute ~failures sys
+
+let expect_non_termination name report =
+  match report.C.outcome with
+  | C.Refuted (C.Non_termination { exec; failed; proven }) ->
+    Alcotest.(check bool) (name ^ ": lasso-proven") true proven;
+    let final = Model.Exec.last_state exec in
+    (* The witness is honest: the failed set matches, and no survivor that
+       received an input has decided. *)
+    Alcotest.check iset_testable
+      (name ^ ": failures applied")
+      (Spec.Iset.of_list failed)
+      final.Model.State.failed;
+    List.iter
+      (fun (i, _) ->
+        Alcotest.(check bool) (name ^ ": decider is failed") true (List.mem i failed))
+      (Model.State.decided_pairs final)
+  | o -> Alcotest.failf "%s: expected non-termination, got %a" name C.pp_outcome o
+
+let expect_agreement_violation name report =
+  match report.C.outcome with
+  | C.Refuted (C.Agreement_violation exec) ->
+    Alcotest.(check bool)
+      (name ^ ": witness execution is failure-free")
+      true
+      (Model.Exec.is_failure_free exec);
+    let final = Model.Exec.last_state exec in
+    Alcotest.(check bool)
+      (name ^ ": two decisions recorded")
+      true
+      (List.length (Model.State.decided_values final) >= 2)
+  | o -> Alcotest.failf "%s: expected agreement violation, got %a" name C.pp_outcome o
+
+let expect_not_refuted name report =
+  match report.C.outcome with
+  | C.Not_refuted _ -> ()
+  | o -> Alcotest.failf "%s: expected not-refuted, got %a" name C.pp_outcome o
+
+let test_theorem2_direct_n2 () =
+  let report = refute (Protocols.Direct.system ~n:2 ~f:0) in
+  expect_non_termination "direct n=2 f=0" report;
+  (* The hook pivots on the consensus object via Lemma 7. *)
+  (match report.C.pivot with
+  | Some (C.Pivot_service _) -> ()
+  | p ->
+    Alcotest.failf "expected service pivot, got %s"
+      (match p with
+      | Some (C.Pivot_process i) -> "process " ^ string_of_int i
+      | Some (C.Pivot_service k) -> "service " ^ string_of_int k
+      | None -> "none"));
+  Alcotest.(check bool) "hook reported" true (Option.is_some report.C.hook);
+  Alcotest.(check bool) "bivalent init found" true (Option.is_some report.C.bivalent_inputs)
+
+let test_theorem2_direct_n3 () =
+  expect_non_termination "direct n=3 f=0" (refute (Protocols.Direct.system ~n:3 ~f:0))
+
+let test_theorem2_direct_f1_claim2 () =
+  expect_non_termination "direct n=3 f=1 claim 2"
+    (refute ~failures:2 (Protocols.Direct.system ~n:3 ~f:1))
+
+let test_boundary_not_refuted () =
+  (* Claims within the services' resilience are NOT refuted — the positive
+     frontier of §4/§6.3. *)
+  expect_not_refuted "wait-free n=2" (refute (Protocols.Direct.system ~n:2 ~f:1));
+  expect_not_refuted "f=1 claim 1" (refute (Protocols.Direct.system ~n:3 ~f:1));
+  expect_not_refuted "wait-free n=3 claim 2" (refute ~failures:2 (Protocols.Direct.system ~n:3 ~f:2))
+
+let test_split_agreement () =
+  expect_agreement_violation "split" (refute (Protocols.Split.system ~n:2))
+
+let test_register_vote_agreement () =
+  expect_agreement_violation "register_vote" (refute (Protocols.Register_vote.system ()))
+
+let test_register_wait_flip () =
+  let report = refute (Protocols.Register_wait.system ()) in
+  expect_non_termination "register_wait" report;
+  (* No bivalent initialization: the Lemma 4 flip path was taken. *)
+  Alcotest.(check bool) "no bivalent init" true (report.C.bivalent_inputs = None);
+  match report.C.pivot with
+  | Some (C.Pivot_process _) -> ()
+  | _ -> Alcotest.fail "expected the flip process as pivot"
+
+let test_theorem9_tob () =
+  let report = refute (Protocols.Tob_direct.system ~n:2 ~f:0) in
+  expect_non_termination "tob n=2 f=0" report;
+  match report.C.pivot with
+  | Some (C.Pivot_service _) -> ()
+  | _ -> Alcotest.fail "expected the TOB service as pivot (Lemma 7)"
+
+let test_theorem9_tob_n3 () =
+  expect_non_termination "tob n=3 f=0" (refute (Protocols.Tob_direct.system ~n:3 ~f:0))
+
+let test_theorem10_fd () =
+  let report = refute (Protocols.Fd_allconnected.system ~n:3 ~f:0) in
+  expect_non_termination "fd_allconnected n=3 f=0" report
+
+let test_witness_fail_count_bounded () =
+  let failures = 1 in
+  let report = refute ~failures (Protocols.Direct.system ~n:3 ~f:0) in
+  match report.C.outcome with
+  | C.Refuted (C.Non_termination { failed; _ }) ->
+    Alcotest.(check int) "exactly f+1 failures" failures (List.length failed)
+  | o -> Alcotest.failf "unexpected %a" C.pp_outcome o
+
+let test_staircase_in_report () =
+  let report = refute (Protocols.Direct.system ~n:2 ~f:0) in
+  Alcotest.(check int) "n+1 staircase entries" 3 (List.length report.C.staircase);
+  let verdicts = List.map snd report.C.staircase in
+  Alcotest.(check (list verdict_testable)) "staircase verdicts"
+    [ E.Valence.Zero_valent; E.Valence.Bivalent; E.Valence.One_valent ]
+    verdicts
+
+let test_invalid_arguments () =
+  let sys = Protocols.Direct.system ~n:2 ~f:0 in
+  Alcotest.check_raises "failures = 0"
+    (Invalid_argument "Counterexample.refute: need 0 < failures < n") (fun () ->
+    ignore (C.refute ~failures:0 sys));
+  Alcotest.check_raises "failures = n"
+    (Invalid_argument "Counterexample.refute: need 0 < failures < n") (fun () ->
+    ignore (C.refute ~failures:2 sys))
+
+let test_budget_reported () =
+  let report = C.refute ~max_states:3 ~failures:1 (Protocols.Direct.system ~n:2 ~f:0) in
+  match report.C.outcome with
+  | C.Out_of_budget _ -> ()
+  | o -> Alcotest.failf "expected out-of-budget, got %a" C.pp_outcome o
+
+let test_witness_execution_replayable () =
+  (* The non-termination witness replays deterministically: applying its task
+     labels to its own start state reproduces the final state. *)
+  let report = refute (Protocols.Direct.system ~n:2 ~f:0) in
+  match report.C.outcome with
+  | C.Refuted (C.Non_termination { exec; _ }) ->
+    let sys = Protocols.Direct.system ~n:2 ~f:0 in
+    let replay = Model.Exec.init exec.Model.Exec.start in
+    let final =
+      List.fold_left
+        (fun acc step ->
+          match acc with
+          | None -> None
+          | Some e -> (
+            match step.Model.Exec.label with
+            | Model.Exec.L_init (i, v) -> Some (Model.Exec.append_init sys e i v)
+            | Model.Exec.L_fail i -> Some (Model.Exec.append_fail sys e i)
+            | Model.Exec.L_task t ->
+              Model.Exec.append_task ~policy:Model.System.dummy_policy sys e t))
+        (Some replay) (Model.Exec.steps exec)
+    in
+    (match final with
+    | Some e ->
+      Alcotest.check state_testable "witness replays" (Model.Exec.last_state exec)
+        (Model.Exec.last_state e)
+    | None -> Alcotest.fail "witness not replayable")
+  | o -> Alcotest.failf "unexpected %a" C.pp_outcome o
+
+let suite =
+  ( "counterexample",
+    [
+      Alcotest.test_case "Theorem 2: direct n=2 f=0" `Quick test_theorem2_direct_n2;
+      Alcotest.test_case "Theorem 2: direct n=3 f=0" `Quick test_theorem2_direct_n3;
+      Alcotest.test_case "Theorem 2: f=1 object, claim 2" `Quick test_theorem2_direct_f1_claim2;
+      Alcotest.test_case "boundary: claims within resilience stand" `Slow test_boundary_not_refuted;
+      Alcotest.test_case "split: agreement violation" `Quick test_split_agreement;
+      Alcotest.test_case "register_vote: agreement violation" `Quick test_register_vote_agreement;
+      Alcotest.test_case "register_wait: Lemma 4 flip" `Quick test_register_wait_flip;
+      Alcotest.test_case "Theorem 9: TOB n=2" `Quick test_theorem9_tob;
+      Alcotest.test_case "Theorem 9: TOB n=3" `Slow test_theorem9_tob_n3;
+      Alcotest.test_case "Theorem 10: all-connected FD" `Quick test_theorem10_fd;
+      Alcotest.test_case "witness failure count" `Quick test_witness_fail_count_bounded;
+      Alcotest.test_case "staircase in report" `Quick test_staircase_in_report;
+      Alcotest.test_case "invalid arguments" `Quick test_invalid_arguments;
+      Alcotest.test_case "budget reported" `Quick test_budget_reported;
+      Alcotest.test_case "witness replayable" `Quick test_witness_execution_replayable;
+    ] )

@@ -1,0 +1,145 @@
+(* In-system behaviour of the failure-detector services (§6.2): P's strong
+   accuracy and completeness, ◇P's imperfect period and stabilization, and
+   the coalescing substitution that keeps their output buffers finite. *)
+
+open Helpers
+
+(* A listener process recording the last suspect set it received. *)
+let listener ~fd_id pid =
+  let step s = Model.Process.Internal s in
+  let on_response s ~service b =
+    if String.equal service fd_id && Spec.Op.is "suspect" b then Spec.Op.arg b else s
+  in
+  Model.Process.make ~pid ~start:(Spec.Iset.to_value Spec.Iset.empty) ~step
+    ~on_init:(fun s _ -> s)
+    ~on_response ()
+
+let last_suspects (s : Model.State.t) pid = Spec.Iset.of_value s.Model.State.procs.(pid)
+
+let p_system ~n ~f =
+  let endpoints = List.init n Fun.id in
+  let fd =
+    Model.Service.general ~coalesce:true ~id:"fd" ~endpoints ~f
+      (Services.Perfect_fd.make ~endpoints)
+  in
+  Model.System.make ~processes:(List.init n (listener ~fd_id:"fd")) ~services:[ fd ]
+
+let test_p_accuracy_failure_free () =
+  let sys = p_system ~n:3 ~f:2 in
+  let exec0 = Model.Exec.init (Model.System.initial_state sys) in
+  let sched = Model.Scheduler.round_robin ~quiesce:false sys in
+  let exec, _ = Model.Scheduler.run ~max_steps:500 sys exec0 sched in
+  List.iter
+    (fun (step : Model.Exec.step) ->
+      let s = step.Model.Exec.state in
+      List.iter
+        (fun pid ->
+          Alcotest.check iset_testable "nobody suspected" Spec.Iset.empty (last_suspects s pid))
+        [ 0; 1; 2 ])
+    (Model.Exec.steps exec)
+
+let test_p_completeness_and_accuracy () =
+  let sys = p_system ~n:3 ~f:2 in
+  let exec0 = Model.Exec.init (Model.System.initial_state sys) in
+  let sched = Model.Scheduler.round_robin ~faults:[ (20, 1) ] ~quiesce:false sys in
+  let exec, _ = Model.Scheduler.run ~max_steps:2_000 sys exec0 sched in
+  let final = Model.Exec.last_state exec in
+  (* Accuracy at every step; completeness at the end. *)
+  List.iter
+    (fun (step : Model.Exec.step) ->
+      let s = step.Model.Exec.state in
+      List.iter
+        (fun pid ->
+          if not (Spec.Iset.mem pid s.Model.State.failed) then
+            Alcotest.(check bool) "suspects ⊆ failed" true
+              (Spec.Iset.subset (last_suspects s pid) s.Model.State.failed))
+        [ 0; 1; 2 ])
+    (Model.Exec.steps exec);
+  List.iter
+    (fun pid ->
+      Alcotest.check iset_testable "eventually suspects the crash"
+        (Spec.Iset.of_list [ 1 ])
+        (last_suspects final pid))
+    [ 0; 2 ]
+
+let test_p_silenced_past_resilience () =
+  (* A 0-resilient P stops informing once one process has failed — the
+     Theorem 10 lever. *)
+  let sys = p_system ~n:3 ~f:0 in
+  let exec0 = Model.Exec.init (Model.System.initial_state sys) in
+  let sched = Model.Scheduler.round_robin ~faults:[ (0, 1) ] ~quiesce:false sys in
+  let exec, _ =
+    Model.Scheduler.run ~policy:Model.System.dummy_policy ~max_steps:2_000 sys exec0 sched
+  in
+  let final = Model.Exec.last_state exec in
+  List.iter
+    (fun pid ->
+      Alcotest.check iset_testable "no information flows" Spec.Iset.empty
+        (last_suspects final pid))
+    [ 0; 2 ]
+
+let test_coalesce_bounds_buffers () =
+  let sys = p_system ~n:2 ~f:1 in
+  let exec0 = Model.Exec.init (Model.System.initial_state sys) in
+  let sched = Model.Scheduler.round_robin ~quiesce:false sys in
+  let exec, _ = Model.Scheduler.run ~max_steps:3_000 sys exec0 sched in
+  List.iter
+    (fun (step : Model.Exec.step) ->
+      let s = step.Model.Exec.state in
+      Array.iter
+        (fun q ->
+          Alcotest.(check bool) "response buffer stays short" true (List.length q <= 2))
+        s.Model.State.svcs.(0).Model.State.resp_bufs)
+    (Model.Exec.steps exec)
+
+let ep_system ~n =
+  let endpoints = List.init n Fun.id in
+  let fd =
+    Model.Service.general ~coalesce:true ~id:"efd" ~endpoints ~f:(n - 1)
+      (Services.Eventually_perfect_fd.make ~endpoints ())
+  in
+  Model.System.make ~processes:(List.init n (listener ~fd_id:"efd")) ~services:[ fd ]
+
+let test_ep_determinized_stabilizes () =
+  (* The determinized ◇P switches to perfect at its first background-task
+     turn and then reports accurately. *)
+  let sys = ep_system ~n:2 in
+  let exec0 = Model.Exec.init (Model.System.initial_state sys) in
+  let sched = Model.Scheduler.round_robin ~faults:[ (10, 0) ] ~quiesce:false sys in
+  let exec, _ = Model.Scheduler.run ~max_steps:1_000 sys exec0 sched in
+  let final = Model.Exec.last_state exec in
+  Alcotest.check value_testable "mode perfect"
+    Services.Eventually_perfect_fd.mode_perfect
+    final.Model.State.svcs.(0).Model.State.value;
+  Alcotest.check iset_testable "accurate after stabilization"
+    (Spec.Iset.of_list [ 0 ])
+    (last_suspects final 1)
+
+let test_ep_imperfect_period_nondeterminism () =
+  (* The raw (un-determinized) ◇P allows inaccurate suspicions while
+     imperfect — visible in the relation itself. *)
+  let fd = Services.Eventually_perfect_fd.make ~endpoints:[ 0; 1 ] () in
+  let outcomes =
+    fd.Spec.General_type.delta_glob (Services.Eventually_perfect_fd.task_for 0)
+      Services.Eventually_perfect_fd.mode_imperfect ~failed:Spec.Iset.empty
+  in
+  let reported =
+    List.filter_map
+      (fun (rmap, _) ->
+        match rmap with [ (0, [ r ]) ] -> Some (Services.Eventually_perfect_fd.suspected_set r) | _ -> None)
+      outcomes
+  in
+  Alcotest.(check bool) "can wrongly suspect a live process" true
+    (List.exists (fun s -> Spec.Iset.mem 1 s) reported)
+
+let suite =
+  ( "fd-services",
+    [
+      Alcotest.test_case "P: accuracy failure-free" `Quick test_p_accuracy_failure_free;
+      Alcotest.test_case "P: completeness and accuracy" `Quick test_p_completeness_and_accuracy;
+      Alcotest.test_case "P: silenced past resilience" `Quick test_p_silenced_past_resilience;
+      Alcotest.test_case "coalescing bounds buffers" `Quick test_coalesce_bounds_buffers;
+      Alcotest.test_case "◇P: determinized stabilization" `Quick test_ep_determinized_stabilizes;
+      Alcotest.test_case "◇P: imperfect-period nondeterminism" `Quick
+        test_ep_imperfect_period_nondeterminism;
+    ] )

@@ -1,0 +1,169 @@
+(* Fuzzing the engine over randomized protocols: generate small systems whose
+   processes run random straight-line programs over a shared consensus
+   object and registers, then check engine invariants that must hold for
+   EVERY system in the model:
+   - Lemma 1 (applicability persistence) on the explored graph;
+   - SCC valence = naive valence;
+   - valence monotonicity along edges;
+   - j-/k-similarity are symmetric and reflexive;
+   - Graph edges agree with the transition function. *)
+
+open Ioa
+open Helpers
+module E = Engine
+
+(* A random program is a list of instructions executed in order; the process
+   then spins. Deterministic by construction. *)
+type instr =
+  | I_write of int * int (* register index, value *)
+  | I_read of int
+  | I_propose (* invoke consensus with own input *)
+  | I_decide_input (* decide own input *)
+  | I_noop
+
+let instr_gen ~regs =
+  QCheck2.Gen.(
+    oneof
+      [
+        map2 (fun r v -> I_write (r, v)) (int_bound (regs - 1)) (int_bound 1);
+        map (fun r -> I_read r) (int_bound (regs - 1));
+        return I_propose;
+        return I_decide_input;
+        return I_noop;
+      ])
+
+let program_gen ~regs = QCheck2.Gen.(list_size (int_range 1 4) (instr_gen ~regs))
+
+(* Build a process executing [program]; upon a consensus response it decides
+   that response's value (overriding the program). *)
+let proc_of_program ~regs:_ ~program pid =
+  let open Protocols.Proto_util in
+  (* state: run [input; pc] / got [w] / done [w] / idle *)
+  let step s =
+    if is "run" s then begin
+      let input = field s 0 and pc = Value.to_int (field s 1) in
+      if pc >= List.length program then Model.Process.Internal s
+      else
+        let next = st "run" [ input; Value.int (pc + 1) ] in
+        match List.nth program pc with
+        | I_write (r, v) ->
+          Model.Process.Invoke
+            { service = Printf.sprintf "reg%d" r; op = Spec.Seq_register.write (Value.int v); next }
+        | I_read r ->
+          Model.Process.Invoke
+            { service = Printf.sprintf "reg%d" r; op = Spec.Seq_register.read; next }
+        | I_propose ->
+          Model.Process.Invoke
+            { service = "cons"; op = Spec.Seq_consensus.init (Value.to_int input); next }
+        | I_decide_input -> Model.Process.Decide { value = input; next }
+        | I_noop -> Model.Process.Internal next
+    end
+    else if is "got" s then
+      Model.Process.Decide { value = field s 0; next = st "done" [ field s 0 ] }
+    else Model.Process.Internal s
+  in
+  let on_init s v = if is "idle" s then st "run" [ v; Value.int 0 ] else s in
+  let on_response s ~service b =
+    if String.equal service "cons" && Spec.Seq_consensus.is_decide b && is "run" s then
+      st "got" [ Value.int (Spec.Seq_consensus.decided_value b) ]
+    else s
+  in
+  Model.Process.make ~pid ~start:(st "idle" []) ~step ~on_init ~on_response ()
+
+let system_of_programs ~regs programs =
+  let n = List.length programs in
+  let endpoints = List.init n Fun.id in
+  let registers =
+    List.init regs (fun r ->
+      Model.Service.register ~id:(Printf.sprintf "reg%d" r) ~endpoints
+        (Spec.Seq_register.make
+           ~values:[ Protocols.Proto_util.none; Value.int 0; Value.int 1 ]
+           ~initial:Protocols.Proto_util.none))
+  in
+  let cons =
+    Model.Service.atomic ~id:"cons" ~endpoints ~f:0 (Spec.Seq_consensus.make ())
+  in
+  Model.System.make ~processes:(List.mapi (fun pid p -> proc_of_program ~regs ~program:p pid) programs)
+    ~services:(cons :: registers)
+
+let gen_system =
+  QCheck2.Gen.(
+    let regs = 2 in
+    let* p0 = program_gen ~regs in
+    let* p1 = program_gen ~regs in
+    return (system_of_programs ~regs [ p0; p1 ]))
+
+let explore sys =
+  let start = Model.System.initialize sys [ Value.int 1; Value.int 0 ] in
+  E.Graph.explore ~max_states:50_000 sys start
+
+let prop_lemma1 =
+  qtest "fuzz: Lemma 1 on random systems" ~count:40 gen_system (fun sys ->
+    let g = explore sys in
+    E.Graph.complete g
+    && E.Lemma_check.lemma1_applicability (E.Valence.analyze g) = [])
+
+let prop_scc_vs_naive =
+  qtest "fuzz: SCC valence = naive valence" ~count:40 gen_system (fun sys ->
+    let g = explore sys in
+    E.Graph.complete g && E.Lemma_check.scc_vs_naive (E.Valence.analyze g) = [])
+
+let prop_valence_monotone =
+  qtest "fuzz: valence monotone along edges" ~count:40 gen_system (fun sys ->
+    let g = explore sys in
+    let a = E.Valence.analyze g in
+    let mask i =
+      match E.Valence.verdict a i with
+      | E.Valence.Blank -> 0
+      | E.Valence.Zero_valent -> 1
+      | E.Valence.One_valent -> 2
+      | E.Valence.Bivalent -> 3
+    in
+    let ok = ref true in
+    E.Graph.iter_states g (fun i _ ->
+      List.iter
+        (fun (_, j) -> if mask j land lnot (mask i) <> 0 then ok := false)
+        (E.Graph.succs g i));
+    !ok)
+
+let prop_similarity_reflexive_symmetric =
+  qtest "fuzz: similarity reflexive and symmetric" ~count:30 gen_system (fun sys ->
+    let g = explore sys in
+    let s0 = E.Graph.state g 0 in
+    let last = E.Graph.state g (E.Graph.size g - 1) in
+    List.for_all (fun j -> E.Similarity.j_similar sys ~j s0 s0) [ 0; 1 ]
+    && List.for_all
+         (fun j ->
+           E.Similarity.j_similar sys ~j s0 last = E.Similarity.j_similar sys ~j last s0)
+         [ 0; 1 ])
+
+let prop_edges_sound =
+  qtest "fuzz: graph edges match transitions" ~count:30 gen_system (fun sys ->
+    let g = explore sys in
+    let ok = ref true in
+    E.Graph.iter_states g (fun i s ->
+      List.iter
+        (fun (e, j) ->
+          match Model.System.transition sys s e with
+          | Some (_, s') -> if not (Model.State.equal s' (E.Graph.state g j)) then ok := false
+          | None -> ok := false)
+        (E.Graph.succs g i));
+    !ok)
+
+let prop_refute_never_crashes =
+  qtest "fuzz: refute total on random systems" ~count:25 gen_system (fun sys ->
+    match (E.Counterexample.refute ~max_states:50_000 ~run_bound:5_000 ~failures:1 sys).E.Counterexample.outcome with
+    | E.Counterexample.Refuted _ | E.Counterexample.Not_refuted _
+    | E.Counterexample.Out_of_budget _ ->
+      true)
+
+let suite =
+  ( "fuzz",
+    [
+      prop_lemma1;
+      prop_scc_vs_naive;
+      prop_valence_monotone;
+      prop_similarity_reflexive_symmetric;
+      prop_edges_sound;
+      prop_refute_never_crashes;
+    ] )

@@ -1,0 +1,246 @@
+(* Tests for the generic I/O automata substrate: actions, tasks, automata,
+   composition, hiding, executions, and bounded trace inclusion. *)
+
+open Ioa
+open Helpers
+
+let action_testable = Alcotest.testable Action.pp Action.equal
+
+let set_v b = Action.make "set" (Value.bool b)
+let flip = Action.make "flip" Value.unit
+let emit b = Action.make "emit" (Value.bool b)
+
+(* A toggle bit: input [set(b)] forces the bit, internal [flip] negates it,
+   output [emit(b)] reports it. *)
+let toggle =
+  let classify a =
+    match Action.name a with
+    | "set" -> Some Automaton.Input
+    | "flip" -> Some Automaton.Internal
+    | "emit" -> Some Automaton.Output
+    | _ -> None
+  in
+  let step s a =
+    match Action.name a with
+    | "set" -> [ Action.arg a ]
+    | "flip" -> [ Value.bool (not (Value.to_bool s)) ]
+    | "emit" -> if Value.equal (Action.arg a) s then [ s ] else []
+    | _ -> []
+  in
+  let flip_task =
+    Task.make ~label:"flip"
+      ~contains:(fun a -> String.equal (Action.name a) "flip")
+      ~enabled:(fun _ -> [ flip ])
+  in
+  let emit_task =
+    Task.make ~label:"emit"
+      ~contains:(fun a -> String.equal (Action.name a) "emit")
+      ~enabled:(fun s -> [ emit (Value.to_bool s) ])
+  in
+  Automaton.make ~name:"toggle" ~classify ~start:[ Value.bool false ] ~step
+    ~tasks:[ flip_task; emit_task ]
+
+(* A sink recording the last emitted bit; [emit] is its input. *)
+let sink =
+  let classify a =
+    match Action.name a with "emit" -> Some Automaton.Input | _ -> None
+  in
+  let step _s a = match Action.name a with "emit" -> [ Action.arg a ] | _ -> [] in
+  Automaton.make ~name:"sink" ~classify ~start:[ Value.unit ] ~step ~tasks:[]
+
+let test_action_basics () =
+  Alcotest.check action_testable "make/name/arg" (set_v true)
+    (Action.make (Action.name (set_v true)) (Action.arg (set_v true)));
+  Alcotest.(check bool) "equal" true (Action.equal flip (Action.make "flip" Value.unit));
+  Alcotest.(check bool) "hash consistent" true (Action.hash flip = Action.hash (Action.make "flip" Value.unit));
+  Alcotest.(check string) "pp nullary" "flip" (Action.to_string flip);
+  Alcotest.(check string) "pp payload" "emit(true)" (Action.to_string (emit true))
+
+let test_automaton_classify () =
+  Alcotest.(check bool) "input" true (toggle.Automaton.classify (set_v true) = Some Automaton.Input);
+  Alcotest.(check bool) "internal" true (toggle.Automaton.classify flip = Some Automaton.Internal);
+  Alcotest.(check bool) "output" true (toggle.Automaton.classify (emit true) = Some Automaton.Output);
+  Alcotest.(check bool) "unknown" true (toggle.Automaton.classify (Action.make "x" Value.unit) = None);
+  Alcotest.(check bool) "locally controlled" true (Automaton.is_locally_controlled toggle flip);
+  Alcotest.(check bool) "input not locally controlled" false
+    (Automaton.is_locally_controlled toggle (set_v true));
+  Alcotest.(check bool) "external output" true (Automaton.is_external toggle (emit true));
+  Alcotest.(check bool) "internal not external" false (Automaton.is_external toggle flip)
+
+let test_enabled_and_tasks () =
+  let acts = Automaton.enabled_local toggle (Value.bool false) in
+  Alcotest.(check int) "two enabled" 2 (List.length acts);
+  Alcotest.(check bool) "emit false enabled" true (List.exists (Action.equal (emit false)) acts);
+  (match Automaton.task_of_action toggle flip with
+  | Some t -> Alcotest.(check string) "task of flip" "flip" t.Task.label
+  | None -> Alcotest.fail "expected flip task");
+  Alcotest.(check bool) "no task for input" true
+    (Automaton.task_of_action toggle (set_v true) = None)
+
+let test_determinism_and_input_enabled () =
+  Alcotest.(check bool) "toggle deterministic" true
+    (Automaton.is_deterministic toggle ~states:[ Value.bool false; Value.bool true ]);
+  (match
+     Automaton.check_input_enabled toggle
+       ~states:[ Value.bool false; Value.bool true ]
+       ~inputs:[ set_v false; set_v true ]
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e)
+
+let test_composition () =
+  let c = Compose.compose ~name:"toggle||sink" [ toggle; sink ] in
+  (* emit is an output of toggle and input of sink: still an output of the
+     composition; both participants move. *)
+  Alcotest.(check bool) "emit output" true (c.Automaton.classify (emit false) = Some Automaton.Output);
+  let s0 = List.hd c.Automaton.start in
+  (match c.Automaton.step s0 (emit false) with
+  | [ s1 ] ->
+    (match Value.to_list s1 with
+    | [ tog; snk ] ->
+      Alcotest.check value_testable "toggle unchanged" (Value.bool false) tog;
+      Alcotest.check value_testable "sink recorded" (Value.bool false) snk
+    | _ -> Alcotest.fail "bad composite state")
+  | _ -> Alcotest.fail "expected one joint transition");
+  (* emit true is not enabled in the false state: no joint transition. *)
+  Alcotest.(check int) "disabled joint action" 0 (List.length (c.Automaton.step s0 (emit true)));
+  Alcotest.(check int) "lifted tasks" 2 (List.length c.Automaton.tasks)
+
+let test_compatibility () =
+  (match Compose.check_compatible [ toggle; sink ] ~alphabet:[ set_v true; flip; emit true ] with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  (* Two copies of toggle share the output [emit]: incompatible. *)
+  match Compose.check_compatible [ toggle; toggle ] ~alphabet:[ emit true ] with
+  | Ok () -> Alcotest.fail "expected incompatibility"
+  | Error _ -> ()
+
+let test_hiding () =
+  let h = Compose.hide (fun a -> String.equal (Action.name a) "emit") toggle in
+  Alcotest.(check bool) "emit hidden" true (h.Automaton.classify (emit true) = Some Automaton.Internal);
+  Alcotest.(check bool) "set unchanged" true (h.Automaton.classify (set_v true) = Some Automaton.Input)
+
+let test_execution () =
+  let exec = Execution.init (Value.bool false) in
+  Alcotest.(check int) "empty length" 0 (Execution.length exec);
+  let exec =
+    match Execution.apply_tasks toggle exec [ List.hd toggle.Automaton.tasks ] with
+    | Some e -> e
+    | None -> Alcotest.fail "flip applicable"
+  in
+  Alcotest.check value_testable "flipped" (Value.bool true) (Execution.last_state exec);
+  Alcotest.(check int) "one step" 1 (Execution.length exec);
+  Alcotest.(check (list string)) "actions" [ "flip" ]
+    (List.map Action.name (Execution.actions exec));
+  (* Trace excludes internal actions. *)
+  Alcotest.(check int) "trace empty" 0 (List.length (Execution.trace toggle exec));
+  let exec2 =
+    match Execution.apply_task toggle exec (List.nth toggle.Automaton.tasks 1) with
+    | Some e -> e
+    | None -> Alcotest.fail "emit applicable"
+  in
+  Alcotest.(check (list string)) "trace has emit" [ "emit" ]
+    (List.map Action.name (Execution.trace toggle exec2));
+  (* Toggle always has enabled tasks: never fair when finite. *)
+  Alcotest.(check bool) "not fair" false (Execution.is_fair_finite toggle exec2);
+  Alcotest.(check int) "enabled tasks" 2 (List.length (Execution.enabled_tasks toggle exec2))
+
+let test_execution_concat () =
+  let a = Execution.init (Value.bool false) in
+  let a = Execution.append a flip (Value.bool true) in
+  let b = Execution.init (Value.bool true) in
+  let b = Execution.append b flip (Value.bool false) in
+  let ab = Execution.concat a b in
+  Alcotest.(check int) "concat length" 2 (Execution.length ab);
+  Alcotest.check value_testable "concat end" (Value.bool false) (Execution.last_state ab);
+  Alcotest.check_raises "mismatched concat"
+    (Invalid_argument "Execution.concat: fragments do not match") (fun () ->
+    ignore (Execution.concat b b))
+
+(* Trace inclusion: a one-shot emitter of [emit(false)] is included in
+   toggle's traces (toggle can emit false from its start state), whereas a
+   one-shot emitter of [emit(true)] first is not included in an
+   emit-false-only spec. *)
+let one_shot b =
+  let classify a =
+    match Action.name a with "emit" -> Some Automaton.Output | _ -> None
+  in
+  let step s a =
+    if String.equal (Action.name a) "emit" && Value.equal (Action.arg a) (Value.bool b)
+       && Value.equal s (Value.bool false)
+    then [ Value.bool true ]
+    else []
+  in
+  let t =
+    Task.make ~label:"emit"
+      ~contains:(fun a -> String.equal (Action.name a) "emit")
+      ~enabled:(fun s -> if Value.equal s (Value.bool false) then [ emit b ] else [])
+  in
+  Automaton.make ~name:"one-shot" ~classify ~start:[ Value.bool false ] ~step ~tasks:[ t ]
+
+let emit_false_only =
+  let classify a =
+    match Action.name a with "emit" -> Some Automaton.Output | _ -> None
+  in
+  let step s a =
+    if Action.equal a (emit false) then [ s ] else []
+  in
+  let t =
+    Task.make ~label:"emit"
+      ~contains:(fun a -> String.equal (Action.name a) "emit")
+      ~enabled:(fun _ -> [ emit false ])
+  in
+  Automaton.make ~name:"emit-false" ~classify ~start:[ Value.unit ] ~step ~tasks:[ t ]
+
+let test_implements_included () =
+  match
+    Implements.check_traces ~impl:(one_shot false) ~spec:emit_false_only ~inputs:[]
+      ~max_states:100
+  with
+  | Implements.Included -> ()
+  | v -> Alcotest.failf "expected inclusion, got %a" Implements.pp_verdict v
+
+let test_implements_counterexample () =
+  match
+    Implements.check_traces ~impl:(one_shot true) ~spec:emit_false_only ~inputs:[]
+      ~max_states:100
+  with
+  | Implements.Counterexample [ a ] ->
+    Alcotest.check action_testable "offending action" (emit true) a
+  | v -> Alcotest.failf "expected counterexample, got %a" Implements.pp_verdict v
+
+let test_implements_budget () =
+  (* toggle has infinitely many executions but only 2 states; with a budget of
+     1 the check cannot finish. *)
+  match
+    Implements.check_traces ~impl:toggle ~spec:toggle ~inputs:[ set_v true ] ~max_states:1
+  with
+  | Implements.Out_of_budget _ -> ()
+  | v -> Alcotest.failf "expected out-of-budget, got %a" Implements.pp_verdict v
+
+let test_implements_reflexive () =
+  match
+    Implements.check_traces ~impl:toggle ~spec:toggle
+      ~inputs:[ set_v true; set_v false ] ~max_states:10_000
+  with
+  | Implements.Included -> ()
+  | v -> Alcotest.failf "expected inclusion, got %a" Implements.pp_verdict v
+
+let suite =
+  ( "ioa",
+    [
+      Alcotest.test_case "action basics" `Quick test_action_basics;
+      Alcotest.test_case "automaton classify" `Quick test_automaton_classify;
+      Alcotest.test_case "enabled and tasks" `Quick test_enabled_and_tasks;
+      Alcotest.test_case "determinism and input-enabledness" `Quick
+        test_determinism_and_input_enabled;
+      Alcotest.test_case "composition" `Quick test_composition;
+      Alcotest.test_case "compatibility" `Quick test_compatibility;
+      Alcotest.test_case "hiding" `Quick test_hiding;
+      Alcotest.test_case "execution" `Quick test_execution;
+      Alcotest.test_case "execution concat" `Quick test_execution_concat;
+      Alcotest.test_case "implements: included" `Quick test_implements_included;
+      Alcotest.test_case "implements: counterexample" `Quick test_implements_counterexample;
+      Alcotest.test_case "implements: budget" `Quick test_implements_budget;
+      Alcotest.test_case "implements: reflexive" `Quick test_implements_reflexive;
+    ] )

@@ -1,0 +1,93 @@
+(* Exhaustive lemma checks (Engine.Lemma_check): Lemmas 1 and 3 on every
+   system; the Lemma 6/7 state-level consequences on correct systems, and
+   their deliberate violation on boosting candidates (which is exactly the
+   refutation lever). Also the SCC-vs-naive valence ablation oracle. *)
+
+module E = Engine
+module L = Engine.Lemma_check
+
+let staircase_analyses sys =
+  List.map
+    (fun (e : E.Initialization.entry) -> e.E.Initialization.analysis)
+    (E.Initialization.staircase sys)
+
+let no_failures name fs =
+  Alcotest.(check int)
+    (name ^ ": no violations")
+    0 (List.length fs);
+  match fs with [] -> () | f :: _ -> Alcotest.failf "%a" L.pp_failure f
+
+let all_systems =
+  [
+    "direct n=2 f=0", Protocols.Direct.system ~n:2 ~f:0;
+    "direct n=2 f=1", Protocols.Direct.system ~n:2 ~f:1;
+    "tob n=2 f=0", Protocols.Tob_direct.system ~n:2 ~f:0;
+    "register_vote", Protocols.Register_vote.system ();
+    "register_wait", Protocols.Register_wait.system ();
+    "tas f=1", Protocols.Tas_consensus.system ~f:1;
+    "queue f=1", Protocols.Queue_consensus.system ~f:1;
+  ]
+
+let test_lemma1 () =
+  List.iter
+    (fun (name, sys) ->
+      List.iter (fun a -> no_failures name (L.lemma1_applicability a)) (staircase_analyses sys))
+    all_systems
+
+let test_lemma3 () =
+  List.iter
+    (fun (name, sys) ->
+      List.iter (fun a -> no_failures name (L.lemma3_dichotomy a)) (staircase_analyses sys))
+    all_systems
+
+let test_lemma6_on_correct_systems () =
+  List.iter
+    (fun (name, sys) ->
+      no_failures name (L.lemma6_j_similarity sys (staircase_analyses sys)))
+    [
+      "direct n=2 f=1", Protocols.Direct.system ~n:2 ~f:1;
+      "tas f=1", Protocols.Tas_consensus.system ~f:1;
+      "queue f=1", Protocols.Queue_consensus.system ~f:1;
+    ]
+
+let test_lemma7_on_correct_systems () =
+  List.iter
+    (fun (name, sys) ->
+      no_failures name (L.lemma7_k_similarity ~failures:1 sys (staircase_analyses sys)))
+    [
+      "direct n=2 f=1", Protocols.Direct.system ~n:2 ~f:1;
+      "tas f=1", Protocols.Tas_consensus.system ~f:1;
+      "queue f=1", Protocols.Queue_consensus.system ~f:1;
+    ]
+
+let test_lemma7_violated_on_candidate () =
+  (* On the f=0 boosting candidate the k-similar opposite-valence pair exists
+     (the hook endpoints) — the refutation lever. *)
+  let sys = Protocols.Direct.system ~n:2 ~f:0 in
+  let fs = L.lemma7_k_similarity ~failures:1 sys (staircase_analyses sys) in
+  Alcotest.(check bool) "violations found on candidate" true (fs <> [])
+
+let test_scc_vs_naive () =
+  List.iter
+    (fun (name, sys) ->
+      List.iter (fun a -> no_failures name (L.scc_vs_naive a)) (staircase_analyses sys))
+    all_systems
+
+let test_scc_vs_naive_cyclic () =
+  (* register_wait has polling cycles — the interesting SCC case. *)
+  let sys = Protocols.Register_wait.system () in
+  List.iter (fun a -> no_failures "register_wait" (L.scc_vs_naive a)) (staircase_analyses sys)
+
+let suite =
+  ( "lemmas",
+    [
+      Alcotest.test_case "Lemma 1 (applicability persists)" `Quick test_lemma1;
+      Alcotest.test_case "Lemma 3 (valence dichotomy)" `Quick test_lemma3;
+      Alcotest.test_case "Lemma 6 consequence on correct systems" `Quick
+        test_lemma6_on_correct_systems;
+      Alcotest.test_case "Lemma 7 consequence on correct systems" `Quick
+        test_lemma7_on_correct_systems;
+      Alcotest.test_case "Lemma 7 violated on candidates" `Quick test_lemma7_violated_on_candidate;
+      Alcotest.test_case "valence: SCC vs naive oracle" `Quick test_scc_vs_naive;
+      Alcotest.test_case "valence: SCC vs naive on cycles" `Quick test_scc_vs_naive_cyclic;
+    ] )

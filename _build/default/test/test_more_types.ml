@@ -1,0 +1,115 @@
+(* The later sequential-type additions: atomic snapshot and max-register. *)
+
+open Ioa
+open Helpers
+
+let snapshot =
+  Spec.Seq_snapshot.make ~segments:3 ~values:[ Value.int 1; Value.int 2 ]
+    ~initial:(Value.int 0)
+
+let maxreg = Spec.Seq_max.make ~sample:[ 0; 1; 5 ] ()
+
+let test_snapshot_totality () =
+  match Spec.Seq_type.check_total snapshot with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let test_snapshot_semantics () =
+  let v0 = List.hd snapshot.Spec.Seq_type.initials in
+  let r, _ = Spec.Seq_type.apply snapshot Spec.Seq_snapshot.scan v0 in
+  Alcotest.(check int) "initial scan: 3 cells" 3 (List.length (Spec.Seq_snapshot.view_map r));
+  let _, v1 = Spec.Seq_type.apply snapshot (Spec.Seq_snapshot.update ~seg:1 (Value.int 2)) v0 in
+  let r2, _ = Spec.Seq_type.apply snapshot Spec.Seq_snapshot.scan v1 in
+  let bindings = Spec.Seq_snapshot.view_map r2 in
+  Alcotest.(check (list (pair int int)))
+    "scan after update" [ 0, 0; 1, 2; 2, 0 ]
+    (List.map (fun (k, v) -> k, Value.to_int v) bindings)
+
+let test_snapshot_atomicity_is_structural () =
+  (* A scan never mixes: the response equals the exact value, which updates
+     replace atomically — checked via the sequential relation. *)
+  Alcotest.(check bool) "legal: scan sees update" true
+    (Spec.Seq_type.legal_sequence snapshot
+       [
+         Spec.Seq_snapshot.update ~seg:0 (Value.int 1), Spec.Seq_snapshot.ack;
+         ( Spec.Seq_snapshot.scan,
+           Spec.Seq_snapshot.view
+             (Value.map_add (Value.int 0) (Value.int 1)
+                (List.hd snapshot.Spec.Seq_type.initials)) );
+       ]);
+  Alcotest.(check bool) "illegal: stale scan" false
+    (Spec.Seq_type.legal_sequence snapshot
+       [
+         Spec.Seq_snapshot.update ~seg:0 (Value.int 1), Spec.Seq_snapshot.ack;
+         Spec.Seq_snapshot.scan, Spec.Seq_snapshot.view (List.hd snapshot.Spec.Seq_type.initials);
+       ])
+
+let test_snapshot_rejects_bad_segment () =
+  let v0 = List.hd snapshot.Spec.Seq_type.initials in
+  Alcotest.(check int) "out-of-range update has no outcome" 0
+    (List.length (snapshot.Spec.Seq_type.delta (Spec.Seq_snapshot.update ~seg:7 (Value.int 1)) v0))
+
+let test_max_semantics () =
+  let v0 = List.hd maxreg.Spec.Seq_type.initials in
+  let r, v1 = Spec.Seq_type.apply maxreg (Spec.Seq_max.write 5) v0 in
+  Alcotest.check value_testable "write returns new max" (Spec.Seq_max.max_resp 5) r;
+  let r2, v2 = Spec.Seq_type.apply maxreg (Spec.Seq_max.write 3) v1 in
+  Alcotest.check value_testable "lower write keeps max" (Spec.Seq_max.max_resp 5) r2;
+  Alcotest.check value_testable "value monotone" (Value.int 5) v2;
+  let r3, _ = Spec.Seq_type.apply maxreg Spec.Seq_max.read v2 in
+  Alcotest.check value_testable "read" (Spec.Seq_max.max_resp 5) r3
+
+let prop_max_is_running_max =
+  qtest "max-register equals running maximum"
+    QCheck2.Gen.(list_size (int_bound 12) (int_bound 50))
+    (fun writes ->
+      let final =
+        List.fold_left
+          (fun v w -> snd (Spec.Seq_type.apply maxreg (Spec.Seq_max.write w) v))
+          (List.hd maxreg.Spec.Seq_type.initials)
+          writes
+      in
+      Value.to_int final = List.fold_left max 0 writes)
+
+let prop_snapshot_independent_segments =
+  qtest "snapshot segments are independent"
+    QCheck2.Gen.(list_size (int_bound 10) (pair (int_bound 2) (int_range 1 2)))
+    (fun updates ->
+      let final =
+        List.fold_left
+          (fun v (seg, x) ->
+            snd (Spec.Seq_type.apply snapshot (Spec.Seq_snapshot.update ~seg (Value.int x)) v))
+          (List.hd snapshot.Spec.Seq_type.initials)
+          updates
+      in
+      let model seg =
+        List.fold_left (fun acc (s, x) -> if s = seg then x else acc) 0 updates
+      in
+      let r, _ = Spec.Seq_type.apply snapshot Spec.Seq_snapshot.scan final in
+      List.for_all
+        (fun (seg, v) -> Value.to_int v = model seg)
+        (Spec.Seq_snapshot.view_map r))
+
+let test_as_canonical_objects () =
+  (* Both types also work as canonical atomic objects in a system. *)
+  let sn =
+    Model.Service.atomic ~id:"snap" ~endpoints:[ 0 ] ~f:0
+      (Spec.Seq_snapshot.make ~segments:2 ~values:[ Value.int 1 ] ~initial:(Value.int 0))
+  in
+  let mx = Model.Service.atomic ~id:"max" ~endpoints:[ 0 ] ~f:0 maxreg in
+  let sys = Model.System.make ~processes:[ Model.Process.idle ~pid:0 ] ~services:[ sn; mx ] in
+  let s = Model.System.initial_state sys in
+  Alcotest.(check int) "two services" 2 (Array.length s.Model.State.svcs)
+
+let suite =
+  ( "more-types",
+    [
+      Alcotest.test_case "snapshot totality" `Quick test_snapshot_totality;
+      Alcotest.test_case "snapshot semantics" `Quick test_snapshot_semantics;
+      Alcotest.test_case "snapshot atomicity" `Quick test_snapshot_atomicity_is_structural;
+      Alcotest.test_case "snapshot rejects bad segment" `Quick test_snapshot_rejects_bad_segment;
+      Alcotest.test_case "max-register semantics" `Quick test_max_semantics;
+      prop_max_is_running_max;
+      prop_snapshot_independent_segments;
+      Alcotest.test_case "usable as canonical objects" `Quick test_as_canonical_objects;
+    ] )

@@ -1,0 +1,271 @@
+(* The positive results, validated by adversarial execution:
+   - §4: wait-free k-set consensus from wait-free group consensus;
+   - §6.3: consensus for any number of failures from 1-resilient 2-process
+     perfect failure detectors + registers, and the emulated wait-free
+     n-process perfect detector. *)
+
+open Helpers
+module P = Model.Properties
+
+(* --- §4 k-set boosting --- *)
+
+let kset_report ?(policy = Model.System.dummy_policy) ~groups ~group_size ~seed ~max_failures ()
+    =
+  let sys = Protocols.Kset_boost.system ~groups ~group_size in
+  let n = groups * group_size in
+  let final, _, exec =
+    run_random ~policy ~seed ~fail_prob:0.01 ~max_failures
+      ~stop_when:P.termination sys (List.init n Fun.id)
+  in
+  final, exec
+
+let check_kset ~groups final exec =
+  Alcotest.(check bool) "k-agreement" true (P.agreement ~k:groups final);
+  Alcotest.(check bool) "validity" true (P.validity final);
+  Alcotest.(check bool) "termination" true (P.termination final);
+  Alcotest.(check bool) "per-process agreement" true (P.per_process_agreement exec)
+
+let test_kset_2x2 () =
+  List.iter
+    (fun seed ->
+      let final, exec = kset_report ~groups:2 ~group_size:2 ~seed ~max_failures:3 () in
+      check_kset ~groups:2 final exec)
+    (List.init 15 Fun.id)
+
+let test_kset_2x3 () =
+  List.iter
+    (fun seed ->
+      let final, exec = kset_report ~groups:2 ~group_size:3 ~seed ~max_failures:5 () in
+      check_kset ~groups:2 final exec)
+    (List.init 8 Fun.id)
+
+let test_kset_3x2 () =
+  List.iter
+    (fun seed ->
+      let final, exec = kset_report ~groups:3 ~group_size:2 ~seed ~max_failures:5 () in
+      check_kset ~groups:3 final exec)
+    (List.init 8 Fun.id)
+
+let test_kset_group_isolation () =
+  (* Killing an entire group must not block the other group: wait-freedom. *)
+  let sys = Protocols.Kset_boost.system ~groups:2 ~group_size:2 in
+  let final, _, _ =
+    run_rr ~policy:Model.System.dummy_policy ~faults:[ (0, 0); (0, 1) ] sys [ 0; 1; 2; 3 ]
+  in
+  Alcotest.(check bool) "termination for survivors" true (P.termination final);
+  (* Survivors belong to group 1: they decide group 1's winner. *)
+  List.iter
+    (fun pid ->
+      match final.Model.State.decisions.(pid) with
+      | Some v -> Alcotest.(check bool) "group-1 value" true (List.mem (Ioa.Value.to_int v) [ 2; 3 ])
+      | None -> Alcotest.failf "survivor %d undecided" pid)
+    [ 2; 3 ]
+
+let test_kset_decision_count_tight () =
+  (* Failure-free with adversarial ordering: exactly ≤ groups distinct
+     decisions, and with distinct inputs the bound is reached. *)
+  let sys = Protocols.Kset_boost.system ~groups:2 ~group_size:2 in
+  let final, _, _ = run_rr sys [ 0; 1; 2; 3 ] in
+  let d = Model.State.decided_values final in
+  Alcotest.(check int) "exactly 2 decisions with distinct inputs" 2 (List.length d)
+
+let test_kset_exhaustive_small () =
+  (* Exhaustive exploration of the 2x1 instance (two singleton groups):
+     every reachable state satisfies 2-agreement and validity. *)
+  let sys = Protocols.Kset_boost.system ~groups:2 ~group_size:1 in
+  let start = Model.System.initialize sys (int_inputs [ 0; 1 ]) in
+  let g = Engine.Graph.explore sys start in
+  Alcotest.(check bool) "complete" true (Engine.Graph.complete g);
+  Engine.Graph.iter_states g (fun _ s ->
+    Alcotest.(check bool) "2-agreement everywhere" true (P.agreement ~k:2 s);
+    Alcotest.(check bool) "validity everywhere" true (P.validity s))
+
+(* --- §6.3 FD-based consensus --- *)
+
+let fd_consensus_final ?(policy = Model.System.dummy_policy) ~n ~seed ~max_failures () =
+  let sys = Protocols.Fd_boost.system ~n in
+  run_random ~policy ~seed ~fail_prob:0.01 ~max_failures ~stop_when:P.termination
+    ~max_steps:60_000 sys (List.init n Fun.id)
+
+let check_consensus final exec =
+  let r = P.check final in
+  Alcotest.(check bool) "agreement" true r.P.agreement;
+  Alcotest.(check bool) "validity" true r.P.validity;
+  Alcotest.(check bool) "termination" true r.P.termination;
+  Alcotest.(check bool) "per-process agreement" true (P.per_process_agreement exec)
+
+let test_fd_boost_n3 () =
+  List.iter
+    (fun seed ->
+      let final, _, exec = fd_consensus_final ~n:3 ~seed ~max_failures:2 () in
+      check_consensus final exec)
+    (List.init 12 Fun.id)
+
+let test_fd_boost_n4 () =
+  List.iter
+    (fun seed ->
+      let final, _, exec = fd_consensus_final ~n:4 ~seed ~max_failures:3 () in
+      check_consensus final exec)
+    (List.init 6 Fun.id)
+
+let test_fd_boost_kill_coordinators () =
+  (* Adversarial plan: kill coordinators 0 and 1 before anything runs. The
+     1-resilient pairwise detectors survive and unblock every phase. *)
+  let sys = Protocols.Fd_boost.system ~n:3 in
+  let final, _, exec =
+    run_rr ~policy:Model.System.dummy_policy ~faults:[ (0, 0); (1, 1) ] ~max_steps:60_000 sys
+      [ 0; 1; 2 ]
+  in
+  check_consensus final exec;
+  (match final.Model.State.decisions.(2) with
+  | Some v -> Alcotest.(check int) "survivor decides own input" 2 (Ioa.Value.to_int v)
+  | None -> Alcotest.fail "survivor undecided")
+
+let test_fd_boost_kill_coordinator_after_write () =
+  (* Kill coordinator 0 later, after it likely wrote: either way agreement
+     must hold among survivors. *)
+  let sys = Protocols.Fd_boost.system ~n:3 in
+  List.iter
+    (fun at ->
+      let final, _, exec =
+        run_rr ~policy:Model.System.dummy_policy ~faults:[ (at, 0) ] ~max_steps:60_000 sys
+          [ 0; 1; 2 ]
+      in
+      check_consensus final exec)
+    [ 5; 10; 20; 40; 80 ]
+
+let test_fd_boost_failure_free () =
+  let sys = Protocols.Fd_boost.system ~n:3 in
+  let final, _, exec = run_rr ~max_steps:60_000 sys [ 2; 1; 0 ] in
+  check_consensus final exec;
+  (* Failure-free, the first coordinator's estimate wins. *)
+  List.iter
+    (fun pid ->
+      match final.Model.State.decisions.(pid) with
+      | Some v -> Alcotest.(check int) "coordinator 0's input wins" 2 (Ioa.Value.to_int v)
+      | None -> Alcotest.failf "process %d undecided" pid)
+    [ 0; 1; 2 ]
+
+let test_fd_boost_suspicions_accurate () =
+  (* Strong accuracy, lifted to the consensus protocol's suspicion sets:
+     checked at every step of a run with failures. *)
+  let sys = Protocols.Fd_boost.system ~n:3 in
+  let exec0 = initialized sys (int_inputs [ 0; 1; 2 ]) in
+  let sched = Model.Scheduler.round_robin ~faults:[ (30, 1) ] ~quiesce:false sys in
+  let exec, _ =
+    Model.Scheduler.run ~policy:Model.System.dummy_policy ~max_steps:5_000 sys exec0 sched
+  in
+  List.iter
+    (fun (step : Model.Exec.step) ->
+      let s = step.Model.Exec.state in
+      List.iter
+        (fun pid ->
+          if not (Spec.Iset.mem pid s.Model.State.failed) then
+            Alcotest.(check bool) "suspected ⊆ failed" true
+              (Spec.Iset.subset (Protocols.Fd_boost.suspected_of s ~pid) s.Model.State.failed))
+        [ 0; 1; 2 ])
+    (Model.Exec.steps exec)
+
+(* The P-vs-◇P contrast (§6.2): the same rotating-coordinator protocol that
+   is correct over perfect pairwise detectors loses agreement when the
+   detectors are eventually perfect with an adversarial imperfect phase. *)
+let test_fd_boost_needs_perfect_detector () =
+  let sys = Protocols.Fd_boost.system_paranoid_ep ~n:2 in
+  match
+    (Engine.Counterexample.refute ~max_states:500_000 ~failures:1 sys)
+      .Engine.Counterexample.outcome
+  with
+  | Engine.Counterexample.Refuted (Engine.Counterexample.Agreement_violation exec) ->
+    Alcotest.(check bool) "failure-free violation" true (Model.Exec.is_failure_free exec)
+  | o -> Alcotest.failf "expected agreement violation under ◇P, got %a"
+           Engine.Counterexample.pp_outcome o
+
+(* --- §6.3 FD network emulation --- *)
+
+let test_fd_network_accuracy_always () =
+  let sys = Protocols.Fd_network.system ~n:3 in
+  let exec0 = Model.Exec.init (Model.System.initial_state sys) in
+  let sched = Model.Scheduler.round_robin ~faults:[ (40, 2); (120, 0) ] ~quiesce:false sys in
+  let exec, _ = Model.Scheduler.run ~max_steps:4_000 sys exec0 sched in
+  List.iter
+    (fun (step : Model.Exec.step) ->
+      let s = step.Model.Exec.state in
+      List.iter
+        (fun pid ->
+          if not (Spec.Iset.mem pid s.Model.State.failed) then
+            Alcotest.(check bool) "output ⊆ failed (strong accuracy)" true
+              (Spec.Iset.subset (Protocols.Fd_network.output_of s ~pid) s.Model.State.failed))
+        [ 0; 1; 2 ])
+    (Model.Exec.steps exec)
+
+let test_fd_network_completeness () =
+  let sys = Protocols.Fd_network.system ~n:4 in
+  let exec0 = Model.Exec.init (Model.System.initial_state sys) in
+  let sched = Model.Scheduler.round_robin ~faults:[ (10, 1); (30, 3) ] ~quiesce:false sys in
+  let exec, _ = Model.Scheduler.run ~max_steps:8_000 sys exec0 sched in
+  let s = Model.Exec.last_state exec in
+  let failed = s.Model.State.failed in
+  Alcotest.check iset_testable "two failures" (Spec.Iset.of_list [ 1; 3 ]) failed;
+  List.iter
+    (fun pid ->
+      if not (Spec.Iset.mem pid failed) then begin
+        Alcotest.check iset_testable "output = failed (completeness + accuracy)" failed
+          (Protocols.Fd_network.output_of s ~pid);
+        Alcotest.check iset_testable "local view complete" failed
+          (Protocols.Fd_network.local_of s ~pid)
+      end)
+    [ 0; 1; 2; 3 ]
+
+let test_fd_network_register_sharing () =
+  (* The union-of-registers path works even for a process whose own pairwise
+     detector information is artificially ignored: outputs flow through the
+     shared registers. After the run, every survivor's [output_of] contains
+     every failure even if learned indirectly. *)
+  let sys = Protocols.Fd_network.system ~n:3 in
+  let exec0 = Model.Exec.init (Model.System.initial_state sys) in
+  let sched = Model.Scheduler.round_robin ~faults:[ (20, 0) ] ~quiesce:false sys in
+  let exec, _ = Model.Scheduler.run ~max_steps:6_000 sys exec0 sched in
+  let s = Model.Exec.last_state exec in
+  List.iter
+    (fun pid ->
+      if not (Spec.Iset.mem pid s.Model.State.failed) then
+        Alcotest.(check bool) "published failure visible" true
+          (Spec.Iset.mem 0 (Protocols.Fd_network.output_of s ~pid)))
+    [ 1; 2 ]
+
+(* Property: the §4 bound holds for random group counts and failure plans. *)
+let prop_kset_bound =
+  qtest "kset boosting: ≤ groups distinct decisions on random runs" ~count:40
+    QCheck2.Gen.(triple (int_range 1 3) (int_range 1 3) (int_bound 1000))
+    (fun (groups, group_size, seed) ->
+      let sys = Protocols.Kset_boost.system ~groups ~group_size in
+      let n = groups * group_size in
+      let final, _, _ =
+        run_random ~policy:Model.System.dummy_policy ~seed ~fail_prob:0.02
+          ~max_failures:(n - 1) ~stop_when:P.termination sys (List.init n Fun.id)
+      in
+      P.agreement ~k:groups final && P.validity final)
+
+let suite =
+  ( "positive",
+    [
+      Alcotest.test_case "§4: 2-set from 2x2" `Quick test_kset_2x2;
+      Alcotest.test_case "§4: 2-set from 2x3" `Quick test_kset_2x3;
+      Alcotest.test_case "§4: 3-set from 3x2" `Quick test_kset_3x2;
+      Alcotest.test_case "§4: group isolation (wait-freedom)" `Quick test_kset_group_isolation;
+      Alcotest.test_case "§4: decision bound tight" `Quick test_kset_decision_count_tight;
+      Alcotest.test_case "§4: exhaustive small instance" `Quick test_kset_exhaustive_small;
+      Alcotest.test_case "§6.3: consensus n=3, ≤2 failures" `Quick test_fd_boost_n3;
+      Alcotest.test_case "§6.3: consensus n=4, ≤3 failures" `Slow test_fd_boost_n4;
+      Alcotest.test_case "§6.3: coordinators killed" `Quick test_fd_boost_kill_coordinators;
+      Alcotest.test_case "§6.3: coordinator killed mid-flight" `Quick
+        test_fd_boost_kill_coordinator_after_write;
+      Alcotest.test_case "§6.3: failure-free" `Quick test_fd_boost_failure_free;
+      Alcotest.test_case "§6.3: suspicion accuracy invariant" `Quick test_fd_boost_suspicions_accurate;
+      Alcotest.test_case "§6.2: rotating coordinator needs P, not ◇P" `Quick
+        test_fd_boost_needs_perfect_detector;
+      Alcotest.test_case "FD network: accuracy at every step" `Quick test_fd_network_accuracy_always;
+      Alcotest.test_case "FD network: completeness" `Quick test_fd_network_completeness;
+      Alcotest.test_case "FD network: register sharing" `Quick test_fd_network_register_sharing;
+      prop_kset_bound;
+    ] )

@@ -1,0 +1,249 @@
+(* Tests for the sequential type library (§2.1.2): totality, determinism,
+   per-type semantics, legal sequences, and the §3.1 determinization. *)
+
+open Ioa
+open Helpers
+
+let check_total name t =
+  match Spec.Seq_type.check_total t with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "%s: %s" name e
+
+let consensus = Spec.Seq_consensus.make ()
+let kset = Spec.Seq_kset.make ~k:2 ~n:4
+let register = Spec.Seq_register.make ~values:[ Value.int 0; Value.int 1 ] ~initial:(Value.int 0)
+let tas = Spec.Seq_tas.make ()
+let cas = Spec.Seq_cas.make ~values:[ Value.int 0; Value.int 1 ] ~initial:(Value.int 0)
+let counter = Spec.Seq_counter.make ()
+let queue = Spec.Seq_queue.make ~elements:[ Value.str "a"; Value.str "b" ] ()
+
+let test_totality () =
+  check_total "consensus" consensus;
+  check_total "kset" kset;
+  check_total "register" register;
+  check_total "tas" tas;
+  check_total "cas" cas;
+  check_total "queue" queue
+
+let test_determinism_flags () =
+  Alcotest.(check bool) "consensus det" true (Spec.Seq_type.is_deterministic consensus);
+  Alcotest.(check bool) "register det" true (Spec.Seq_type.is_deterministic register);
+  Alcotest.(check bool) "tas det" true (Spec.Seq_type.is_deterministic tas);
+  Alcotest.(check bool) "cas det" true (Spec.Seq_type.is_deterministic cas);
+  Alcotest.(check bool) "kset NOT det" false (Spec.Seq_type.is_deterministic kset);
+  Alcotest.(check bool) "determinized kset det" true
+    (Spec.Seq_type.is_deterministic (Spec.Seq_type.determinize kset))
+
+let test_consensus_semantics () =
+  let v0 = List.hd consensus.Spec.Seq_type.initials in
+  let r1, v1 = Spec.Seq_type.apply consensus (Spec.Seq_consensus.init 1) v0 in
+  Alcotest.(check int) "first init decides itself" 1 (Spec.Seq_consensus.decided_value r1);
+  let r2, v2 = Spec.Seq_type.apply consensus (Spec.Seq_consensus.init 0) v1 in
+  Alcotest.(check int) "second init gets first value" 1 (Spec.Seq_consensus.decided_value r2);
+  Alcotest.check value_testable "value stable" v1 v2
+
+let test_kset_semantics () =
+  let v0 = List.hd kset.Spec.Seq_type.initials in
+  let outcomes = kset.Spec.Seq_type.delta (Spec.Seq_kset.init 3) v0 in
+  Alcotest.(check int) "first init: single outcome" 1 (List.length outcomes);
+  let r, v1 = List.hd outcomes in
+  Alcotest.(check int) "first decides itself" 3 (Spec.Seq_kset.decided_value r);
+  let outcomes2 = kset.Spec.Seq_type.delta (Spec.Seq_kset.init 1) v1 in
+  Alcotest.(check int) "second init: two choices" 2 (List.length outcomes2);
+  let _, v2 = List.hd outcomes2 in
+  (* After k = 2 distinct values, the remembered set is full: a third value
+     is not added and every response comes from the set. *)
+  let outcomes3 = kset.Spec.Seq_type.delta (Spec.Seq_kset.init 0) v2 in
+  List.iter
+    (fun (r, v3) ->
+      Alcotest.check value_testable "set saturated" v2 v3;
+      Alcotest.(check bool) "response from set" true
+        (List.mem (Spec.Seq_kset.decided_value r) [ 1; 3 ]))
+    outcomes3
+
+let test_register_semantics () =
+  let v0 = Value.int 0 in
+  let r, v = Spec.Seq_type.apply register Spec.Seq_register.read v0 in
+  Alcotest.check value_testable "read returns value" (Value.int 0) (Spec.Seq_register.read_value r);
+  Alcotest.check value_testable "read preserves" v0 v;
+  let r2, v2 = Spec.Seq_type.apply register (Spec.Seq_register.write (Value.int 1)) v0 in
+  Alcotest.check value_testable "write acks" Spec.Seq_register.ack r2;
+  Alcotest.check value_testable "write stores" (Value.int 1) v2
+
+let test_tas_semantics () =
+  let r, v = Spec.Seq_type.apply tas Spec.Seq_tas.test_and_set (Value.int 0) in
+  Alcotest.check value_testable "returns old bit" (Spec.Seq_tas.bit 0) r;
+  Alcotest.check value_testable "sets bit" (Value.int 1) v;
+  let r2, v2 = Spec.Seq_type.apply tas Spec.Seq_tas.test_and_set v in
+  Alcotest.check value_testable "second sees 1" (Spec.Seq_tas.bit 1) r2;
+  Alcotest.check value_testable "stays 1" (Value.int 1) v2
+
+let test_cas_semantics () =
+  let cas_op = Spec.Seq_cas.cas ~expected:(Value.int 0) ~desired:(Value.int 1) in
+  let r, v = Spec.Seq_type.apply cas cas_op (Value.int 0) in
+  Alcotest.check value_testable "cas succeeds" (Spec.Seq_cas.ok true) r;
+  Alcotest.check value_testable "cas swaps" (Value.int 1) v;
+  let r2, v2 = Spec.Seq_type.apply cas cas_op (Value.int 1) in
+  Alcotest.check value_testable "cas fails" (Spec.Seq_cas.ok false) r2;
+  Alcotest.check value_testable "cas leaves" (Value.int 1) v2
+
+let test_counter_semantics () =
+  let r, v = Spec.Seq_type.apply counter Spec.Seq_counter.increment (Value.int 0) in
+  Alcotest.check value_testable "returns pre-increment" (Spec.Seq_counter.count 0) r;
+  Alcotest.check value_testable "incremented" (Value.int 1) v;
+  let r2, _ = Spec.Seq_type.apply counter Spec.Seq_counter.read v in
+  Alcotest.check value_testable "read" (Spec.Seq_counter.count 1) r2
+
+let test_queue_semantics () =
+  let q0 = Value.queue_empty in
+  let r, q1 = Spec.Seq_type.apply queue (Spec.Seq_queue.enqueue (Value.str "a")) q0 in
+  Alcotest.check value_testable "enqueue acks" Spec.Seq_queue.ack r;
+  let _, q2 = Spec.Seq_type.apply queue (Spec.Seq_queue.enqueue (Value.str "b")) q1 in
+  let r3, q3 = Spec.Seq_type.apply queue Spec.Seq_queue.dequeue q2 in
+  Alcotest.check value_testable "FIFO dequeue" (Spec.Seq_queue.item (Value.str "a")) r3;
+  let r4, _ = Spec.Seq_type.apply queue Spec.Seq_queue.dequeue q3 in
+  Alcotest.check value_testable "second dequeue" (Spec.Seq_queue.item (Value.str "b")) r4;
+  let r5, _ = Spec.Seq_type.apply queue Spec.Seq_queue.dequeue q0 in
+  Alcotest.check value_testable "empty dequeue" Spec.Seq_queue.empty_resp r5
+
+let test_legal_sequence () =
+  Alcotest.(check bool) "consensus legal" true
+    (Spec.Seq_type.legal_sequence consensus
+       [
+         Spec.Seq_consensus.init 1, Spec.Seq_consensus.decide 1;
+         Spec.Seq_consensus.init 0, Spec.Seq_consensus.decide 1;
+       ]);
+  Alcotest.(check bool) "consensus illegal: disagreement" false
+    (Spec.Seq_type.legal_sequence consensus
+       [
+         Spec.Seq_consensus.init 1, Spec.Seq_consensus.decide 1;
+         Spec.Seq_consensus.init 0, Spec.Seq_consensus.decide 0;
+       ]);
+  Alcotest.(check bool) "register legal" true
+    (Spec.Seq_type.legal_sequence register
+       [
+         Spec.Seq_register.write (Value.int 1), Spec.Seq_register.ack;
+         Spec.Seq_register.read, Spec.Seq_register.value_resp (Value.int 1);
+       ]);
+  Alcotest.(check bool) "register illegal: stale read" false
+    (Spec.Seq_type.legal_sequence register
+       [
+         Spec.Seq_register.write (Value.int 1), Spec.Seq_register.ack;
+         Spec.Seq_register.read, Spec.Seq_register.value_resp (Value.int 0);
+       ]);
+  (* Nondeterministic type: any of the remembered values is acceptable. *)
+  Alcotest.(check bool) "kset legal either way" true
+    (Spec.Seq_type.legal_sequence kset
+       [
+         Spec.Seq_kset.init 3, Spec.Seq_kset.decide 3;
+         Spec.Seq_kset.init 1, Spec.Seq_kset.decide 3;
+       ]
+    && Spec.Seq_type.legal_sequence kset
+         [
+           Spec.Seq_kset.init 3, Spec.Seq_kset.decide 3;
+           Spec.Seq_kset.init 1, Spec.Seq_kset.decide 1;
+         ])
+
+let test_reachable_values () =
+  let vs = Spec.Seq_type.reachable_values consensus in
+  Alcotest.(check int) "consensus reaches 3 values" 3 (List.length vs);
+  let vs = Spec.Seq_type.reachable_values tas in
+  Alcotest.(check int) "tas reaches 2 values" 2 (List.length vs)
+
+let test_kset_constructor_validation () =
+  Alcotest.check_raises "k >= n rejected" (Invalid_argument "Seq_kset.make: need 0 < k < n")
+    (fun () -> ignore (Spec.Seq_kset.make ~k:4 ~n:4));
+  Alcotest.check_raises "k = 0 rejected" (Invalid_argument "Seq_kset.make: need 0 < k < n")
+    (fun () -> ignore (Spec.Seq_kset.make ~k:0 ~n:4))
+
+(* Properties *)
+
+let prop_consensus_sticky =
+  qtest "consensus: every response equals the first proposal"
+    QCheck2.Gen.(list_size (int_range 1 8) (int_bound 1))
+    (fun proposals ->
+      let v0 = List.hd consensus.Spec.Seq_type.initials in
+      let first = List.hd proposals in
+      let _, responses =
+        List.fold_left
+          (fun (v, acc) p ->
+            let r, v' = Spec.Seq_type.apply consensus (Spec.Seq_consensus.init p) v in
+            v', Spec.Seq_consensus.decided_value r :: acc)
+          (v0, []) proposals
+      in
+      List.for_all (Int.equal first) responses)
+
+let prop_kset_bound =
+  qtest "k-set: at most k distinct responses on any δ resolution"
+    QCheck2.Gen.(pair (list_size (int_range 1 10) (int_bound 3)) (int_bound 1000))
+    (fun (proposals, seed) ->
+      let rng = Random.State.make [| seed |] in
+      let v0 = List.hd kset.Spec.Seq_type.initials in
+      let _, responses =
+        List.fold_left
+          (fun (v, acc) p ->
+            let outcomes = kset.Spec.Seq_type.delta (Spec.Seq_kset.init p) v in
+            let r, v' = List.nth outcomes (Random.State.int rng (List.length outcomes)) in
+            v', Spec.Seq_kset.decided_value r :: acc)
+          (v0, []) proposals
+      in
+      List.length (List.sort_uniq Int.compare responses) <= 2)
+
+let prop_register_last_write =
+  qtest "register: read returns the last written value"
+    QCheck2.Gen.(list_size (int_bound 10) (int_bound 1))
+    (fun writes ->
+      let final =
+        List.fold_left
+          (fun v w -> snd (Spec.Seq_type.apply register (Spec.Seq_register.write (Value.int w)) v))
+          (Value.int 0) writes
+      in
+      let r, _ = Spec.Seq_type.apply register Spec.Seq_register.read final in
+      let expected = match List.rev writes with [] -> 0 | w :: _ -> w in
+      Value.to_int (Spec.Seq_register.read_value r) = expected)
+
+let prop_queue_model =
+  qtest "queue type matches Stdlib.Queue model"
+    QCheck2.Gen.(list_size (int_bound 14) (option (int_bound 5)))
+    (fun ops ->
+      (* Some x = enqueue x; None = dequeue. *)
+      let model = Queue.create () in
+      let ok = ref true in
+      let _ =
+        List.fold_left
+          (fun v op ->
+            match op with
+            | Some x ->
+              Queue.add x model;
+              snd (Spec.Seq_type.apply queue (Spec.Seq_queue.enqueue (Value.int x)) v)
+            | None ->
+              let r, v' = Spec.Seq_type.apply queue Spec.Seq_queue.dequeue v in
+              (match Queue.take_opt model with
+              | None -> if not (Value.equal r Spec.Seq_queue.empty_resp) then ok := false
+              | Some x ->
+                if not (Value.equal r (Spec.Seq_queue.item (Value.int x))) then ok := false);
+              v')
+          Value.queue_empty ops
+      in
+      !ok)
+
+let suite =
+  ( "seq-types",
+    [
+      Alcotest.test_case "totality" `Quick test_totality;
+      Alcotest.test_case "determinism flags" `Quick test_determinism_flags;
+      Alcotest.test_case "consensus semantics" `Quick test_consensus_semantics;
+      Alcotest.test_case "k-set semantics" `Quick test_kset_semantics;
+      Alcotest.test_case "register semantics" `Quick test_register_semantics;
+      Alcotest.test_case "test&set semantics" `Quick test_tas_semantics;
+      Alcotest.test_case "compare&swap semantics" `Quick test_cas_semantics;
+      Alcotest.test_case "counter semantics" `Quick test_counter_semantics;
+      Alcotest.test_case "queue semantics" `Quick test_queue_semantics;
+      Alcotest.test_case "legal sequences" `Quick test_legal_sequence;
+      Alcotest.test_case "reachable values" `Quick test_reachable_values;
+      Alcotest.test_case "k-set validation" `Quick test_kset_constructor_validation;
+      prop_consensus_sticky;
+      prop_kset_bound;
+      prop_register_last_write;
+      prop_queue_model;
+    ] )

@@ -1,0 +1,168 @@
+(* Tests for failure-oblivious and general service types (§5.1, §6.1) and the
+   concrete services built from them: TOB (§5.2), P and ◇P (§6.2). *)
+
+open Ioa
+open Helpers
+
+let consensus = Spec.Seq_consensus.make ()
+
+let test_of_sequential_shape () =
+  let u = Spec.Service_type.of_sequential consensus in
+  Alcotest.(check (list string)) "no global tasks" [] u.Spec.Service_type.global_tasks;
+  (* δ1 delivers exactly one response, to the invoking endpoint. *)
+  let v0 = List.hd u.Spec.Service_type.initials in
+  (match u.Spec.Service_type.delta_inv (Spec.Seq_consensus.init 1) 3 v0 with
+  | [ (rmap, _v') ] ->
+    (match rmap with
+    | [ (endpoint, [ resp ]) ] ->
+      Alcotest.(check int) "responds to invoker" 3 endpoint;
+      Alcotest.check value_testable "decide response" (Spec.Seq_consensus.decide 1) resp
+    | _ -> Alcotest.fail "expected a single response to one endpoint")
+  | _ -> Alcotest.fail "expected exactly one outcome");
+  Alcotest.(check int) "δ2 empty" 0 (List.length (u.Spec.Service_type.delta_glob "g" v0))
+
+let test_of_oblivious_ignores_failures () =
+  let u = Spec.Service_type.of_sequential consensus in
+  let g = Spec.General_type.of_oblivious u in
+  let v0 = List.hd g.Spec.General_type.initials in
+  let with_failures =
+    g.Spec.General_type.delta_inv (Spec.Seq_consensus.init 0) 1 v0
+      ~failed:(Spec.Iset.of_list [ 0; 1; 2 ])
+  in
+  let without = g.Spec.General_type.delta_inv (Spec.Seq_consensus.init 0) 1 v0 ~failed:Spec.Iset.empty in
+  Alcotest.(check int) "same outcome count" (List.length without) (List.length with_failures);
+  match with_failures, without with
+  | [ (_, v1) ], [ (_, v2) ] -> Alcotest.check value_testable "failure-oblivious" v1 v2
+  | _ -> Alcotest.fail "expected single outcomes"
+
+let test_service_type_determinize () =
+  let kset = Spec.Seq_kset.make ~k:2 ~n:3 in
+  let u = Spec.Service_type.of_sequential kset in
+  let d = Spec.Service_type.determinize u in
+  let v0 = List.hd d.Spec.Service_type.initials in
+  let _, v1 = List.hd (d.Spec.Service_type.delta_inv (Spec.Seq_kset.init 1) 0 v0) in
+  Alcotest.(check int) "single outcome after determinize" 1
+    (List.length (d.Spec.Service_type.delta_inv (Spec.Seq_kset.init 2) 0 v1))
+
+let endpoints = [ 0; 1; 2 ]
+
+let test_tob_delta1 () =
+  let tob = Services.Tob.make ~endpoints ~alphabet:[ Value.int 0; Value.int 1 ] in
+  let v0 = List.hd tob.Spec.Service_type.initials in
+  match tob.Spec.Service_type.delta_inv (Services.Tob.bcast (Value.int 1)) 2 v0 with
+  | [ (rmap, v1) ] ->
+    Alcotest.(check int) "bcast yields no responses" 0 (List.length rmap);
+    Alcotest.(check int) "message queued" 1 (Value.queue_length v1)
+  | _ -> Alcotest.fail "expected one outcome"
+
+let test_tob_delta2 () =
+  let tob = Services.Tob.make ~endpoints ~alphabet:[ Value.int 0; Value.int 1 ] in
+  let v0 = List.hd tob.Spec.Service_type.initials in
+  (* Empty msgs: δ2 is the identity with no responses (totality). *)
+  (match tob.Spec.Service_type.delta_glob Services.Tob.global_task v0 with
+  | [ (rmap, v1) ] ->
+    Alcotest.(check int) "no responses on empty" 0 (List.length rmap);
+    Alcotest.check value_testable "value unchanged" v0 v1
+  | _ -> Alcotest.fail "expected identity outcome");
+  (* Nonempty: head delivered to EVERY endpoint. *)
+  let _, v1 =
+    List.hd (tob.Spec.Service_type.delta_inv (Services.Tob.bcast (Value.int 0)) 1 v0)
+  in
+  match tob.Spec.Service_type.delta_glob Services.Tob.global_task v1 with
+  | [ (rmap, v2) ] ->
+    Alcotest.(check int) "delivered to all endpoints" 3 (List.length rmap);
+    List.iter
+      (fun (j, rs) ->
+        Alcotest.(check bool) "endpoint in J" true (List.mem j endpoints);
+        match rs with
+        | [ r ] ->
+          let m, sender = Services.Tob.rcv_parts r in
+          Alcotest.check value_testable "message" (Value.int 0) m;
+          Alcotest.(check int) "sender" 1 sender
+        | _ -> Alcotest.fail "expected one response per endpoint")
+      rmap;
+    Alcotest.(check int) "queue drained" 0 (Value.queue_length v2)
+  | _ -> Alcotest.fail "expected one outcome"
+
+let test_perfect_fd () =
+  let fd = Services.Perfect_fd.make ~endpoints in
+  let v0 = List.hd fd.Spec.General_type.initials in
+  let failed = Spec.Iset.of_list [ 1 ] in
+  (match fd.Spec.General_type.delta_glob (Services.Perfect_fd.task_for 0) v0 ~failed with
+  | [ (rmap, _) ] -> (
+    match rmap with
+    | [ (0, [ resp ]) ] ->
+      Alcotest.check iset_testable "reports exactly the failed set" failed
+        (Services.Perfect_fd.suspected_set resp)
+    | _ -> Alcotest.fail "expected a single response to endpoint 0")
+  | _ -> Alcotest.fail "expected one outcome");
+  (* Unknown task name: no outcomes (not a task of this service). *)
+  Alcotest.(check int) "unknown task" 0
+    (List.length (fd.Spec.General_type.delta_glob "99" v0 ~failed));
+  Alcotest.(check int) "no invocations" 0 (List.length fd.Spec.General_type.invocations)
+
+let test_eventually_perfect_fd_modes () =
+  let fd = Services.Eventually_perfect_fd.make ~endpoints () in
+  let imperfect = Services.Eventually_perfect_fd.mode_imperfect in
+  let perfect = Services.Eventually_perfect_fd.mode_perfect in
+  Alcotest.check value_testable "starts imperfect" imperfect
+    (List.hd fd.Spec.General_type.initials);
+  (* The switch task's first choice moves to perfect. *)
+  (match
+     fd.Spec.General_type.delta_glob Services.Eventually_perfect_fd.switch_task imperfect
+       ~failed:Spec.Iset.empty
+   with
+  | (_, v) :: _ -> Alcotest.check value_testable "switches" perfect v
+  | [] -> Alcotest.fail "switch task must be total");
+  (* While imperfect, arbitrary suspicions are allowed (2^|J| choices). *)
+  let outcomes =
+    fd.Spec.General_type.delta_glob (Services.Eventually_perfect_fd.task_for 1) imperfect
+      ~failed:Spec.Iset.empty
+  in
+  Alcotest.(check int) "imperfect: all subsets" 8 (List.length outcomes);
+  (* Once perfect, only the accurate report remains. *)
+  let failed = Spec.Iset.of_list [ 2 ] in
+  match
+    fd.Spec.General_type.delta_glob (Services.Eventually_perfect_fd.task_for 1) perfect ~failed
+  with
+  | [ ([ (1, [ resp ]) ], v) ] ->
+    Alcotest.check iset_testable "accurate" failed
+      (Services.Eventually_perfect_fd.suspected_set resp);
+    Alcotest.check value_testable "stays perfect" perfect v
+  | _ -> Alcotest.fail "expected the accurate single outcome"
+
+let test_eventually_perfect_first_choice_accurate () =
+  let fd = Services.Eventually_perfect_fd.make ~endpoints () in
+  let imperfect = Services.Eventually_perfect_fd.mode_imperfect in
+  let failed = Spec.Iset.of_list [ 0; 2 ] in
+  match
+    fd.Spec.General_type.delta_glob (Services.Eventually_perfect_fd.task_for 1) imperfect ~failed
+  with
+  | ([ (1, [ resp ]) ], _) :: _ ->
+    Alcotest.check iset_testable "determinized ◇P behaves like P" failed
+      (Services.Eventually_perfect_fd.suspected_set resp)
+  | _ -> Alcotest.fail "expected accurate first choice"
+
+let test_general_determinize () =
+  let fd = Services.Eventually_perfect_fd.make ~endpoints () in
+  let d = Spec.General_type.determinize fd in
+  let imperfect = Services.Eventually_perfect_fd.mode_imperfect in
+  Alcotest.(check int) "single outcome" 1
+    (List.length
+       (d.Spec.General_type.delta_glob (Services.Eventually_perfect_fd.task_for 0) imperfect
+          ~failed:Spec.Iset.empty))
+
+let suite =
+  ( "service-types",
+    [
+      Alcotest.test_case "of_sequential shape" `Quick test_of_sequential_shape;
+      Alcotest.test_case "of_oblivious ignores failures" `Quick test_of_oblivious_ignores_failures;
+      Alcotest.test_case "service determinize" `Quick test_service_type_determinize;
+      Alcotest.test_case "TOB δ1" `Quick test_tob_delta1;
+      Alcotest.test_case "TOB δ2" `Quick test_tob_delta2;
+      Alcotest.test_case "perfect FD" `Quick test_perfect_fd;
+      Alcotest.test_case "◇P modes" `Quick test_eventually_perfect_fd_modes;
+      Alcotest.test_case "◇P accurate first choice" `Quick
+        test_eventually_perfect_first_choice_accurate;
+      Alcotest.test_case "general determinize" `Quick test_general_determinize;
+    ] )

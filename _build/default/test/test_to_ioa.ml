@@ -1,0 +1,159 @@
+(* The §2.2.4 definition of "solving consensus", executable: the complete
+   system as a generic I/O automaton must implement the canonical consensus
+   object for the full endpoint set (finite-trace side, via the bounded
+   subset-construction check). A correct system passes; an agreement-breaking
+   system yields a concrete counterexample trace. *)
+
+open Helpers
+module SN = Services.Sig_names
+
+let fails_for n = List.init n SN.fail
+
+(* Trace inclusion per fixed input vector: the init interface is closed by an
+   environment automaton (open init inputs can repeat, growing the spec
+   object's buffers without bound), while fail inputs stay open — they are
+   idempotent. *)
+let check_implements sys ~f ~inputs =
+  let n = Model.System.n_processes sys in
+  let vec = List.map Ioa.Value.int inputs in
+  let impl = Model.To_ioa.closed ~inputs:vec sys in
+  let spec = Model.To_ioa.closed_spec ~inputs:vec ~f sys in
+  Ioa.Implements.check_traces ~impl ~spec ~inputs:(fails_for n) ~max_states:300_000
+
+let test_encode_decode_roundtrip () =
+  let sys = Protocols.Direct.system ~n:3 ~f:1 in
+  let s = Model.System.initialize sys (int_inputs [ 1; 0; 1 ]) in
+  let s' = Model.To_ioa.decode_state sys (Model.To_ioa.encode_state s) in
+  Alcotest.check state_testable "roundtrip" s s';
+  (* And after some steps. *)
+  let s2 =
+    match Model.System.transition sys s (Model.Task.Proc 0) with
+    | Some (_, s2) -> s2
+    | None -> Alcotest.fail "step"
+  in
+  Alcotest.check state_testable "roundtrip after step" s2
+    (Model.To_ioa.decode_state sys (Model.To_ioa.encode_state s2))
+
+let test_signature () =
+  let sys = Protocols.Direct.system ~n:2 ~f:1 in
+  let a = Model.To_ioa.automaton sys in
+  Alcotest.(check bool) "init input" true
+    (a.Ioa.Automaton.classify (SN.init 0 (Ioa.Value.int 1)) = Some Ioa.Automaton.Input);
+  Alcotest.(check bool) "fail input" true
+    (a.Ioa.Automaton.classify (SN.fail 1) = Some Ioa.Automaton.Input);
+  Alcotest.(check bool) "decide output" true
+    (a.Ioa.Automaton.classify (SN.decide 0 (Ioa.Value.int 1)) = Some Ioa.Automaton.Output);
+  Alcotest.(check bool) "invoke internal" true
+    (a.Ioa.Automaton.classify (SN.invoke 0 "cons" (Spec.Seq_consensus.init 1))
+    = Some Ioa.Automaton.Internal);
+  Alcotest.(check bool) "perform internal" true
+    (a.Ioa.Automaton.classify (SN.perform 0 "cons") = Some Ioa.Automaton.Internal);
+  Alcotest.(check bool) "out-of-range init rejected" true
+    (a.Ioa.Automaton.classify (SN.init 9 (Ioa.Value.int 1)) = None)
+
+let test_transitions_mirror_system () =
+  (* Driving the generic automaton with the model's own event stream works
+     step for step. *)
+  let sys = Protocols.Direct.system ~n:2 ~f:1 in
+  let a = Model.To_ioa.automaton sys in
+  let exec = initialized sys (int_inputs [ 1; 0 ]) in
+  let exec =
+    match
+      Model.Exec.replay_tasks sys exec
+        [
+          Model.Task.Proc 0;
+          Model.Task.Proc 1;
+          Model.Task.Svc_perform { svc = 0; endpoint = 1 };
+          Model.Task.Svc_output { svc = 0; endpoint = 1 };
+          Model.Task.Proc 1;
+        ]
+    with
+    | Some e -> e
+    | None -> Alcotest.fail "replay"
+  in
+  let final =
+    List.fold_left
+      (fun s ev ->
+        let act = Model.Event.to_ioa ev in
+        match a.Ioa.Automaton.step s act with
+        | [ s' ] -> s'
+        | [] -> Alcotest.failf "generic automaton rejects %a" Ioa.Action.pp act
+        | _ -> Alcotest.failf "generic automaton nondeterministic on %a" Ioa.Action.pp act)
+      (List.hd a.Ioa.Automaton.start)
+      (Model.Exec.events exec)
+  in
+  Alcotest.check state_testable "same final state" (Model.Exec.last_state exec)
+    (Model.To_ioa.decode_state sys final)
+
+let test_task_enumeration_includes_dummies () =
+  let sys = Protocols.Direct.system ~n:2 ~f:0 in
+  let a = Model.To_ioa.automaton sys in
+  (* After P0 invokes and fails, the perform task at endpoint 0 offers both
+     the real perform and the dummy. *)
+  let s = Model.System.initialize sys (int_inputs [ 1; 0 ]) in
+  let s =
+    match Model.System.transition sys s (Model.Task.Proc 0) with
+    | Some (_, s) -> s
+    | None -> assert false
+  in
+  let _, s = Model.System.apply_fail sys s 0 in
+  let packed = Model.To_ioa.encode_state s in
+  let perform_task =
+    List.find
+      (fun (t : Ioa.Task.t) ->
+        String.equal t.Ioa.Task.label (Model.Task.to_string (Model.Task.Svc_perform { svc = 0; endpoint = 0 })))
+      a.Ioa.Automaton.tasks
+  in
+  let acts = perform_task.Ioa.Task.enabled packed in
+  Alcotest.(check int) "both resolutions offered" 2 (List.length acts);
+  Alcotest.(check bool) "real offered" true
+    (List.exists (Ioa.Action.equal (SN.perform 0 "cons")) acts);
+  Alcotest.(check bool) "dummy offered" true (List.exists SN.is_dummy acts)
+
+let test_wait_free_system_implements_spec () =
+  (* §2.2.4, safety side: the wait-free direct system's finite traces are
+     traces of the canonical 1-resilient consensus object for {0, 1}, for
+     every binary input vector. *)
+  let sys = Protocols.Direct.system ~n:2 ~f:1 in
+  List.iter
+    (fun inputs ->
+      match check_implements sys ~f:1 ~inputs with
+      | Ioa.Implements.Included -> ()
+      | v -> Alcotest.failf "expected inclusion, got %a" Ioa.Implements.pp_verdict v)
+    [ [ 0; 0 ]; [ 0; 1 ]; [ 1; 0 ]; [ 1; 1 ] ]
+
+let test_weak_object_system_still_safe () =
+  (* The f=0 candidate is safe too — its failure is liveness-only, invisible
+     to finite-trace inclusion. *)
+  let sys = Protocols.Direct.system ~n:2 ~f:0 in
+  match check_implements sys ~f:1 ~inputs:[ 1; 0 ] with
+  | Ioa.Implements.Included -> ()
+  | v -> Alcotest.failf "expected inclusion, got %a" Ioa.Implements.pp_verdict v
+
+let test_split_system_has_counterexample () =
+  (* The agreement-breaking split system is NOT an implementation: the check
+     produces a concrete offending trace ending in conflicting decides. *)
+  let sys = Protocols.Split.system ~n:2 in
+  match check_implements sys ~f:1 ~inputs:[ 1; 0 ] with
+  | Ioa.Implements.Counterexample trace ->
+    let decides =
+      List.filter (fun a -> String.equal (Ioa.Action.name a) "decide") trace
+    in
+    Alcotest.(check bool) "trace ends in a decide the spec cannot make" true (decides <> [])
+  | v -> Alcotest.failf "expected counterexample, got %a" Ioa.Implements.pp_verdict v
+
+let suite =
+  ( "to-ioa",
+    [
+      Alcotest.test_case "state encode/decode roundtrip" `Quick test_encode_decode_roundtrip;
+      Alcotest.test_case "signature classification" `Quick test_signature;
+      Alcotest.test_case "transitions mirror the system" `Quick test_transitions_mirror_system;
+      Alcotest.test_case "task enumeration includes dummies" `Quick
+        test_task_enumeration_includes_dummies;
+      Alcotest.test_case "§2.2.4: wait-free system implements the spec" `Slow
+        test_wait_free_system_implements_spec;
+      Alcotest.test_case "§2.2.4: weak object still safe (liveness-only gap)" `Slow
+        test_weak_object_system_still_safe;
+      Alcotest.test_case "§2.2.4: split system refuted by trace inclusion" `Quick
+        test_split_system_has_counterexample;
+    ] )

@@ -1,0 +1,164 @@
+(* In-system properties of the totally ordered broadcast service (§5.2):
+   total order, agreement on delivery prefixes, validity, integrity. *)
+
+open Ioa
+open Helpers
+
+(* A broadcaster/recorder process: on init(v) broadcasts v, and appends every
+   delivered (message, sender) pair to a local log. *)
+let recorder ~tob_id pid =
+  let open Protocols.Proto_util in
+  let step s =
+    if is "have" s then
+      Model.Process.Invoke
+        {
+          service = tob_id;
+          op = Services.Tob.bcast (field s 0);
+          next = st "logging" [ field s 1 ];
+        }
+    else Model.Process.Internal s
+  in
+  let on_init s v = if is "idle" s then st "have" [ v; field s 0 ] else s in
+  let on_response s ~service b =
+    if String.equal service tob_id && Spec.Op.is "rcv" b then begin
+      let m, sender = Services.Tob.rcv_parts b in
+      let entry = Value.pair m (Value.int sender) in
+      let log = if is "logging" s then field s 0 else field s 1 in
+      let log = Value.queue_push entry log in
+      if is "logging" s then st "logging" [ log ]
+      else if is "have" s then st "have" [ field s 0; log ]
+      else st "idle" [ log ]
+    end
+    else s
+  in
+  Model.Process.make ~pid ~start:(st "idle" [ Value.queue_empty ]) ~step ~on_init
+    ~on_response ()
+
+let log_of (s : Model.State.t) pid =
+  let open Protocols.Proto_util in
+  let ps = s.Model.State.procs.(pid) in
+  let log = if is "logging" ps then field ps 0 else if is "have" ps then field ps 1 else field ps 0 in
+  Value.to_list log
+
+let tob_system ~n ~f =
+  let endpoints = List.init n Fun.id in
+  let tob =
+    Model.Service.oblivious ~id:"tob" ~endpoints ~f
+      (Services.Tob.make ~endpoints ~alphabet:[ Value.int 0; Value.int 1; Value.int 2 ])
+  in
+  Model.System.make ~processes:(List.init n (recorder ~tob_id:"tob")) ~services:[ tob ]
+
+let is_prefix xs ys =
+  let rec go xs ys =
+    match xs, ys with
+    | [], _ -> true
+    | _, [] -> false
+    | x :: xs', y :: ys' -> Value.equal x y && go xs' ys'
+  in
+  go xs ys
+
+let check_total_order s ~n =
+  (* Any two logs are prefix-comparable: the service imposes one global
+     order. *)
+  List.iter
+    (fun i ->
+      List.iter
+        (fun j ->
+          if i < j then begin
+            let li = log_of s i and lj = log_of s j in
+            Alcotest.(check bool)
+              (Printf.sprintf "logs %d/%d prefix-comparable" i j)
+              true
+              (is_prefix li lj || is_prefix lj li)
+          end)
+        (List.init n Fun.id))
+    (List.init n Fun.id)
+
+let test_total_order_rr () =
+  let sys = tob_system ~n:3 ~f:2 in
+  let final, _, _ = run_rr sys [ 0; 1; 2 ] in
+  check_total_order final ~n:3;
+  (* Failure-free fair run: everyone eventually logs all three messages. *)
+  List.iter
+    (fun pid -> Alcotest.(check int) "full log" 3 (List.length (log_of final pid)))
+    [ 0; 1; 2 ]
+
+let test_total_order_random () =
+  List.iter
+    (fun seed ->
+      let sys = tob_system ~n:3 ~f:2 in
+      let final, _, _ = run_random ~seed sys [ 0; 1; 2 ] in
+      check_total_order final ~n:3)
+    (List.init 10 Fun.id)
+
+let test_validity_and_integrity () =
+  let sys = tob_system ~n:3 ~f:2 in
+  let final, _, _ = run_rr sys [ 2; 0; 1 ] in
+  List.iter
+    (fun pid ->
+      let log = log_of final pid in
+      (* Validity: every delivered message was broadcast with that content by
+         that sender. *)
+      List.iter
+        (fun entry ->
+          let m, sender = Value.to_pair entry in
+          Alcotest.(check bool) "delivered = sender's input" true
+            (match final.Model.State.inputs.(Value.to_int sender) with
+            | Some v -> Value.equal v m
+            | None -> false))
+        log;
+      (* Integrity: no duplicates. *)
+      Alcotest.(check int) "no duplicates" (List.length log)
+        (List.length (List.sort_uniq Value.compare log)))
+    [ 0; 1; 2 ]
+
+let test_delivery_with_failures () =
+  (* f = 2 TOB keeps delivering to survivors after 2 failures... only 1
+     endpoint remains; with all-but-one failed, survivors still get ordered
+     messages they broadcast themselves. *)
+  let sys = tob_system ~n:3 ~f:2 in
+  let final, _, _ =
+    run_rr ~policy:Model.System.dummy_policy ~faults:[ (0, 0); (0, 1) ] sys [ 0; 1; 2 ]
+  in
+  Alcotest.(check bool) "survivor logged its own message" true
+    (List.length (log_of final 2) >= 1)
+
+let test_silencing_with_low_resilience () =
+  (* f = 0 TOB: one failure lets the adversary stop all deliveries. *)
+  let sys = tob_system ~n:3 ~f:0 in
+  let final, _, _ =
+    run_rr ~policy:Model.System.dummy_policy ~faults:[ (0, 0) ] sys [ 0; 1; 2 ]
+  in
+  List.iter
+    (fun pid -> Alcotest.(check int) "no deliveries" 0 (List.length (log_of final pid)))
+    [ 1; 2 ]
+
+let prop_total_order_random_schedules =
+  qtest "TOB: prefix-comparability under random schedules" ~count:60
+    QCheck2.Gen.(pair (int_bound 10_000) (int_range 2 4))
+    (fun (seed, n) ->
+      let sys = tob_system ~n ~f:(n - 1) in
+      let final, _, _ = run_random ~seed ~max_steps:4_000 sys (List.init n (fun i -> i mod 3)) in
+      let ok = ref true in
+      List.iter
+        (fun i ->
+          List.iter
+            (fun j ->
+              if i < j then begin
+                let li = log_of final i and lj = log_of final j in
+                if not (is_prefix li lj || is_prefix lj li) then ok := false
+              end)
+            (List.init n Fun.id))
+        (List.init n Fun.id);
+      !ok)
+
+let suite =
+  ( "tob",
+    [
+      Alcotest.test_case "total order (round-robin)" `Quick test_total_order_rr;
+      Alcotest.test_case "total order (random)" `Quick test_total_order_random;
+      Alcotest.test_case "validity and integrity" `Quick test_validity_and_integrity;
+      Alcotest.test_case "delivery with failures" `Quick test_delivery_with_failures;
+      Alcotest.test_case "silencing at f=0" `Quick test_silencing_with_low_resilience;
+      prop_total_order_random_schedules;
+    ] )
