@@ -165,6 +165,26 @@ let valence_benches =
       (Staged.stage (fun () -> ignore (Engine.Valence_naive.verdicts g)));
   ]
 
+(* Chaos explorer: systematic single-crash sweep with full monitors, the
+   hot loop of `boost chaos`. Same bounded configuration as @chaos-smoke
+   so the timing tracks what tier-1 actually runs. *)
+let bench_chaos sys name =
+  let config =
+    {
+      (Chaos.Explore.default_config sys) with
+      Chaos.Explore.max_faults = 1;
+      budget = 64;
+      max_steps = 4_000;
+    }
+  in
+  Test.make ~name (Staged.stage (fun () -> ignore (Chaos.Explore.run ~config sys)))
+
+let bench_chaos_direct =
+  bench_chaos (Protocols.Direct.system ~n:2 ~f:1) "chaos/explore-direct"
+
+let bench_chaos_tob =
+  bench_chaos (Protocols.Tob_direct.system ~n:2 ~f:0) "chaos/explore-tob"
+
 (* Substrate micro-benchmarks. *)
 let bench_state_hash =
   let sys = Protocols.Fd_boost.system ~n:4 in
@@ -193,6 +213,8 @@ let tests =
       bench_fd_behaviour;
       bench_fd_boost;
       bench_tob;
+      bench_chaos_direct;
+      bench_chaos_tob;
       bench_state_hash;
       bench_transition;
     ]

@@ -249,6 +249,134 @@ let lemmas_cmd =
           refutation levers.")
     term
 
+(* --- chaos --- *)
+
+let chaos_cmd =
+  let protocol_opt =
+    Arg.(
+      required
+      & opt (some protocol_conv) None
+      & info [ "protocol" ] ~docv:"PROTOCOL"
+          ~doc:"Protocol to attack (same names as the positional arg of the other commands).")
+  in
+  let faults_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "faults" ] ~docv:"K" ~doc:"Explore fault schedules with up to K crashes.")
+  in
+  let seed_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:
+            "Seeded chaos mode: random fault schedules and task interleavings derived \
+             deterministically from SEED, SEED+1, ... with exact replay. Without this, \
+             crash placements are enumerated systematically.")
+  in
+  let runs_arg =
+    Arg.(value & opt int 64 & info [ "runs" ] ~docv:"R" ~doc:"Seeded mode: seeds to try.")
+  in
+  let max_steps_arg =
+    Arg.(value & opt int 20_000 & info [ "max-steps" ] ~docv:"M" ~doc:"Per-run step bound.")
+  in
+  let horizon_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "horizon" ] ~docv:"H"
+          ~doc:"Crash steps range over [0, H) (0 = twice the task count).")
+  in
+  let budget_arg =
+    Arg.(
+      value & opt int 1_024
+      & info [ "budget" ] ~docv:"B"
+          ~doc:
+            "Systematic mode: maximum schedules to run. Truncation of the enumeration \
+             space is reported, never silent.")
+  in
+  let stride_arg =
+    Arg.(value & opt int 1 & info [ "stride" ] ~docv:"S" ~doc:"Crash-step grid granularity.")
+  in
+  let shrink_arg =
+    Arg.(
+      value
+      & vflag true
+          [
+            (true, info [ "shrink" ] ~doc:"Delta-debug a violating schedule to a minimal one (default).");
+            (false, info [ "no-shrink" ] ~doc:"Report the violating schedule as found.");
+          ])
+  in
+  let schedule_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "schedule" ] ~docv:"SPEC"
+          ~doc:
+            "Run one explicit fault schedule instead of exploring, e.g. \
+             'crash@0:1,silence@4:cons' ('helpful,' prefix for the non-silencing \
+             adversary).")
+  in
+  let run protocol n f groups group_size faults seed runs max_steps horizon budget stride
+      shrink schedule =
+    let sys = build_system protocol ~n ~f ~groups ~group_size in
+    let horizon =
+      if horizon > 0 then horizon else 2 * Array.length sys.Model.System.tasks
+    in
+    match schedule with
+    | Some spec -> (
+      match Chaos.Schedule.parse spec with
+      | Error e ->
+        Format.eprintf "bad --schedule: %s@." e;
+        3
+      | Ok schedule -> (
+        match Chaos.Schedule.validate sys schedule with
+        | Error e ->
+          Format.eprintf "bad --schedule: %s@." e;
+          3
+        | Ok () -> (
+          let r = Chaos.Runner.run ~max_steps ~schedule sys in
+          List.iter
+            (fun (m, why) -> Format.printf "monitor %s truncated: %s@." m why)
+            r.Chaos.Runner.monitor_truncations;
+          if r.Chaos.Runner.undelivered_crashes > 0 then
+            Format.printf "%d scheduled crash(es) fell beyond --max-steps@."
+              r.Chaos.Runner.undelivered_crashes;
+          Format.printf "%d steps: %a@." r.Chaos.Runner.steps Chaos.Runner.pp_stop
+            r.Chaos.Runner.stop;
+          match r.Chaos.Runner.stop with
+          | Chaos.Runner.Violation _ -> 1
+          | Chaos.Runner.Lasso _ | Chaos.Runner.Budget -> 0)))
+    | None ->
+      let mode =
+        match seed with
+        | Some seed ->
+          Chaos.Driver.Seeded { seed; runs; max_faults = faults; horizon; max_steps }
+        | None ->
+          Chaos.Driver.Systematic
+            { Chaos.Explore.max_faults = faults; horizon; stride; budget; max_steps }
+      in
+      let report = Chaos.Driver.run ~shrink mode sys in
+      Format.printf "%a@." Chaos.Driver.pp_report report;
+      (match report.Chaos.Driver.outcome with
+      | Chaos.Driver.Passed -> 0
+      | Chaos.Driver.Violated _ -> 1)
+  in
+  let term =
+    Term.(
+      const run $ protocol_opt $ n_arg $ f_arg $ groups_arg $ group_size_arg $ faults_arg
+      $ seed_arg $ runs_arg $ max_steps_arg $ horizon_arg $ budget_arg $ stride_arg
+      $ shrink_arg $ schedule_arg)
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Systematic fault-schedule injection with property monitors and shrinking: \
+          enumerate (or randomly sample, with --seed and exact replay) crash placements \
+          and service silencings, check agreement/validity/f-termination/linearizability \
+          during each run, and delta-debug any violation to a minimal schedule. Exits 1 \
+          with the minimized schedule on violation, 0 when all monitors pass.")
+    term
+
 (* --- experiments --- *)
 
 let experiments_cmd =
@@ -271,6 +399,6 @@ let main =
        ~doc:
          "Executable reproduction of 'The Impossibility of Boosting Distributed Service \
           Resilience' (Attie, Guerraoui, Kuznetsov, Lynch, Rajsbaum).")
-    [ refute_cmd; staircase_cmd; explore_cmd; run_cmd; lemmas_cmd; experiments_cmd ]
+    [ refute_cmd; staircase_cmd; explore_cmd; run_cmd; lemmas_cmd; chaos_cmd; experiments_cmd ]
 
 let () = exit (Cmd.eval' main)

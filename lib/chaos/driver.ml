@@ -1,0 +1,162 @@
+type mode =
+  | Systematic of Explore.config
+  | Seeded of { seed : int; runs : int; max_faults : int; horizon : int; max_steps : int }
+
+type outcome =
+  | Passed
+  | Violated of {
+      original : Explore.violation;
+      minimized : Explore.violation option;
+      shrink_stats : Shrink.stats option;
+      witness : Engine.Counterexample.witness option;
+      replayed : bool option;
+    }
+
+type report = {
+  mode : mode;
+  examined : int;
+  space : int;
+  truncated : bool;
+  step_budget_hits : int;
+  monitor_truncations : int;
+  undelivered_crashes : int;
+  outcome : outcome;
+}
+
+let witness_of_violation (v : Explore.violation) =
+  match v.Explore.monitor with
+  | "agreement" | "per-process agreement" ->
+    Some (Engine.Counterexample.Agreement_violation v.Explore.exec)
+  | "validity" -> Some (Engine.Counterexample.Validity_violation v.Explore.exec)
+  | "f-termination" ->
+    Some
+      (Engine.Counterexample.Non_termination
+         {
+           exec = v.Explore.exec;
+           failed = Schedule.crashed_pids v.Explore.schedule;
+           proven = v.Explore.proven;
+         })
+  | _ -> None (* k-agreement, linearizability: no engine constructor; reported directly. *)
+
+let violated ?monitors ?max_steps ?interleave ?inputs ~shrink sys original =
+  let minimized, shrink_stats =
+    if shrink then
+      let m, st = Shrink.shrink ?monitors ?max_steps ?interleave ?inputs sys original in
+      Some m, Some st
+    else None, None
+  in
+  let final = Option.value minimized ~default:original in
+  Violated
+    { original; minimized; shrink_stats; witness = witness_of_violation final; replayed = None }
+
+let run ?monitors ?inputs ?(shrink = true) mode sys =
+  match mode with
+  | Systematic config ->
+    let r = Explore.run ?monitors ?inputs ~config sys in
+    let outcome =
+      match r.Explore.violation with
+      | None -> Passed
+      | Some v -> violated ?monitors ~max_steps:config.Explore.max_steps ?inputs ~shrink sys v
+    in
+    {
+      mode;
+      examined = r.Explore.examined;
+      space = r.Explore.space;
+      truncated = r.Explore.truncated;
+      step_budget_hits = r.Explore.step_budget_hits;
+      monitor_truncations = r.Explore.monitor_truncations;
+      undelivered_crashes = r.Explore.undelivered_crashes;
+      outcome;
+    }
+  | Seeded { seed; runs; max_faults; horizon; max_steps } ->
+    let step_budget_hits = ref 0 and monitor_truncations = ref 0 in
+    let undelivered = ref 0 in
+    let rec go i =
+      if i >= runs then None
+      else begin
+        let seed_i = seed + i in
+        let r, schedule =
+          Rand.run ~seed:seed_i ~max_faults ~horizon ?monitors ~max_steps ?inputs sys
+        in
+        monitor_truncations := !monitor_truncations + List.length r.Runner.monitor_truncations;
+        undelivered := !undelivered + r.Runner.undelivered_crashes;
+        match r.Runner.stop with
+        | Runner.Violation { monitor; reason; proven } ->
+          Some (seed_i, Explore.{ schedule; monitor; reason; proven; exec = r.Runner.exec })
+        | Runner.Lasso _ -> go (i + 1)
+        | Runner.Budget ->
+          incr step_budget_hits;
+          go (i + 1)
+      end
+    in
+    let found = go 0 in
+    let examined = match found with Some (s, _) -> s - seed + 1 | None -> runs in
+    let outcome =
+      match found with
+      | None -> Passed
+      | Some (seed_i, v) ->
+        let interleave = Rand.interleave ~seed:seed_i in
+        (* Exact replay: the same seed must reproduce the identical trace. *)
+        let replay, _ =
+          Rand.run ~seed:seed_i ~max_faults ~horizon ?monitors ~max_steps ?inputs sys
+        in
+        let replayed =
+          List.equal Model.Event.equal
+            (Model.Exec.events v.Explore.exec)
+            (Model.Exec.events replay.Runner.exec)
+        in
+        (match
+           violated ?monitors ~max_steps ~interleave ?inputs ~shrink sys v
+         with
+        | Violated x -> Violated { x with replayed = Some replayed }
+        | o -> o)
+    in
+    {
+      mode;
+      examined;
+      space = runs;
+      truncated = false;
+      step_budget_hits = !step_budget_hits;
+      monitor_truncations = !monitor_truncations;
+      undelivered_crashes = !undelivered;
+      outcome;
+    }
+
+let pp_mode ppf = function
+  | Systematic c ->
+    Format.fprintf ppf "systematic exploration (≤%d fault(s), horizon %d, stride %d)"
+      c.Explore.max_faults c.Explore.horizon c.Explore.stride
+  | Seeded { seed; runs; max_faults; _ } ->
+    Format.fprintf ppf "seeded chaos (seed %d, %d run(s), ≤%d fault(s))" seed runs max_faults
+
+let pp_report ppf r =
+  Format.fprintf ppf "@[<v>%a@," pp_mode r.mode;
+  Format.fprintf ppf "examined %d of %d candidate schedule(s)%s@," r.examined r.space
+    (if r.truncated then " — TRUNCATED: enumeration budget hit before exhausting the space"
+     else "");
+  if r.step_budget_hits > 0 then
+    Format.fprintf ppf
+      "%d run(s) hit the step budget undecided — liveness verdicts there are bounded evidence only@,"
+      r.step_budget_hits;
+  if r.monitor_truncations > 0 then
+    Format.fprintf ppf "%d monitor check(s) truncated@," r.monitor_truncations;
+  if r.undelivered_crashes > 0 then
+    Format.fprintf ppf "%d scheduled crash(es) fell beyond the executed step range@,"
+      r.undelivered_crashes;
+  (match r.outcome with
+  | Passed -> Format.fprintf ppf "all monitors passed@]"
+  | Violated { original; minimized; shrink_stats; witness; replayed } ->
+    Format.fprintf ppf "%a@," Explore.pp_violation original;
+    (match minimized, shrink_stats with
+    | Some m, Some st ->
+      Format.fprintf ppf "minimized to [%a] after %d candidate(s), %d re-run(s)@,"
+        Schedule.pp m.Explore.schedule st.Shrink.candidates st.Shrink.runs;
+      Format.fprintf ppf "minimal schedule: %s@," (Schedule.to_string m.Explore.schedule)
+    | _ -> ());
+    (match replayed with
+    | Some true -> Format.fprintf ppf "seed replay: identical trace reproduced@,"
+    | Some false -> Format.fprintf ppf "seed replay: MISMATCH (nondeterminism bug!)@,"
+    | None -> ());
+    (match witness with
+    | Some w -> Format.fprintf ppf "witness: %a@]" Engine.Counterexample.pp_witness w
+    | None -> Format.fprintf ppf "@]"))

@@ -1,0 +1,59 @@
+(** The chaos engine's front door: explore (systematically or by seeded
+    random walks), monitor, shrink, and render the result through the
+    impossibility engine's witness vocabulary.
+
+    A minimized f-termination violation becomes an
+    {!Engine.Counterexample.Non_termination} witness (with the schedule's
+    crashed pids as the failed set and [proven] tracking whether a lasso
+    was found); agreement/validity violations map to their witnesses
+    likewise, so chaos findings print exactly like the Theorem 2/9/10
+    refutations. *)
+
+type mode =
+  | Systematic of Explore.config
+  | Seeded of {
+      seed : int;
+      runs : int;  (** Seeds [seed], [seed+1], ... are tried in order. *)
+      max_faults : int;
+      horizon : int;
+      max_steps : int;
+    }
+
+type outcome =
+  | Passed
+  | Violated of {
+      original : Explore.violation;
+      minimized : Explore.violation option;  (** When shrinking was enabled. *)
+      shrink_stats : Shrink.stats option;
+      witness : Engine.Counterexample.witness option;
+          (** Rendering of the final (minimized if available) violation;
+          [None] for properties outside the engine's vocabulary
+          (k-agreement, linearizability), which are reported directly. *)
+      replayed : bool option;
+          (** Seeded mode only: the violating seed was re-run and produced
+          the identical event sequence. *)
+    }
+
+type report = {
+  mode : mode;
+  examined : int;
+  space : int;
+  truncated : bool;
+  step_budget_hits : int;
+  monitor_truncations : int;
+  undelivered_crashes : int;
+  outcome : outcome;
+}
+
+val witness_of_violation : Explore.violation -> Engine.Counterexample.witness option
+
+val run :
+  ?monitors:Monitor.t list ->
+  ?inputs:Ioa.Value.t list ->
+  ?shrink:bool ->
+  mode ->
+  Model.System.t ->
+  report
+(** [shrink] defaults to true. *)
+
+val pp_report : Format.formatter -> report -> unit

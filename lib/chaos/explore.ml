@@ -1,0 +1,142 @@
+type config = {
+  max_faults : int;
+  horizon : int;
+  stride : int;
+  budget : int;
+  max_steps : int;
+}
+
+let default_config (sys : Model.System.t) =
+  {
+    max_faults = 1;
+    horizon = 2 * Array.length sys.Model.System.tasks;
+    stride = 1;
+    budget = 1_024;
+    max_steps = 20_000;
+  }
+
+type violation = {
+  schedule : Schedule.t;
+  monitor : string;
+  reason : string;
+  proven : bool;
+  exec : Model.Exec.t;
+}
+
+let pp_violation ppf v =
+  Format.fprintf ppf "@[<v 2>%s violated (%s) under schedule [%a]:@,%s@]" v.monitor
+    (if v.proven then "proven" else "bounded evidence")
+    Schedule.pp v.schedule v.reason
+
+type report = {
+  examined : int;
+  space : int;
+  truncated : bool;
+  step_budget_hits : int;
+  monitor_truncations : int;
+  undelivered_crashes : int;
+  violation : violation option;
+}
+
+let grid cfg = List.init ((cfg.horizon + cfg.stride - 1) / cfg.stride) (fun i -> i * cfg.stride)
+
+let rec choose k lst =
+  (* k-subsets of [lst], lexicographic, as a lazy sequence. *)
+  if k = 0 then Seq.return []
+  else
+    match lst with
+    | [] -> Seq.empty
+    | x :: rest ->
+      Seq.append
+        (Seq.map (fun c -> x :: c) (choose (k - 1) rest))
+        (fun () -> choose k rest ())
+
+let rec tuples k points =
+  (* k-tuples over [points] (crash steps per chosen pid), lexicographic. *)
+  if k = 0 then Seq.return []
+  else
+    Seq.flat_map
+      (fun tl -> Seq.map (fun p -> p :: tl) (List.to_seq points))
+      (fun () -> tuples (k - 1) points ())
+
+let schedules ~n cfg =
+  let points = grid cfg in
+  let pids = List.init n Fun.id in
+  let of_size k =
+    Seq.flat_map
+      (fun subset ->
+        Seq.map
+          (fun steps ->
+            Schedule.make
+              (List.map2 (fun pid step -> Schedule.crash ~step ~pid) subset (List.rev steps)))
+          (tuples k points))
+      (choose k pids)
+  in
+  Seq.flat_map of_size (Seq.init (cfg.max_faults + 1) Fun.id)
+
+let space_size ~n cfg =
+  let g = List.length (grid cfg) in
+  let rec binom n k = if k = 0 || k = n then 1 else binom (n - 1) (k - 1) + binom (n - 1) k in
+  let rec pow b e = if e = 0 then 1 else b * pow b (e - 1) in
+  let rec sum k acc =
+    if k > cfg.max_faults || k > n then acc else sum (k + 1) (acc + (binom n k * pow g k))
+  in
+  sum 0 0
+
+let run ?monitors ?interleave ?inputs ?config (sys : Model.System.t) =
+  let n = Model.System.n_processes sys in
+  let cfg = match config with Some c -> c | None -> default_config sys in
+  let space = space_size ~n cfg in
+  let examined = ref 0 in
+  let step_budget_hits = ref 0 in
+  let monitor_truncations = ref 0 in
+  let undelivered_crashes = ref 0 in
+  let rec scan seq =
+    match seq () with
+    | Seq.Nil -> None, false
+    | Seq.Cons (schedule, rest) ->
+      if !examined >= cfg.budget then None, true
+      else begin
+        incr examined;
+        let r =
+          Runner.run ?monitors ?interleave ?inputs ~max_steps:cfg.max_steps ~schedule sys
+        in
+        monitor_truncations := !monitor_truncations + List.length r.Runner.monitor_truncations;
+        undelivered_crashes := !undelivered_crashes + r.Runner.undelivered_crashes;
+        match r.Runner.stop with
+        | Runner.Violation { monitor; reason; proven } ->
+          Some { schedule; monitor; reason; proven; exec = r.Runner.exec }, false
+        | Runner.Lasso _ -> scan rest
+        | Runner.Budget ->
+          incr step_budget_hits;
+          scan rest
+      end
+  in
+  let violation, truncated = scan (schedules ~n cfg) in
+  {
+    examined = !examined;
+    space;
+    truncated;
+    step_budget_hits = !step_budget_hits;
+    monitor_truncations = !monitor_truncations;
+    undelivered_crashes = !undelivered_crashes;
+    violation;
+  }
+
+let pp_report ppf r =
+  Format.fprintf ppf "@[<v>examined %d of %d candidate fault schedule(s)%s@," r.examined r.space
+    (if r.truncated then " — TRUNCATED: enumeration budget hit before exhausting the space"
+     else "");
+  if r.step_budget_hits > 0 then
+    Format.fprintf ppf
+      "%d run(s) hit the step budget undecided — liveness verdicts there are bounded evidence only@,"
+      r.step_budget_hits;
+  if r.monitor_truncations > 0 then
+    Format.fprintf ppf "%d monitor check(s) truncated (see per-run reports)@,"
+      r.monitor_truncations;
+  if r.undelivered_crashes > 0 then
+    Format.fprintf ppf "%d scheduled crash(es) fell beyond the executed step range@,"
+      r.undelivered_crashes;
+  (match r.violation with
+  | Some v -> Format.fprintf ppf "%a@]" pp_violation v
+  | None -> Format.fprintf ppf "no violation found@]")

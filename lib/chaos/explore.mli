@@ -1,0 +1,57 @@
+(** Systematic fault-schedule exploration: enumerate crash placements up to
+    [max_faults] failures across a bounded step space and run each candidate
+    under the monitored runner, stopping at the first violation.
+
+    Bounds are explicit and truncation is reported, never silent: the report
+    carries the full enumeration-space size versus the number of schedules
+    actually examined, the runs that hit the step budget undecided, and any
+    monitor that declined to decide. *)
+
+type config = {
+  max_faults : int;  (** Enumerate 0, 1, ..., [max_faults] crashes. *)
+  horizon : int;  (** Crash steps drawn from [0, horizon). *)
+  stride : int;  (** Step-grid granularity. *)
+  budget : int;  (** Maximum schedules to run. *)
+  max_steps : int;  (** Per-run step bound. *)
+}
+
+val default_config : Model.System.t -> config
+(** 1 fault, horizon twice the task count, stride 1, 1024 schedules,
+    20_000 steps. *)
+
+type violation = {
+  schedule : Schedule.t;
+  monitor : string;
+  reason : string;
+  proven : bool;
+  exec : Model.Exec.t;  (** The violating prefix. *)
+}
+
+val pp_violation : Format.formatter -> violation -> unit
+
+type report = {
+  examined : int;
+  space : int;  (** Full enumeration-space size for the config. *)
+  truncated : bool;  (** Enumeration budget hit before exhausting the space. *)
+  step_budget_hits : int;  (** Runs ending undecided at [max_steps]. *)
+  monitor_truncations : int;
+  undelivered_crashes : int;
+  violation : violation option;
+}
+
+val schedules : n:int -> config -> Schedule.t Seq.t
+(** The lazy candidate stream: by fault count, then pid subsets, then step
+    assignments, all lexicographic. Every candidate uses the silencing
+    adversary ({!Schedule.make}'s default). *)
+
+val space_size : n:int -> config -> int
+
+val run :
+  ?monitors:Monitor.t list ->
+  ?interleave:Runner.interleave ->
+  ?inputs:Ioa.Value.t list ->
+  ?config:config ->
+  Model.System.t ->
+  report
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,132 @@
+type verdict = Pass | Fail of string | Truncated of string
+type phase = Step | End
+
+type t = {
+  name : string;
+  phase : phase;
+  relevant : Model.Event.t -> bool;
+  check : Model.System.t -> Model.Exec.t -> verdict;
+}
+
+let on_decide = function Model.Event.Decide _ -> true | _ -> false
+
+let pp_values ppf vs =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ",") Ioa.Value.pp)
+    vs
+
+let agreement ?(k = 1) () =
+  {
+    name = (if k = 1 then "agreement" else Printf.sprintf "%d-agreement" k);
+    phase = Step;
+    relevant = on_decide;
+    check =
+      (fun _sys exec ->
+        let s = Model.Exec.last_state exec in
+        if Model.Properties.agreement ~k s then Pass
+        else
+          Fail
+            (Format.asprintf "%d distinct decisions %a (allowed: %d)"
+               (List.length (Model.State.decided_values s))
+               pp_values (Model.State.decided_values s) k));
+  }
+
+let validity =
+  {
+    name = "validity";
+    phase = Step;
+    relevant = on_decide;
+    check =
+      (fun _sys exec ->
+        let s = Model.Exec.last_state exec in
+        if Model.Properties.validity s then Pass
+        else Fail (Format.asprintf "decided values %a not all inputs" pp_values (Model.State.decided_values s)));
+  }
+
+let per_process_agreement =
+  {
+    name = "per-process agreement";
+    phase = Step;
+    relevant = on_decide;
+    check =
+      (fun _sys exec ->
+        if Model.Properties.per_process_agreement exec then Pass
+        else Fail "some process emitted two different decide events");
+  }
+
+let f_termination =
+  {
+    name = "f-termination";
+    phase = End;
+    relevant = (fun _ -> true);
+    check =
+      (fun _sys exec ->
+        let s = Model.Exec.last_state exec in
+        if Model.Properties.termination s then Pass
+        else
+          let undecided =
+            List.filteri
+              (fun i input ->
+                input <> None
+                && (not (Spec.Iset.mem i s.Model.State.failed))
+                && s.Model.State.decisions.(i) = None)
+              (Array.to_list s.Model.State.inputs)
+            |> List.length
+          in
+          Fail
+            (Printf.sprintf "%d nonfaulty initialized process(es) never decide" undecided));
+  }
+
+let linearizability ?(max_history = 240) () =
+  {
+    name = "linearizability";
+    phase = End;
+    relevant = (fun _ -> true);
+    check =
+      (fun sys exec ->
+        let bad = ref None and trunc = ref [] in
+        Array.iter
+          (fun (c : Model.Service.t) ->
+            match c.Model.Service.seq with
+            | None -> ()
+            | Some seq ->
+              if !bad = None then begin
+                let h = Model.Linearize.history exec ~service:c.Model.Service.id in
+                let len = List.length h in
+                if len > max_history then
+                  trunc :=
+                    Printf.sprintf "service %s: history of %d events > bound %d"
+                      c.Model.Service.id len max_history
+                    :: !trunc
+                else if not (Model.Linearize.check seq h) then
+                  bad :=
+                    Some
+                      (Printf.sprintf "service %s: history of %d events not linearizable"
+                         c.Model.Service.id len)
+              end)
+          sys.Model.System.services;
+        match !bad with
+        | Some why -> Fail why
+        | None -> if !trunc = [] then Pass else Truncated (String.concat "; " !trunc));
+  }
+
+let safety ?k () = [ agreement ?k (); validity; per_process_agreement ]
+let defaults ?k () = safety ?k () @ [ f_termination; linearizability () ]
+
+let check_phase monitors ~phase ?event sys exec =
+  let applicable m =
+    m.phase = phase
+    && match phase, event with Step, Some e -> m.relevant e | _ -> true
+  in
+  List.fold_left
+    (fun (fail, truncs) m ->
+      if not (applicable m) then fail, truncs
+      else
+        match fail with
+        | Some _ -> fail, truncs
+        | None -> (
+          match m.check sys exec with
+          | Pass -> fail, truncs
+          | Fail why -> Some (m.name, why), truncs
+          | Truncated why -> fail, truncs @ [ m.name, why ]))
+    (None, []) monitors

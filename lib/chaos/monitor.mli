@@ -1,0 +1,57 @@
+(** Property monitors checked while a chaos run unfolds.
+
+    Safety monitors ({!Step}) are evaluated after every step whose event is
+    {!val-relevant} — for the consensus conditions that means decision
+    events, so monitoring is O(1) on non-deciding steps. Liveness monitors
+    ({!End}) are evaluated when the run ends: at a lasso (the verdict is
+    then {e proven} — the detected cycle repeats forever) or at the step
+    budget (bounded evidence only).
+
+    A monitor may also report {!Truncated} when it declined to decide (e.g.
+    a history too long for the exponential linearizability search); runs
+    surface truncations instead of silently passing. *)
+
+type verdict =
+  | Pass
+  | Fail of string  (** Why, human-readable. *)
+  | Truncated of string  (** The monitor gave up; the reason is reported. *)
+
+type phase = Step | End
+
+type t = {
+  name : string;
+  phase : phase;
+  relevant : Model.Event.t -> bool;
+      (** [Step] monitors are re-checked only after events matching this. *)
+  check : Model.System.t -> Model.Exec.t -> verdict;
+}
+
+val agreement : ?k:int -> unit -> t
+(** At most [k] (default 1) distinct decided values, checked per step. *)
+
+val validity : t
+(** Every decided value is some process's input, checked per step. *)
+
+val per_process_agreement : t
+(** No process decides two different values, checked per step. *)
+
+val f_termination : t
+(** Modified termination (§2.2.4): at the end of the run, every nonfaulty
+    process that received an input has decided. *)
+
+val linearizability : ?max_history:int -> unit -> t
+(** Every service retaining a sequential spec ({!Model.Service.t}[.seq])
+    has a linearizable history ({!Model.Linearize}). Histories longer than
+    [max_history] (default 240 events) yield {!Truncated}. *)
+
+val defaults : ?k:int -> unit -> t list
+(** All of the above. *)
+
+val safety : ?k:int -> unit -> t list
+(** The [Step] subset. *)
+
+val check_phase :
+  t list -> phase:phase -> ?event:Model.Event.t -> Model.System.t -> Model.Exec.t ->
+  (string * string) option * (string * string) list
+(** Run the monitors of [phase] (filtered by [event] relevance for [Step]):
+    the first failure as [(name, reason)], plus all truncations. *)

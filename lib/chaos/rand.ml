@@ -1,0 +1,39 @@
+let interleave ~seed = Runner.Seeded (seed lxor 0x5EED7)
+
+let schedule ~seed ?(max_faults = 1) ?(silence_prob = 0.25) ?horizon (sys : Model.System.t) =
+  let rng = Random.State.make [| seed; 0xC4A05 |] in
+  let n = Model.System.n_processes sys in
+  let horizon =
+    match horizon with Some h -> h | None -> 2 * Array.length sys.Model.System.tasks
+  in
+  let k = Random.State.int rng (min max_faults n + 1) in
+  (* k distinct pids via a seeded Fisher–Yates prefix. *)
+  let pids = Array.init n Fun.id in
+  for i = 0 to min k (n - 1) - 1 do
+    let j = i + Random.State.int rng (n - i) in
+    let tmp = pids.(i) in
+    pids.(i) <- pids.(j);
+    pids.(j) <- tmp
+  done;
+  let crashes =
+    List.init k (fun i ->
+      Schedule.crash ~step:(Random.State.int rng horizon) ~pid:pids.(i))
+  in
+  let silences =
+    Array.to_list sys.Model.System.services
+    |> List.filter_map (fun (c : Model.Service.t) ->
+         if Random.State.float rng 1.0 < silence_prob then
+           Some
+             (Schedule.silence ~step:(Random.State.int rng horizon)
+                ~service:c.Model.Service.id)
+         else None)
+  in
+  Schedule.make (crashes @ silences)
+
+let run ~seed ?max_faults ?silence_prob ?horizon ?monitors ?max_steps ?inputs sys =
+  let sched = schedule ~seed ?max_faults ?silence_prob ?horizon sys in
+  let r =
+    Runner.run ?monitors ?max_steps ~interleave:(interleave ~seed) ?inputs ~schedule:sched
+      sys
+  in
+  r, sched

@@ -1,0 +1,37 @@
+(** The seeded chaos mode: derive a pseudo-random fault schedule and a
+    pseudo-random task interleaving from one seed, with exact replay — the
+    system is deterministic and both derivations consume only the seeded
+    generators, so the same seed reproduces the identical execution
+    byte-for-byte (asserted in the test suite).
+
+    Fault delivery is schedule-driven and consumes no randomness, which is
+    what makes shrinking sound in this mode: removing a fault from the
+    schedule does not shift the task-choice stream. *)
+
+val interleave : seed:int -> Runner.interleave
+(** The task-interleaving component derived from [seed]; reuse it to re-run
+    or shrink a violation found by {!run}. *)
+
+val schedule :
+  seed:int ->
+  ?max_faults:int ->
+  ?silence_prob:float ->
+  ?horizon:int ->
+  Model.System.t ->
+  Schedule.t
+(** A pseudo-random schedule: up to [max_faults] (default 1) crashes of
+    distinct processes at steps below [horizon] (default twice the task
+    count), plus each service silenced with probability [silence_prob]
+    (default 0.25). *)
+
+val run :
+  seed:int ->
+  ?max_faults:int ->
+  ?silence_prob:float ->
+  ?horizon:int ->
+  ?monitors:Monitor.t list ->
+  ?max_steps:int ->
+  ?inputs:Ioa.Value.t list ->
+  Model.System.t ->
+  Runner.result * Schedule.t
+(** One seeded chaos run; returns the result and the schedule it ran. *)

@@ -1,0 +1,123 @@
+type interleave = Round_robin | Seeded of int
+
+type stop =
+  | Violation of { monitor : string; reason : string; proven : bool }
+  | Lasso of { period : int }
+  | Budget
+
+type result = {
+  exec : Model.Exec.t;
+  steps : int;
+  stop : stop;
+  monitor_truncations : (string * string) list;
+  undelivered_crashes : int;
+}
+
+let pp_stop ppf = function
+  | Violation { monitor; reason; proven } ->
+    Format.fprintf ppf "VIOLATION of %s (%s): %s" monitor
+      (if proven then "proven" else "bounded evidence")
+      reason
+  | Lasso { period } -> Format.fprintf ppf "pass (lasso of period %d: provably quiescent)" period
+  | Budget -> Format.fprintf ppf "pass (step budget exhausted: bounded evidence)"
+
+module Tbl = Hashtbl.Make (struct
+  type t = int * Model.State.t
+
+  let equal (c1, s1) (c2, s2) = c1 = c2 && Model.State.equal s1 s2
+  let hash (c, s) = (c * 31) lxor Model.State.hash s
+end)
+
+let default_inputs sys =
+  List.init (Model.System.n_processes sys) (fun i -> Ioa.Value.int (i mod 2))
+
+let initialized sys inputs =
+  List.fold_left
+    (fun (exec, i) v -> Model.Exec.append_init sys exec i v, i + 1)
+    (Model.Exec.init (Model.System.initial_state sys), 0)
+    inputs
+  |> fst
+
+let run ?(monitors = Monitor.defaults ()) ?(max_steps = 20_000) ?(interleave = Round_robin)
+    ?inputs ~schedule (sys : Model.System.t) =
+  let inputs = match inputs with Some vs -> vs | None -> default_inputs sys in
+  let compiled = Schedule.compile schedule sys in
+  let policy = Schedule.policy compiled in
+  let tasks = sys.Model.System.tasks in
+  let n_tasks = Array.length tasks in
+  let rng =
+    match interleave with
+    | Round_robin -> None
+    | Seeded seed -> Some (Random.State.make [| seed; 0x1A7E |])
+  in
+  let cursor = ref 0 in
+  let seen = Tbl.create 256 in
+  let truncs = ref [] in
+  let finish exec steps stop =
+    {
+      exec;
+      steps;
+      stop;
+      monitor_truncations = !truncs;
+      undelivered_crashes = Schedule.undelivered compiled;
+    }
+  in
+  (* End-of-run: evaluate the liveness monitors; [proven] records whether
+     the terminal situation repeats forever (lasso) or merely ran out of
+     budget. *)
+  let ended exec steps ~proven pass =
+    let fail, t = Monitor.check_phase monitors ~phase:Monitor.End sys exec in
+    truncs := !truncs @ t;
+    match fail with
+    | Some (monitor, reason) -> finish exec steps (Violation { monitor; reason; proven })
+    | None -> finish exec steps pass
+  in
+  let rec go exec step =
+    if step >= max_steps then ended exec step ~proven:false Budget
+    else begin
+      let lasso =
+        (* (cursor, state) repetition proves a cycle only once the schedule
+           is memoryless (no pending crash, no future silence activation)
+           and the task order is deterministic. *)
+        match interleave with
+        | Round_robin when Schedule.fully_active compiled ~step ->
+          let key = !cursor mod n_tasks, Model.Exec.last_state exec in
+          let prior = Tbl.find_opt seen key in
+          if prior = None then Tbl.replace seen key step;
+          Option.map (fun at -> step - at) prior
+        | _ -> None
+      in
+      match lasso with
+      | Some period -> ended exec step ~proven:true (Lasso { period })
+      | None -> (
+        match Schedule.due compiled ~step with
+        | Some pid -> go (Model.Exec.append_fail sys exec pid) (step + 1)
+        | None -> (
+          let task =
+            match rng with
+            | Some rng -> tasks.(Random.State.int rng n_tasks)
+            | None ->
+              let t = tasks.(!cursor mod n_tasks) in
+              incr cursor;
+              t
+          in
+          match Model.Exec.append_task ~policy sys exec task with
+          | None -> go exec (step + 1)
+          | Some exec' -> (
+            let event =
+              match exec'.Model.Exec.rev_steps with
+              | s :: _ -> s.Model.Exec.event
+              | [] -> assert false
+            in
+            let fail, t =
+              Monitor.check_phase monitors ~phase:Monitor.Step ~event sys exec'
+            in
+            truncs := !truncs @ t;
+            match fail with
+            | Some (monitor, reason) ->
+              (* A safety violation is witnessed by the prefix itself. *)
+              finish exec' (step + 1) (Violation { monitor; reason; proven = true })
+            | None -> go exec' (step + 1))))
+    end
+  in
+  go (initialized sys inputs) 0

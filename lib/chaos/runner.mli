@@ -1,0 +1,47 @@
+(** The monitored chaos run: drive a system under a compiled fault schedule,
+    checking safety monitors per step and liveness monitors at the end.
+
+    The task order is either the fair round-robin (with lasso detection:
+    once the schedule is {!Schedule.fully_active}, a repeated
+    (cursor, state) pair proves the run cycles forever, turning liveness
+    verdicts into proofs) or a seeded-random interleaving with exact replay
+    (the same seed reproduces the identical execution; asserted in tests). *)
+
+type interleave =
+  | Round_robin
+  | Seeded of int  (** Uniform random task choice from this seed. *)
+
+type stop =
+  | Violation of { monitor : string; reason : string; proven : bool }
+      (** [proven] is true for safety violations (the prefix is the witness)
+          and for liveness violations established at a lasso; false when the
+          evidence is only budget-bounded. *)
+  | Lasso of { period : int }  (** All monitors passed; run provably cycles. *)
+  | Budget  (** All monitors passed within the step budget. *)
+
+type result = {
+  exec : Model.Exec.t;  (** The violating prefix, or the full bounded run. *)
+  steps : int;
+  stop : stop;
+  monitor_truncations : (string * string) list;
+      (** Monitors that declined to decide, with reasons — reported, never
+          silently dropped. *)
+  undelivered_crashes : int;
+      (** Crashes scheduled beyond the executed step range. *)
+}
+
+val pp_stop : Format.formatter -> stop -> unit
+
+val default_inputs : Model.System.t -> Ioa.Value.t list
+(** Binary inputs [i mod 2], the staircase convention used elsewhere. *)
+
+val run :
+  ?monitors:Monitor.t list ->
+  ?max_steps:int ->
+  ?interleave:interleave ->
+  ?inputs:Ioa.Value.t list ->
+  schedule:Schedule.t ->
+  Model.System.t ->
+  result
+(** Defaults: {!Monitor.defaults}, 20_000 steps, [Round_robin], binary
+    inputs. *)

@@ -1,0 +1,211 @@
+type fault =
+  | Crash of { step : int; pid : int }
+  | Silence of { step : int; service : string }
+
+type t = {
+  faults : fault list;
+  default_pref : Model.System.pref;
+  overrides : (Model.Task.t * Model.System.pref) list;
+}
+
+let crash ~step ~pid = Crash { step; pid }
+let silence ~step ~service = Silence { step; service }
+
+let fault_step = function Crash { step; _ } | Silence { step; _ } -> step
+
+let make ?(default_pref = Model.System.Prefer_dummy) ?(overrides = []) faults =
+  let faults = List.stable_sort (fun a b -> Int.compare (fault_step a) (fault_step b)) faults in
+  { faults; default_pref; overrides }
+
+let empty = make []
+
+let equal_fault a b =
+  match a, b with
+  | Crash a, Crash b -> a.step = b.step && a.pid = b.pid
+  | Silence a, Silence b -> a.step = b.step && String.equal a.service b.service
+  | _ -> false
+
+let equal a b =
+  List.equal equal_fault a.faults b.faults
+  && a.default_pref = b.default_pref
+  && List.equal
+       (fun (t1, p1) (t2, p2) -> Model.Task.equal t1 t2 && p1 = p2)
+       a.overrides b.overrides
+
+let crashes t =
+  List.filter_map (function Crash { step; pid } -> Some (step, pid) | _ -> None) t.faults
+
+let n_crashes t = List.length (crashes t)
+let crashed_pids t = List.sort_uniq Int.compare (List.map snd (crashes t))
+
+let pp_fault ppf = function
+  | Crash { step; pid } -> Format.fprintf ppf "crash@%d:%d" step pid
+  | Silence { step; service } -> Format.fprintf ppf "silence@%d:%s" step service
+
+let pp_pref ppf = function
+  | Model.System.Prefer_real -> Format.pp_print_string ppf "helpful"
+  | Model.System.Prefer_dummy -> Format.pp_print_string ppf "silencing"
+
+let pp ppf t =
+  Format.fprintf ppf "@[<h>%a adversary" pp_pref t.default_pref;
+  if t.faults = [] then Format.fprintf ppf ", no faults"
+  else
+    Format.fprintf ppf ": %a"
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ") pp_fault)
+      t.faults;
+  List.iter
+    (fun (task, pref) ->
+      Format.fprintf ppf ",@ %a->%a" Model.Task.pp task pp_pref pref)
+    t.overrides;
+  Format.fprintf ppf "@]"
+
+let to_string t =
+  let faults = List.map (Format.asprintf "%a" pp_fault) t.faults in
+  let parts =
+    match t.default_pref with
+    | Model.System.Prefer_real -> "helpful" :: faults
+    | Model.System.Prefer_dummy -> faults
+  in
+  String.concat "," parts
+
+let parse s =
+  let tokens =
+    String.split_on_char ',' s
+    |> List.concat_map (String.split_on_char ' ')
+    |> List.map String.trim
+    |> List.filter (fun tok -> tok <> "")
+  in
+  let parse_int what str =
+    match int_of_string_opt str with
+    | Some n when n >= 0 -> Ok n
+    | _ -> Error (Printf.sprintf "bad %s %S" what str)
+  in
+  let parse_at kind rest =
+    match String.index_opt rest ':' with
+    | None -> Error (Printf.sprintf "expected %s@STEP:TARGET in %S" kind rest)
+    | Some i ->
+      let step = String.sub rest 0 i in
+      let target = String.sub rest (i + 1) (String.length rest - i - 1) in
+      Result.bind (parse_int "step" step) (fun step -> Ok (step, target))
+  in
+  let ( let* ) = Result.bind in
+  let rec go acc pref = function
+    | [] -> Ok (make ?default_pref:pref (List.rev acc))
+    | "helpful" :: rest -> go acc (Some Model.System.Prefer_real) rest
+    | "silencing" :: rest -> go acc (Some Model.System.Prefer_dummy) rest
+    | tok :: rest -> (
+      match String.index_opt tok '@' with
+      | Some i ->
+        let kind = String.sub tok 0 i in
+        let body = String.sub tok (i + 1) (String.length tok - i - 1) in
+        let* step, target = parse_at kind body in
+        let* fault =
+          match kind with
+          | "crash" ->
+            let* pid = parse_int "pid" target in
+            Ok (crash ~step ~pid)
+          | "silence" -> Ok (silence ~step ~service:target)
+          | k -> Error (Printf.sprintf "unknown fault kind %S" k)
+        in
+        go (fault :: acc) pref rest
+      | None ->
+        (* Shorthand STEP:PID for a crash, matching round_robin's faults. *)
+        let* step, target = parse_at "crash" tok in
+        let* pid = parse_int "pid" target in
+        go (crash ~step ~pid :: acc) pref rest)
+  in
+  go [] None tokens
+
+let validate sys t =
+  let n = Model.System.n_processes sys in
+  let check = function
+    | Crash { pid; step } ->
+      if pid < 0 || pid >= n then Error (Printf.sprintf "crash pid %d out of range" pid)
+      else if step < 0 then Error (Printf.sprintf "negative crash step %d" step)
+      else Ok ()
+    | Silence { service; _ } ->
+      if
+        Array.exists
+          (fun (c : Model.Service.t) -> String.equal c.Model.Service.id service)
+          sys.Model.System.services
+      then Ok ()
+      else Error (Printf.sprintf "silence of unknown service %S" service)
+  in
+  List.fold_left
+    (fun acc fault -> Result.bind acc (fun () -> check fault))
+    (Ok ()) t.faults
+
+type compiled = {
+  now : int ref;
+  pending : (int * int) list ref;  (* crash (step, pid), sorted by step *)
+  silences : (int * int) list;  (* (service position, activation step) *)
+  latest_silence : int;
+  policy : Model.System.policy;
+}
+
+let compile t sys =
+  (match validate sys t with Ok () -> () | Error e -> invalid_arg ("Chaos.Schedule: " ^ e));
+  let now = ref (-1) in
+  let silences =
+    List.filter_map
+      (function
+        | Silence { step; service } -> Some (Model.System.service_pos sys service, step)
+        | Crash _ -> None)
+      t.faults
+  in
+  let latest_silence = List.fold_left (fun acc (_, s) -> max acc s) 0 silences in
+  let silenced svc =
+    List.exists (fun (pos, step) -> pos = svc && step <= !now) silences
+  in
+  let policy task =
+    match List.find_opt (fun (t', _) -> Model.Task.equal t' task) t.overrides with
+    | Some (_, pref) -> pref
+    | None -> (
+      match task with
+      | Model.Task.Svc_perform { svc; _ }
+      | Model.Task.Svc_output { svc; _ }
+      | Model.Task.Svc_compute { svc; _ }
+        when silenced svc ->
+        Model.System.Prefer_dummy
+      | _ -> t.default_pref)
+  in
+  { now; pending = ref (crashes t); silences; latest_silence; policy }
+
+let policy c = c.policy
+
+let due c ~step =
+  c.now := max !(c.now) step;
+  match !(c.pending) with
+  | (at, pid) :: rest when step >= at ->
+    c.pending := rest;
+    Some pid
+  | _ -> None
+
+let exhausted c = !(c.pending) = []
+let undelivered c = List.length !(c.pending)
+
+let fully_active c ~step = exhausted c && step >= c.latest_silence
+
+let to_scheduler ?(quiesce = true) t (sys : Model.System.t) =
+  let c = compile t sys in
+  let tasks = sys.Model.System.tasks in
+  let cursor = ref 0 in
+  let silent = ref 0 in
+  let prev : Model.State.t option ref = ref None in
+  let sched ~step s =
+    (match !prev with
+    | Some s' when Model.State.equal s s' -> incr silent
+    | _ -> silent := 0);
+    prev := Some s;
+    if quiesce && exhausted c && !silent > Array.length tasks then Model.Scheduler.Stop
+    else
+      match due c ~step with
+      | Some pid ->
+        silent := 0;
+        Model.Scheduler.Do_fail pid
+      | None ->
+        let task = tasks.(!cursor mod Array.length tasks) in
+        incr cursor;
+        Model.Scheduler.Do_task task
+  in
+  sched, c.policy

@@ -1,0 +1,101 @@
+(** First-class fault schedules (paper §2.1.3 made data).
+
+    A fault schedule is the adversary's plan, reified: which [fail_i] inputs
+    to deliver and when, which services to (attempt to) silence from which
+    step, and how to resolve the real-vs-dummy nondeterminism per task. It
+    compiles down to a {!Model.Scheduler.t} plus a {!Model.System.policy},
+    so any existing protocol runs under it unchanged.
+
+    Silencing is an {e attempt}: preferring a service's dummy actions only
+    has effect once the model enables them, i.e. once more than [f]
+    endpoints of the f-resilient service have failed (§2.1.3). In
+    failure-free executions every schedule is behaviourally empty. *)
+
+type fault =
+  | Crash of { step : int; pid : int }
+      (** Deliver [fail_pid] at the first scheduling turn ≥ [step]. *)
+  | Silence of { step : int; service : string }
+      (** From step [step] on, prefer the dummy actions of this service. *)
+
+type t = {
+  faults : fault list;  (** Sorted by step (stable for equal steps). *)
+  default_pref : Model.System.pref;
+      (** Baseline resolution for tasks not covered by a silence or an
+          override. [Prefer_dummy] is the paper's adversary. *)
+  overrides : (Model.Task.t * Model.System.pref) list;
+      (** Per-task resolutions, taking precedence over silences and the
+          default. *)
+}
+
+val crash : step:int -> pid:int -> fault
+val silence : step:int -> service:string -> fault
+
+val make :
+  ?default_pref:Model.System.pref ->
+  ?overrides:(Model.Task.t * Model.System.pref) list ->
+  fault list ->
+  t
+(** [default_pref] defaults to [Prefer_dummy] (the silencing adversary). *)
+
+val empty : t
+val equal : t -> t -> bool
+
+val crashes : t -> (int * int) list
+(** The [(step, pid)] crash placements, in schedule order. *)
+
+val n_crashes : t -> int
+val crashed_pids : t -> int list
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+(** Round-trips through {!parse}: a comma-separated fault spec, e.g.
+    ["crash@0:1,silence@4:cons"], prefixed with ["helpful,"] when
+    [default_pref] is [Prefer_real]. Overrides are not representable in the
+    string form. *)
+
+val parse : string -> (t, string) result
+(** Accepts comma/space-separated tokens: [crash@STEP:PID] (or the shorthand
+    [STEP:PID]), [silence@STEP:SERVICE], and the adversary markers
+    [helpful] / [silencing]. *)
+
+val validate : Model.System.t -> t -> (unit, string) result
+(** Check pids are in range and silenced services exist. *)
+
+(** {1 Compilation} *)
+
+type compiled
+(** A schedule instantiated against a system: pending crashes, silence
+    activation steps resolved to service positions, and the policy closure.
+    Mutable (crash delivery is consumed); compile afresh per run. *)
+
+val compile : t -> Model.System.t -> compiled
+(** Raises [Invalid_argument] if {!validate} fails. *)
+
+val policy : compiled -> Model.System.policy
+(** Resolution order: override, then active silence, then default. The
+    policy is step-dependent through {!due}: silences activate once the
+    schedule has been driven past their step. *)
+
+val due : compiled -> step:int -> int option
+(** The pid to crash at this scheduling turn, if any (consumes it). Also
+    advances the schedule's clock, activating silences. Call once per
+    turn. *)
+
+val exhausted : compiled -> bool
+(** All crashes delivered. *)
+
+val undelivered : compiled -> int
+(** Crashes never delivered (scheduled beyond the step budget). *)
+
+val fully_active : compiled -> step:int -> bool
+(** No pending crashes and every silence activated — from here on the
+    compiled schedule is memoryless, so (cursor, state) repetition under a
+    deterministic task order proves a lasso. *)
+
+val to_scheduler :
+  ?quiesce:bool -> t -> Model.System.t -> Model.Scheduler.t * Model.System.policy
+(** The advertised compile-down: a round-robin scheduler that injects the
+    schedule's crashes (one per turn when due) plus the matching policy, for
+    use with {!Model.Scheduler.run}. With [quiesce] (default true) it stops
+    after a full silent cycle, like {!Model.Scheduler.round_robin}. *)

@@ -1,0 +1,84 @@
+type stats = { candidates : int; runs : int }
+
+(* One round of improvement candidates, most aggressive first:
+   1. drop a fault entirely;
+   2. downgrade the silencing adversary to the helpful one;
+   3. drop a per-task override;
+   4. pull a crash earlier (to 0, then halfway, then one step). *)
+let candidates (s : Schedule.t) =
+  let without i = List.filteri (fun j _ -> j <> i) s.Schedule.faults in
+  let drops =
+    List.mapi (fun i _ -> Schedule.{ s with faults = without i }) s.Schedule.faults
+  in
+  let helpful =
+    match s.Schedule.default_pref with
+    | Model.System.Prefer_dummy ->
+      [ Schedule.{ s with default_pref = Model.System.Prefer_real } ]
+    | Model.System.Prefer_real -> []
+  in
+  let override_drops =
+    List.mapi
+      (fun i _ ->
+        Schedule.
+          { s with overrides = List.filteri (fun j _ -> j <> i) s.Schedule.overrides })
+      s.Schedule.overrides
+  in
+  let earlier =
+    List.concat
+      (List.mapi
+         (fun i fault ->
+           match fault with
+           | Schedule.Crash { step; pid } when step > 0 ->
+             List.filter_map
+               (fun step' ->
+                 if step' < step then
+                   Some
+                     Schedule.
+                       {
+                         s with
+                         faults =
+                           List.mapi
+                             (fun j f ->
+                               if j = i then Schedule.crash ~step:step' ~pid else f)
+                             s.Schedule.faults;
+                       }
+                 else None)
+               (List.sort_uniq Int.compare [ 0; step / 2; step - 1 ])
+           | _ -> [])
+         s.Schedule.faults)
+  in
+  drops @ helpful @ override_drops @ earlier
+
+let shrink ?monitors ?max_steps ?interleave ?inputs sys (v : Explore.violation) =
+  let tried = ref 0 and runs = ref 0 in
+  (* Does [schedule] still violate the same monitor as [v]? *)
+  let reproduces (v : Explore.violation) schedule =
+    incr runs;
+    let r = Runner.run ?monitors ?max_steps ?interleave ?inputs ~schedule sys in
+    match r.Runner.stop with
+    | Runner.Violation { monitor; reason; proven } when String.equal monitor v.monitor ->
+      Some { v with Explore.schedule; reason; proven; exec = r.Runner.exec }
+    | _ -> None
+  in
+  let rec fixpoint (v : Explore.violation) =
+    let rec first = function
+      | [] -> None
+      | c :: rest ->
+        incr tried;
+        (* Re-normalize so crash delivery order stays canonical. *)
+        let c =
+          Schedule.make ~default_pref:c.Schedule.default_pref ~overrides:c.Schedule.overrides
+            c.Schedule.faults
+        in
+        if Schedule.equal c v.Explore.schedule then first rest
+        else (
+          match reproduces v c with
+          | Some v' -> Some v'
+          | None -> first rest)
+    in
+    match first (candidates v.Explore.schedule) with
+    | Some v' -> fixpoint v'
+    | None -> v
+  in
+  let v = fixpoint v in
+  v, { candidates = !tried; runs = !runs }

@@ -1,0 +1,23 @@
+(** Delta-debug a failing fault schedule to a minimal one.
+
+    Greedy fixpoint over structural reductions — drop a fault, downgrade
+    the silencing adversary to the helpful one, drop a per-task override,
+    pull a crash earlier — keeping a reduction iff re-running the shrunk
+    schedule still violates the {e same} monitor. The result is 1-minimal:
+    no single remaining reduction preserves the violation.
+
+    Pass the same [monitors]/[max_steps]/[interleave]/[inputs] the
+    violation was found with; in particular, seeded-random violations
+    shrink under their own interleaving (fault delivery never consumes
+    randomness, so removing faults does not shift the task stream). *)
+
+type stats = { candidates : int; runs : int }
+
+val shrink :
+  ?monitors:Monitor.t list ->
+  ?max_steps:int ->
+  ?interleave:Runner.interleave ->
+  ?inputs:Ioa.Value.t list ->
+  Model.System.t ->
+  Explore.violation ->
+  Explore.violation * stats

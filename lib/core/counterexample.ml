@@ -30,6 +30,12 @@ let pp_witness ppf = function
     Format.fprintf ppf "bivalence-preserving schedule of %d steps (divergence)"
       (List.length path)
 
+let witness_exec = function
+  | Agreement_violation exec | Validity_violation exec -> Some exec
+  | Non_termination { exec; _ } -> Some exec
+  | Valence_contradiction { replay; _ } -> Some replay
+  | Divergence _ -> None
+
 type pivot = Pivot_process of int | Pivot_service of int
 
 let pp_pivot ppf = function

@@ -53,6 +53,10 @@ type witness =
 
 val pp_witness : Format.formatter -> witness -> unit
 
+val witness_exec : witness -> Model.Exec.t option
+(** The execution embedded in a witness, when it carries one ([Divergence]
+    carries only a task path). *)
+
 type pivot = Pivot_process of int | Pivot_service of int
 
 val pp_pivot : Format.formatter -> pivot -> unit

@@ -12,6 +12,7 @@ type t = {
   resilience : int;
   cls : cls;
   gtype : Spec.General_type.t;
+  seq : Spec.Seq_type.t option;
   coalesce : bool;
 }
 
@@ -20,17 +21,17 @@ let sorted_endpoints endpoints =
   if Array.length a = 0 then invalid_arg "Service: empty endpoint set";
   a
 
-let make ~id ~endpoints ~f ~cls ~coalesce gtype =
+let make ~id ~endpoints ~f ~cls ~coalesce ?seq gtype =
   if f < 0 then invalid_arg "Service: negative resilience";
-  { id; endpoints = sorted_endpoints endpoints; resilience = f; cls; gtype; coalesce }
+  { id; endpoints = sorted_endpoints endpoints; resilience = f; cls; gtype; seq; coalesce }
 
 let atomic ~id ~endpoints ~f seq =
-  make ~id ~endpoints ~f ~cls:Atomic ~coalesce:false
+  make ~id ~endpoints ~f ~cls:Atomic ~coalesce:false ~seq
     (Spec.General_type.of_sequential (Spec.Seq_type.determinize seq))
 
 let register ~id ~endpoints seq =
   let f = List.length (List.sort_uniq Int.compare endpoints) - 1 in
-  make ~id ~endpoints ~f ~cls:Register ~coalesce:false
+  make ~id ~endpoints ~f ~cls:Register ~coalesce:false ~seq
     (Spec.General_type.of_sequential (Spec.Seq_type.determinize seq))
 
 let oblivious ~id ~endpoints ~f u =

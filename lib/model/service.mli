@@ -21,6 +21,12 @@ type t = {
   resilience : int;  (** f. *)
   cls : cls;
   gtype : Spec.General_type.t;
+  seq : Spec.Seq_type.t option;
+      (** For {!Register}/{!Atomic} services, the sequential type the
+          canonical automaton was built from (before determinization) —
+          retained so observers ({!Linearize}-based monitors) can check
+          histories against the original specification. [None] for
+          oblivious/general services, which have no sequential spec. *)
   coalesce : bool;
       (** Deduplicate a response equal to the current buffer tail when
           pushing (keeps spontaneous-output services finite-state; documented

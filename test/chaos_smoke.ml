@@ -1,0 +1,38 @@
+(* @chaos-smoke: a bounded (~2s) chaos sweep over the two theorem-target
+   protocols, wired into the default `dune runtest` so tier-1 always
+   exercises the fault-injection subsystem end to end.
+
+   direct f=1 genuinely tolerates one crash (Theorem 11 side); direct f=0
+   and tob f=0 must fall to a single crash plus the silencing adversary
+   (Theorems 2 and 9 side). *)
+
+let check name sys ~expect_violation =
+  let config =
+    {
+      (Chaos.Explore.default_config sys) with
+      Chaos.Explore.max_faults = 1;
+      budget = 64;
+      max_steps = 4_000;
+    }
+  in
+  let report = Chaos.Driver.run ~shrink:expect_violation (Chaos.Driver.Systematic config) sys in
+  let got_violation =
+    match report.Chaos.Driver.outcome with
+    | Chaos.Driver.Passed -> false
+    | Chaos.Driver.Violated _ -> true
+  in
+  Format.printf "--- %s ---@.%a@.@." name Chaos.Driver.pp_report report;
+  if got_violation <> expect_violation then begin
+    Format.printf "chaos-smoke FAILED on %s: expected %s@." name
+      (if expect_violation then "a violation" else "no violation");
+    exit 1
+  end
+
+let () =
+  check "direct n=2 f=1 (resilient)" (Protocols.Direct.system ~n:2 ~f:1)
+    ~expect_violation:false;
+  check "direct n=2 f=0 (Thm 2 target)" (Protocols.Direct.system ~n:2 ~f:0)
+    ~expect_violation:true;
+  check "tob n=2 f=0 (Thm 9 target)" (Protocols.Tob_direct.system ~n:2 ~f:0)
+    ~expect_violation:true;
+  Format.printf "chaos-smoke OK@."

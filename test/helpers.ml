@@ -44,6 +44,12 @@ let initialized sys inputs =
 
 let int_inputs vs = List.map Value.int vs
 
+(* Naive substring search, for asserting on rendered reports. *)
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  go 0
+
 (* Run a system round-robin to quiescence or bound; return the final state. *)
 let run_rr ?policy ?(faults = []) ?(max_steps = 20_000) sys inputs =
   let exec0 = initialized sys (int_inputs inputs) in

@@ -1,0 +1,72 @@
+(* Regression coverage for Scheduler.random's failure accounting.
+
+   The contract: at most [max_failures] fail_i inputs are ever delivered,
+   and the budget is never burned on an already-failed process — fail_i is
+   idempotent in the model (§2.1.3), so re-failing pid would waste the
+   adversary's budget. Scheduler.random guarantees both by construction
+   (it draws only from the currently-alive set), and these tests pin that
+   down against regressions. *)
+
+open Helpers
+
+let seed_gen = QCheck2.Gen.int_bound 10_000
+
+let fail_pids exec =
+  List.filter_map
+    (function Model.Exec.L_fail i -> Some i | _ -> None)
+    (Model.Exec.labels exec)
+
+let prop_budget_respected =
+  qtest "Scheduler.random: max_failures never exceeded" ~count:100
+    QCheck2.Gen.(pair seed_gen (int_bound 3))
+    (fun (seed, max_failures) ->
+      let sys = Protocols.Direct.system ~n:3 ~f:2 in
+      let _, _, exec =
+        run_random ~seed ~fail_prob:1.0 ~max_failures ~max_steps:500 sys [ 0; 1; 0 ]
+      in
+      List.length (fail_pids exec) <= max_failures)
+
+let prop_no_double_fail =
+  qtest "Scheduler.random: never re-fails a failed pid (no budget burn)" ~count:100
+    seed_gen
+    (fun seed ->
+      let sys = Protocols.Direct.system ~n:3 ~f:2 in
+      let final, _, exec =
+        run_random ~seed ~fail_prob:0.5 ~max_failures:2 ~max_steps:1_000 sys [ 0; 1; 0 ]
+      in
+      let pids = fail_pids exec in
+      (* Distinct fail targets, and each delivered fail grew the failed set:
+         the budget bought exactly |failed| silenced processes. *)
+      List.length (List.sort_uniq Int.compare pids) = List.length pids
+      && Spec.Iset.cardinal final.Model.State.failed = List.length pids)
+
+(* With an exhausted budget the scheduler must keep scheduling tasks: all
+   three processes can still be failed only when max_failures allows it. *)
+let prop_zero_budget_means_no_failures =
+  qtest "Scheduler.random: zero budget, zero failures" ~count:50 seed_gen (fun seed ->
+    let sys = Protocols.Direct.system ~n:3 ~f:2 in
+    let final, _, exec =
+      run_random ~seed ~fail_prob:1.0 ~max_failures:0 ~max_steps:300 sys [ 0; 1; 0 ]
+    in
+    fail_pids exec = [] && Spec.Iset.is_empty final.Model.State.failed)
+
+(* The model-level idempotence the accounting leans on: delivering fail_i
+   twice (possible via an explicit round_robin fault list) records one
+   failure. *)
+let test_fail_idempotent () =
+  let sys = Protocols.Direct.system ~n:2 ~f:1 in
+  let final, _, exec = run_rr ~faults:[ (0, 1); (1, 1) ] ~max_steps:2_000 sys [ 1; 0 ] in
+  Alcotest.(check int) "two fail_i deliveries" 2
+    (List.length
+       (List.filter (function Model.Exec.L_fail _ -> true | _ -> false)
+          (Model.Exec.labels exec)));
+  Alcotest.(check int) "one failed process" 1 (Spec.Iset.cardinal final.Model.State.failed)
+
+let suite =
+  ( "scheduler-random",
+    [
+      prop_budget_respected;
+      prop_no_double_fail;
+      prop_zero_budget_means_no_failures;
+      Alcotest.test_case "fail_i idempotent in the model" `Quick test_fail_idempotent;
+    ] )
