@@ -3,10 +3,20 @@
    EXPERIMENTS.md) and then times the core computations with Bechamel, one
    Test.make per experiment.
 
-   Run with: dune exec bench/main.exe *)
+   Run with: dune exec bench/main.exe -- [-j N]
+   -j N sizes the parallel chaos kernels (default 4 domains). *)
 
 open Bechamel
 open Toolkit
+
+let jobs =
+  let rec find i =
+    if i >= Array.length Sys.argv then None
+    else if Sys.argv.(i) = "-j" && i + 1 < Array.length Sys.argv then
+      int_of_string_opt Sys.argv.(i + 1)
+    else find (i + 1)
+  in
+  max 1 (Option.value (find 1) ~default:4)
 
 (* --- Part 1: the reproduction tables (paper-vs-measured) --- *)
 
@@ -185,6 +195,37 @@ let bench_chaos_direct =
 let bench_chaos_tob =
   bench_chaos (Protocols.Tob_direct.system ~n:2 ~f:0) "chaos/explore-tob"
 
+(* Parallel chaos explorer: the full enumeration space at twice the seed
+   horizon and up to two crashes — the workload where the sequential
+   1,024-schedule budget truncates — spread over [jobs] domains with
+   fingerprint dedup. Compare against chaos/explore-* above for the
+   speedup table in EXPERIMENTS.md. *)
+let par_chaos_config sys =
+  let d = Chaos.Explore.default_config sys in
+  let cfg =
+    { d with Chaos.Explore.max_faults = 2; horizon = 2 * d.Chaos.Explore.horizon;
+      max_steps = 4_000 }
+  in
+  { cfg with
+    Chaos.Explore.budget =
+      Chaos.Explore.space_size ~n:(Model.System.n_processes sys) cfg }
+
+let bench_chaos_par sys name =
+  let config = par_chaos_config sys in
+  Test.make ~name
+    (Staged.stage (fun () ->
+       ignore (Chaos.Explore.run_par ~config ~domains:jobs ~dedup:true sys)))
+
+let bench_chaos_par_direct =
+  bench_chaos_par (Protocols.Direct.system ~n:2 ~f:1)
+    (Printf.sprintf "chaos/explore-par-direct-j%d" jobs)
+
+let bench_chaos_par_tob =
+  (* f=1 (the resilient side): f=0 falls to the second candidate, which
+     benchmarks nothing — the sweep kernel needs the clean full space. *)
+  bench_chaos_par (Protocols.Tob_direct.system ~n:2 ~f:1)
+    (Printf.sprintf "chaos/explore-par-tob-j%d" jobs)
+
 (* Substrate micro-benchmarks. *)
 let bench_state_hash =
   let sys = Protocols.Fd_boost.system ~n:4 in
@@ -215,6 +256,8 @@ let tests =
       bench_tob;
       bench_chaos_direct;
       bench_chaos_tob;
+      bench_chaos_par_direct;
+      bench_chaos_par_tob;
       bench_state_hash;
       bench_transition;
     ]

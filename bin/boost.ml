@@ -297,6 +297,28 @@ let chaos_cmd =
   let stride_arg =
     Arg.(value & opt int 1 & info [ "stride" ] ~docv:"S" ~doc:"Crash-step grid granularity.")
   in
+  let jobs_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Systematic mode: explore with N parallel domains (work-stealing over the \
+             candidate enumeration; the merged report is deterministic). 1 keeps the \
+             sequential explorer.")
+  in
+  let dedup_arg =
+    Arg.(
+      value
+      & vflag true
+          [
+            ( true,
+              info [ "dedup" ]
+                ~doc:
+                  "Prune schedules whose configuration at activation was already explored \
+                   (default; parallel systematic mode only)." );
+            (false, info [ "no-dedup" ] ~doc:"Run every candidate schedule, even reconverging ones.");
+          ])
+  in
   let shrink_arg =
     Arg.(
       value
@@ -317,7 +339,7 @@ let chaos_cmd =
              adversary).")
   in
   let run protocol n f groups group_size faults seed runs max_steps horizon budget stride
-      shrink schedule =
+      jobs dedup shrink schedule =
     let sys = build_system protocol ~n ~f ~groups ~group_size in
     let horizon =
       if horizon > 0 then horizon else 2 * Array.length sys.Model.System.tasks
@@ -345,7 +367,7 @@ let chaos_cmd =
             r.Chaos.Runner.stop;
           match r.Chaos.Runner.stop with
           | Chaos.Runner.Violation _ -> 1
-          | Chaos.Runner.Lasso _ | Chaos.Runner.Budget -> 0)))
+          | Chaos.Runner.Lasso _ | Chaos.Runner.Budget | Chaos.Runner.Pruned -> 0)))
     | None ->
       let mode =
         match seed with
@@ -355,7 +377,7 @@ let chaos_cmd =
           Chaos.Driver.Systematic
             { Chaos.Explore.max_faults = faults; horizon; stride; budget; max_steps }
       in
-      let report = Chaos.Driver.run ~shrink mode sys in
+      let report = Chaos.Driver.run ~shrink ~domains:jobs ~dedup mode sys in
       Format.printf "%a@." Chaos.Driver.pp_report report;
       (match report.Chaos.Driver.outcome with
       | Chaos.Driver.Passed -> 0
@@ -365,7 +387,7 @@ let chaos_cmd =
     Term.(
       const run $ protocol_opt $ n_arg $ f_arg $ groups_arg $ group_size_arg $ faults_arg
       $ seed_arg $ runs_arg $ max_steps_arg $ horizon_arg $ budget_arg $ stride_arg
-      $ shrink_arg $ schedule_arg)
+      $ jobs_arg $ dedup_arg $ shrink_arg $ schedule_arg)
   in
   Cmd.v
     (Cmd.info "chaos"

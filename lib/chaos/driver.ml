@@ -20,6 +20,7 @@ type report = {
   step_budget_hits : int;
   monitor_truncations : int;
   undelivered_crashes : int;
+  dedup_hits : int;
   outcome : outcome;
 }
 
@@ -49,10 +50,16 @@ let violated ?monitors ?max_steps ?interleave ?inputs ~shrink sys original =
   Violated
     { original; minimized; shrink_stats; witness = witness_of_violation final; replayed = None }
 
-let run ?monitors ?inputs ?(shrink = true) mode sys =
+let run ?monitors ?inputs ?(shrink = true) ?(domains = 1) ?(dedup = true) mode sys =
   match mode with
   | Systematic config ->
-    let r = Explore.run ?monitors ?inputs ~config sys in
+    let r =
+      (* One domain keeps the trusted sequential path, byte-identical to the
+         pre-parallel engine; more domains go through the deduplicated
+         work-stealing explorer. *)
+      if domains <= 1 then Explore.run ?monitors ?inputs ~config sys
+      else Explore.run_par ?monitors ?inputs ~config ~domains ~dedup sys
+    in
     let outcome =
       match r.Explore.violation with
       | None -> Passed
@@ -66,6 +73,7 @@ let run ?monitors ?inputs ?(shrink = true) mode sys =
       step_budget_hits = r.Explore.step_budget_hits;
       monitor_truncations = r.Explore.monitor_truncations;
       undelivered_crashes = r.Explore.undelivered_crashes;
+      dedup_hits = r.Explore.dedup_hits;
       outcome;
     }
   | Seeded { seed; runs; max_faults; horizon; max_steps } ->
@@ -83,7 +91,7 @@ let run ?monitors ?inputs ?(shrink = true) mode sys =
         match r.Runner.stop with
         | Runner.Violation { monitor; reason; proven } ->
           Some (seed_i, Explore.{ schedule; monitor; reason; proven; exec = r.Runner.exec })
-        | Runner.Lasso _ -> go (i + 1)
+        | Runner.Lasso _ | Runner.Pruned -> go (i + 1)
         | Runner.Budget ->
           incr step_budget_hits;
           go (i + 1)
@@ -119,6 +127,7 @@ let run ?monitors ?inputs ?(shrink = true) mode sys =
       step_budget_hits = !step_budget_hits;
       monitor_truncations = !monitor_truncations;
       undelivered_crashes = !undelivered;
+      dedup_hits = 0;
       outcome;
     }
 
@@ -134,6 +143,8 @@ let pp_report ppf r =
   Format.fprintf ppf "examined %d of %d candidate schedule(s)%s@," r.examined r.space
     (if r.truncated then " — TRUNCATED: enumeration budget hit before exhausting the space"
      else "");
+  if r.dedup_hits > 0 then
+    Format.fprintf ppf "%d schedule(s) pruned by configuration fingerprint@," r.dedup_hits;
   if r.step_budget_hits > 0 then
     Format.fprintf ppf
       "%d run(s) hit the step budget undecided — liveness verdicts there are bounded evidence only@,"

@@ -42,6 +42,9 @@ type report = {
   step_budget_hits : int;
   monitor_truncations : int;
   undelivered_crashes : int;
+  dedup_hits : int;
+      (** Schedules pruned by configuration fingerprint (parallel systematic
+          mode only; 0 otherwise). *)
   outcome : outcome;
 }
 
@@ -51,9 +54,14 @@ val run :
   ?monitors:Monitor.t list ->
   ?inputs:Ioa.Value.t list ->
   ?shrink:bool ->
+  ?domains:int ->
+  ?dedup:bool ->
   mode ->
   Model.System.t ->
   report
-(** [shrink] defaults to true. *)
+(** [shrink] defaults to true. [domains] (default 1) > 1 routes systematic
+    exploration through {!Explore.run_par} with [dedup] (default true);
+    [domains = 1] keeps the sequential {!Explore.run} path, byte-identical
+    to the pre-parallel engine. Seeded mode ignores both. *)
 
 val pp_report : Format.formatter -> report -> unit

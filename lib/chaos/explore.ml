@@ -35,6 +35,7 @@ type report = {
   step_budget_hits : int;
   monitor_truncations : int;
   undelivered_crashes : int;
+  dedup_hits : int;
   violation : violation option;
 }
 
@@ -106,7 +107,7 @@ let run ?monitors ?interleave ?inputs ?config (sys : Model.System.t) =
         match r.Runner.stop with
         | Runner.Violation { monitor; reason; proven } ->
           Some { schedule; monitor; reason; proven; exec = r.Runner.exec }, false
-        | Runner.Lasso _ -> scan rest
+        | Runner.Lasso _ | Runner.Pruned -> scan rest
         | Runner.Budget ->
           incr step_budget_hits;
           scan rest
@@ -120,13 +121,250 @@ let run ?monitors ?interleave ?inputs ?config (sys : Model.System.t) =
     step_budget_hits = !step_budget_hits;
     monitor_truncations = !monitor_truncations;
     undelivered_crashes = !undelivered_crashes;
+    dedup_hits = 0;
     violation;
   }
+
+(* --- parallel exploration --- *)
+
+type run_record = {
+  rank : int;
+  budget_hit : bool;
+  truncations : int;
+  undelivered : int;
+  deduped : bool;
+  found : violation option;
+}
+
+type partial = run_record list
+
+let compare_found v1 v2 =
+  let c = Schedule.compare v1.schedule v2.schedule in
+  if c <> 0 then c
+  else
+    let c = String.compare v1.monitor v2.monitor in
+    if c <> 0 then c
+    else
+      let c = String.compare v1.reason v2.reason in
+      if c <> 0 then c else Bool.compare v1.proven v2.proven
+
+let merge ~space ~scheduled partials =
+  let records = List.concat partials in
+  (* The winner is the enumeration-least violation: minimal rank, then the
+     lexicographically least schedule. A pure function of the record
+     multiset, so merging is order- and partition-insensitive. *)
+  let winner =
+    List.fold_left
+      (fun best r ->
+        match r.found with
+        | None -> best
+        | Some v -> (
+          match best with
+          | None -> Some (r.rank, v)
+          | Some (br, bv) ->
+            if r.rank < br || (r.rank = br && compare_found v bv < 0) then Some (r.rank, v)
+            else best))
+      None records
+  in
+  (* Sequential semantics stop scanning at the first violation: counters
+     beyond the winning rank are not part of the report. *)
+  let keep r = match winner with None -> true | Some (br, _) -> r.rank <= br in
+  let kept = List.filter keep records in
+  let sum f = List.fold_left (fun acc r -> acc + f r) 0 kept in
+  {
+    examined = (match winner with Some (br, _) -> br + 1 | None -> scheduled);
+    space;
+    truncated = winner = None && scheduled < space;
+    step_budget_hits = sum (fun r -> if r.budget_hit then 1 else 0);
+    monitor_truncations = sum (fun r -> r.truncations);
+    undelivered_crashes = sum (fun r -> r.undelivered);
+    dedup_hits = sum (fun r -> if r.deduped then 1 else 0);
+    violation = Option.map snd winner;
+  }
+
+(* A mutex-guarded deque of contiguous rank ranges per worker. The owner
+   takes single ranks from the front; thieves split the back range in half
+   (or take it whole), classic work-stealing shape. Correctness does not
+   depend on who runs what: the merge is deterministic either way. *)
+type deque = { mutable ranges : (int * int) list; lock : Mutex.t }
+
+let deque ranges = { ranges; lock = Mutex.create () }
+
+let locked d f =
+  Mutex.lock d.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock d.lock) f
+
+let next_rank d =
+  locked d (fun () ->
+      match d.ranges with
+      | [] -> None
+      | (lo, hi) :: rest ->
+        d.ranges <- (if lo + 1 < hi then (lo + 1, hi) :: rest else rest);
+        Some lo)
+
+let steal d =
+  locked d (fun () ->
+      match List.rev d.ranges with
+      | [] -> None
+      | (lo, hi) :: rev_rest ->
+        if hi - lo >= 2 then begin
+          let mid = (lo + hi) / 2 in
+          d.ranges <- List.rev ((lo, mid) :: rev_rest);
+          Some (mid, hi)
+        end
+        else begin
+          d.ranges <- List.rev rev_rest;
+          Some (lo, hi)
+        end)
+
+let push_front d range = locked d (fun () -> d.ranges <- range :: d.ranges)
+
+let rec note_best best rank =
+  let cur = Atomic.get best in
+  if rank < cur && not (Atomic.compare_and_set best cur rank) then note_best best rank
+
+let run_par ?monitors ?interleave ?inputs ?config ?(domains = 1) ?(dedup = true)
+    (sys : Model.System.t) =
+  let n = Model.System.n_processes sys in
+  let cfg = match config with Some c -> c | None -> default_config sys in
+  let space = space_size ~n cfg in
+  let candidates = Array.of_seq (Seq.take (max 0 cfg.budget) (schedules ~n cfg)) in
+  let scheduled = Array.length candidates in
+  (* Clamp the spawned workers to the machine: oversubscribing domains past
+     the core count makes every minor-collection barrier pay cross-thread
+     scheduling latency (each stop-the-world must wait for descheduled
+     domains to reach a safepoint). The merge is partition-insensitive, so
+     the report is identical whatever the effective worker count. *)
+  let domains =
+    max 1 (min (min domains (Domain.recommended_domain_count ())) (max 1 scheduled))
+  in
+  let dedup =
+    (* Sound only under the deterministic round-robin interleaving. *)
+    dedup && match interleave with Some (Runner.Seeded _) -> false | _ -> true
+  in
+  let prefix =
+    (* The shared fault-free stem: every enumerated candidate is crash-only
+       under the silencing adversary, so all of them replay this prefix up
+       to their first crash. Built once, read-only across domains. *)
+    match interleave with
+    | Some (Runner.Seeded _) -> None
+    | _ when scheduled = 0 -> None
+    | _ ->
+      Some
+        (Runner.prefix ?monitors ?inputs ~max_steps:cfg.max_steps
+           ~steps:(min (max 0 (cfg.horizon - 1)) cfg.max_steps)
+           sys)
+  in
+  let visited = Fingerprint.Visited.create () in
+  let best = Atomic.make max_int in
+  let outstanding = Atomic.make scheduled in
+  let chunk = if scheduled = 0 then 1 else (scheduled + domains - 1) / domains in
+  let deques =
+    Array.init domains (fun w ->
+        let lo = w * chunk and hi = min scheduled ((w + 1) * chunk) in
+        deque (if lo < hi then [ (lo, hi) ] else []))
+  in
+  let run_one rank records =
+    (* Ranks at or past the best violating rank cannot affect the merged
+       report; skipping them is the early-exit that makes the search stop. *)
+    if rank < Atomic.get best then begin
+      let schedule = candidates.(rank) in
+      let keyed = ref None in
+      let on_active =
+        if dedup then
+          Some
+            (fun ~step ~cursor exec ->
+              let key = Fingerprint.key ~cursor exec in
+              match Fingerprint.Visited.find visited key with
+              | Some suffix when step + suffix <= cfg.max_steps -> `Prune
+              | _ ->
+                keyed := Some (key, step);
+                `Continue)
+        else None
+      in
+      let r =
+        Runner.run ?monitors ?interleave ?inputs ~max_steps:cfg.max_steps ?on_active
+          ?prefix ~schedule sys
+      in
+      let base =
+        {
+          rank;
+          budget_hit = false;
+          truncations = List.length r.Runner.monitor_truncations;
+          undelivered = r.Runner.undelivered_crashes;
+          deduped = false;
+          found = None;
+        }
+      in
+      let record =
+        match r.Runner.stop with
+        | Runner.Violation { monitor; reason; proven } ->
+          note_best best rank;
+          { base with found = Some { schedule; monitor; reason; proven; exec = r.Runner.exec } }
+        | Runner.Lasso _ ->
+          (* Only proven-quiescent clean runs seed the visited table: a
+             pruned twin would provably replay this suffix to the same
+             verdict (its step budget permitting — hence the suffix guard
+             above). Budget-bounded clean runs are never recorded, so a
+             cutoff at a different point can never be inherited. *)
+          (match !keyed with
+          | Some (key, act) ->
+            Fingerprint.Visited.add visited key ~suffix_steps:(r.Runner.steps - act)
+          | None -> ());
+          base
+        | Runner.Budget -> { base with budget_hit = true }
+        | Runner.Pruned -> { base with deduped = true }
+      in
+      records := record :: !records
+    end
+  in
+  let worker w () =
+    let records = ref [] in
+    let my = deques.(w) in
+    let poison e =
+      (* Let the sibling workers drain and exit instead of spinning on a
+         counter that will never reach zero; the exception resurfaces at
+         [Domain.join] (or directly, for worker 0). *)
+      Atomic.set outstanding 0;
+      raise e
+    in
+    let rec scavenge v =
+      if v >= domains then None
+      else
+        match steal deques.((w + 1 + v) mod domains) with
+        | Some range -> Some range
+        | None -> scavenge (v + 1)
+    in
+    let rec loop () =
+      if Atomic.get outstanding > 0 then begin
+        (match next_rank my with
+        | Some rank ->
+          (try run_one rank records with e -> poison e);
+          Atomic.decr outstanding
+        | None -> (
+          match scavenge 0 with
+          | Some range -> push_front my range
+          | None -> Domain.cpu_relax ()));
+        loop ()
+      end
+    in
+    loop ();
+    !records
+  in
+  let spawned = Array.init (domains - 1) (fun i -> Domain.spawn (fun () -> worker (i + 1) ())) in
+  let mine = worker 0 () in
+  let partials = mine :: Array.to_list (Array.map Domain.join spawned) in
+  merge ~space ~scheduled partials
 
 let pp_report ppf r =
   Format.fprintf ppf "@[<v>examined %d of %d candidate fault schedule(s)%s@," r.examined r.space
     (if r.truncated then " — TRUNCATED: enumeration budget hit before exhausting the space"
      else "");
+  if r.dedup_hits > 0 then
+    Format.fprintf ppf
+      "%d schedule(s) pruned by configuration fingerprint (verdict inherited from an \
+       equivalent run)@,"
+      r.dedup_hits;
   if r.step_budget_hits > 0 then
     Format.fprintf ppf
       "%d run(s) hit the step budget undecided — liveness verdicts there are bounded evidence only@,"

@@ -36,6 +36,10 @@ type report = {
   step_budget_hits : int;  (** Runs ending undecided at [max_steps]. *)
   monitor_truncations : int;
   undelivered_crashes : int;
+  dedup_hits : int;
+      (** Schedules pruned by configuration fingerprint ({!run_par} with
+          dedup): counted as examined — their verdict is inherited from an
+          equivalent already-run configuration. Always 0 for {!run}. *)
   violation : violation option;
 }
 
@@ -53,5 +57,59 @@ val run :
   ?config:config ->
   Model.System.t ->
   report
+(** The sequential explorer — the trusted oracle the parallel engine is
+    differentially tested against. Single-domain, no dedup, first violation
+    in enumeration order wins. *)
+
+(** {1 Parallel exploration}
+
+    {!run_par} distributes the same candidate enumeration over OCaml 5
+    domains: ranks (enumeration indices) are dealt into per-worker deques of
+    contiguous ranges, idle workers steal half a range from a victim's back,
+    and per-run results are merged deterministically — counters are summed
+    over ranks at most the winning rank, and the winning violation is the
+    rank-least (then lexicographically least) one, so the merged report is
+    identical run-to-run regardless of interleaving, and identical to {!run}
+    whenever dedup is off.
+
+    With [dedup] (default on), each run fingerprints its configuration at
+    schedule activation ({!Fingerprint.key}: round-robin cursor, observable
+    history, exact state); a configuration whose continuation was already
+    proven quiescent by a lasso run is pruned and inherits that verdict.
+    Pruning preserves verdicts, [examined], [space], [truncated],
+    [step_budget_hits] and [undelivered_crashes] exactly; only
+    [monitor_truncations] can undercount (a pruned run's suffix truncations
+    are not re-counted). Dedup is disabled automatically under [Seeded]
+    interleaving, where runs are not cursor×state deterministic. *)
+
+type run_record = {
+  rank : int;  (** Enumeration index of the candidate schedule. *)
+  budget_hit : bool;
+  truncations : int;
+  undelivered : int;
+  deduped : bool;
+  found : violation option;
+}
+(** One worker-side run result, the unit {!merge} operates on. *)
+
+type partial = run_record list
+(** A worker's sub-report. *)
+
+val merge : space:int -> scheduled:int -> partial list -> report
+(** Deterministic, partition- and order-insensitive merge: any shuffling of
+    records across sub-reports yields the identical report. [scheduled] is
+    the number of ranks dealt out, i.e. [min budget space]. *)
+
+val run_par :
+  ?monitors:Monitor.t list ->
+  ?interleave:Runner.interleave ->
+  ?inputs:Ioa.Value.t list ->
+  ?config:config ->
+  ?domains:int ->
+  ?dedup:bool ->
+  Model.System.t ->
+  report
+(** [domains] defaults to 1 (same worker machinery, no spawned domains);
+    [dedup] defaults to true. *)
 
 val pp_report : Format.formatter -> report -> unit

@@ -32,6 +32,32 @@ let equal a b =
        (fun (t1, p1) (t2, p2) -> Model.Task.equal t1 t2 && p1 = p2)
        a.overrides b.overrides
 
+let compare_fault a b =
+  match a, b with
+  | Crash a, Crash b ->
+    let c = Int.compare a.step b.step in
+    if c <> 0 then c else Int.compare a.pid b.pid
+  | Silence a, Silence b ->
+    let c = Int.compare a.step b.step in
+    if c <> 0 then c else String.compare a.service b.service
+  | Crash _, Silence _ -> -1
+  | Silence _, Crash _ -> 1
+
+let pref_rank = function Model.System.Prefer_dummy -> 0 | Model.System.Prefer_real -> 1
+
+let compare a b =
+  let c = List.compare compare_fault a.faults b.faults in
+  if c <> 0 then c
+  else
+    let c = Int.compare (pref_rank a.default_pref) (pref_rank b.default_pref) in
+    if c <> 0 then c
+    else
+      List.compare
+        (fun (t1, p1) (t2, p2) ->
+          let c = Model.Task.compare t1 t2 in
+          if c <> 0 then c else Int.compare (pref_rank p1) (pref_rank p2))
+        a.overrides b.overrides
+
 let crashes t =
   List.filter_map (function Crash { step; pid } -> Some (step, pid) | _ -> None) t.faults
 

@@ -40,6 +40,13 @@ val make :
 val empty : t
 val equal : t -> t -> bool
 
+val compare : t -> t -> int
+(** A total order consistent with {!equal}: faults lexicographically (by
+    kind, step, target), then the default adversary (silencing first — the
+    enumeration default), then overrides. Used by the parallel explorer's
+    merge to break ties deterministically, so reports are run-to-run
+    stable. *)
+
 val crashes : t -> (int * int) list
 (** The [(step, pid)] crash placements, in schedule order. *)
 

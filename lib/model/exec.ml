@@ -8,9 +8,35 @@ let pp_label ppf = function
   | L_task e -> Task.pp ppf e
 
 type step = { label : label; event : Event.t; state : State.t }
-type t = { start : State.t; rev_steps : step list }
+type t = { start : State.t; rev_steps : step list; obs_fp : int }
 
-let init start = { start; rev_steps = [] }
+(* Incremental fingerprint of the monitor-observable event history: the
+   operation flow (invocations, performs, computes, responses), decisions,
+   and inits — everything the property monitors can distinguish histories
+   by. Fail, internal and dummy events are deliberately excluded, so two
+   executions that differ only in where a crash landed (or in no-op turns)
+   share a fingerprint when their observable behaviour coincides.
+   Order-sensitive; same FNV-1a fold as {!State.fingerprint}. Maintained in
+   {!push} so reading it is O(1) — the parallel explorer probes it once per
+   run. *)
+let obs_fp_seed = 0x0b5e4
+
+let obs_fp_event h =
+  let prime = 0x100000001b3 in
+  let combine h x = (h lxor x) * prime in
+  let hstr s = combine 0x57 (Hashtbl.hash (s : string)) in
+  function
+  | Event.Init (i, v) -> combine (combine (combine h 1) i) (Value.hash v)
+  | Event.Invoke (i, svc, v) ->
+    combine (combine (combine (combine h 2) i) (hstr svc)) (Value.hash v)
+  | Event.Respond (i, svc, v) ->
+    combine (combine (combine (combine h 3) i) (hstr svc)) (Value.hash v)
+  | Event.Decide (i, v) -> combine (combine (combine h 4) i) (Value.hash v)
+  | Event.Perform (svc, k) -> combine (combine (combine h 5) (hstr svc)) k
+  | Event.Compute (g, k) -> combine (combine (combine h 6) (hstr g)) (hstr k)
+  | Event.Fail _ | Event.Proc_internal _ | Event.Dummy _ -> h
+
+let init start = { start; rev_steps = []; obs_fp = obs_fp_seed }
 let last_state t = match t.rev_steps with [] -> t.start | { state; _ } :: _ -> state
 let length t = List.length t.rev_steps
 let steps t = List.rev t.rev_steps
@@ -23,7 +49,12 @@ let task_labels t =
 let is_failure_free t =
   List.for_all (function { label = L_fail _; _ } -> false | _ -> true) t.rev_steps
 
-let push t label event state = { t with rev_steps = { label; event; state } :: t.rev_steps }
+let push t label event state =
+  {
+    t with
+    rev_steps = { label; event; state } :: t.rev_steps;
+    obs_fp = obs_fp_event t.obs_fp event;
+  }
 
 let append_init sys t i v =
   let event, state = System.apply_init sys (last_state t) i v in
@@ -47,6 +78,8 @@ let decide_events t =
   List.filter_map
     (function { event = Event.Decide (i, v); _ } -> Some (i, v) | _ -> None)
     (steps t)
+
+let obs_fingerprint t = t.obs_fp land max_int
 
 let strip t ~keep =
   List.filter_map

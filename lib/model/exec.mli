@@ -17,7 +17,9 @@ val pp_label : Format.formatter -> label -> unit
 
 type step = { label : label; event : Event.t; state : State.t }
 
-type t = { start : State.t; rev_steps : step list }
+type t = { start : State.t; rev_steps : step list; obs_fp : int }
+(** [obs_fp] caches the observable-history fingerprint incrementally (see
+    {!obs_fingerprint}); read it through that accessor. *)
 
 val init : State.t -> t
 val last_state : t -> State.t
@@ -45,6 +47,15 @@ val replay_tasks : ?policy:System.policy -> System.t -> t -> Task.t list -> t op
 
 val decide_events : t -> (int * Value.t) list
 (** All [decide(v)_i] events, in order. *)
+
+val obs_fingerprint : t -> int
+(** Fingerprint of the monitor-observable event history: invocations,
+    performs, computes, responses, decisions and inits, in order. [Fail],
+    internal and dummy events are excluded, so executions differing only in
+    crash placement or no-op turns can share a fingerprint. Together with
+    {!State.fingerprint} of the final state this keys the chaos explorer's
+    cross-run dedup ([Chaos.Fingerprint]). O(1): the fold is maintained
+    incrementally as steps are appended. *)
 
 val strip : t -> keep:(step -> bool) -> Task.t list
 (** The task sequence of steps satisfying [keep] — used to build the γ′ of

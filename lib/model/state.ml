@@ -88,6 +88,45 @@ let hash s =
     s.inputs;
   !h land max_int
 
+(* A 63-bit FNV-1a fold over the full structure. Unlike [hash] (the 32-bit
+   mix used by hot hashtables), the fingerprint injects a sentinel at every
+   container boundary so adjacent buffers cannot alias, making it fit for
+   the exploration engine's cross-run visited sets, where a collision would
+   merge genuinely distinct configurations. *)
+let fp_prime = 0x100000001b3
+let fp_seed = 0x3cbbf29ce484222 (* FNV-1a offset basis folded into 62 bits *)
+let fp_combine h x = (h lxor x) * fp_prime
+
+let fingerprint s =
+  let h = ref fp_seed in
+  let mark tag = h := fp_combine !h tag in
+  let value v = h := fp_combine !h (Value.hash v) in
+  let buf q =
+    mark 0x5eed;
+    List.iter value q
+  in
+  mark 0xa11;
+  Array.iter value s.procs;
+  Array.iter
+    (fun svc ->
+      mark 0x5c0;
+      value svc.value;
+      Array.iter buf svc.inv_bufs;
+      mark 0x5c1;
+      Array.iter buf svc.resp_bufs)
+    s.svcs;
+  mark 0xfa1;
+  Spec.Iset.iter (fun i -> h := fp_combine !h (i + 1)) s.failed;
+  mark 0xdec;
+  Array.iter
+    (fun d -> h := fp_combine !h (match d with None -> 17 | Some v -> Value.hash v + 1))
+    s.decisions;
+  mark 0x1a9;
+  Array.iter
+    (fun d -> h := fp_combine !h (match d with None -> 23 | Some v -> Value.hash v + 1))
+    s.inputs;
+  !h land max_int
+
 let pp_buf ppf q =
   Format.fprintf ppf "[%a]"
     (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ") Value.pp)

@@ -30,6 +30,17 @@ type t = {
 val equal : t -> t -> bool
 val compare : t -> t -> int
 val hash : t -> int
+
+val fingerprint : t -> int
+(** A cheap structural fingerprint of the configuration: a 63-bit FNV-1a
+    fold over the process states, the service states (value plus every
+    pending invocation/response buffer, with per-container sentinels so
+    adjacent buffers cannot alias), the failed set, and the recorded
+    decisions and inputs. [equal s1 s2] implies
+    [fingerprint s1 = fingerprint s2]; the converse holds up to 63-bit
+    collision. This is what the chaos explorer's cross-run visited sets key
+    on — see [Chaos.Fingerprint]. *)
+
 val pp : Format.formatter -> t -> unit
 
 val with_proc : t -> int -> Value.t -> t

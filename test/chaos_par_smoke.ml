@@ -1,0 +1,55 @@
+(* @chaos-par-smoke: a bounded (~2s) parallel chaos sweep at -j 2, wired
+   into the default `dune runtest` so tier-1 always exercises the
+   multi-domain explorer and its fingerprint dedup end to end.
+
+   direct f=1 must sweep its full one-fault space clean (not truncated);
+   tob f=0 must fall to a single crash with the same verdict the
+   sequential explorer reports. *)
+
+let par_config sys =
+  {
+    (Chaos.Explore.default_config sys) with
+    Chaos.Explore.max_faults = 1;
+    budget = 10_000;
+    max_steps = 4_000;
+  }
+
+let fail fmt = Format.kasprintf (fun m -> Format.printf "%s@." m; exit 1) fmt
+
+let () =
+  (* direct f=1: the full space, clean, in parallel with dedup. *)
+  let sys = Protocols.Direct.system ~n:2 ~f:1 in
+  let config = par_config sys in
+  let r = Chaos.Driver.run ~shrink:false ~domains:2 (Chaos.Driver.Systematic config) sys in
+  Format.printf "--- direct n=2 f=1 @ -j 2 ---@.%a@.@." Chaos.Driver.pp_report r;
+  (match r.Chaos.Driver.outcome with
+  | Chaos.Driver.Passed -> ()
+  | Chaos.Driver.Violated _ -> fail "chaos-par-smoke FAILED: direct f=1 violated");
+  if r.Chaos.Driver.truncated then
+    fail "chaos-par-smoke FAILED: direct f=1 sweep truncated (budget too small)";
+  if r.Chaos.Driver.examined <> r.Chaos.Driver.space then
+    fail "chaos-par-smoke FAILED: direct f=1 examined %d of %d" r.Chaos.Driver.examined
+      r.Chaos.Driver.space;
+
+  (* tob f=0: parallel verdict must match the sequential oracle. *)
+  let sys = Protocols.Tob_direct.system ~n:2 ~f:0 in
+  let config = par_config sys in
+  let seq = Chaos.Explore.run ~config sys in
+  let par = Chaos.Driver.run ~shrink:false ~domains:2 (Chaos.Driver.Systematic config) sys in
+  Format.printf "--- tob n=2 f=0 @ -j 2 ---@.%a@.@." Chaos.Driver.pp_report par;
+  (match (seq.Chaos.Explore.violation, par.Chaos.Driver.outcome) with
+  | Some sv, Chaos.Driver.Violated { original; _ } ->
+      if
+        sv.Chaos.Explore.monitor <> original.Chaos.Explore.monitor
+        || not
+             (Chaos.Schedule.equal sv.Chaos.Explore.schedule original.Chaos.Explore.schedule)
+      then
+        fail "chaos-par-smoke FAILED: tob f=0 parallel verdict diverges from sequential"
+  | None, Chaos.Driver.Passed -> fail "chaos-par-smoke FAILED: tob f=0 passed (expected violation)"
+  | Some _, Chaos.Driver.Passed -> fail "chaos-par-smoke FAILED: parallel missed the violation"
+  | None, Chaos.Driver.Violated _ ->
+      fail "chaos-par-smoke FAILED: parallel found a violation the oracle did not");
+  if par.Chaos.Driver.examined <> seq.Chaos.Explore.examined then
+    fail "chaos-par-smoke FAILED: examined %d (sequential %d)" par.Chaos.Driver.examined
+      seq.Chaos.Explore.examined;
+  Format.printf "chaos-par-smoke OK@."

@@ -186,7 +186,7 @@ let test_monitor_linearizability_passes () =
   match r.Chaos.Runner.stop with
   | Chaos.Runner.Violation { monitor; reason; _ } ->
     Alcotest.failf "failure-free run violated %s: %s" monitor reason
-  | Chaos.Runner.Lasso _ | Chaos.Runner.Budget -> ()
+  | Chaos.Runner.Lasso _ | Chaos.Runner.Budget | Chaos.Runner.Pruned -> ()
 
 (* Crashes scheduled beyond the step budget are counted, not dropped. *)
 let test_undelivered_crashes_reported () =

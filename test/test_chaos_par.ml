@@ -1,0 +1,234 @@
+(* The parallel deduplicated explorer, pinned to the sequential oracle.
+
+   The sequential Explore.run path is untouched by the parallel engine and
+   serves as the trusted oracle: on small spaces (n ≤ 3, horizon ≤ 6, ≤ 2
+   faults) the parallel explorer must report the same violation-or-clean
+   verdict and the same examined/space counts at every -j, with and without
+   fingerprint dedup. QCheck properties cover fingerprint soundness and the
+   order-insensitivity of report merging; a regression case nails the
+   silent-budget footgun on the parallel path. *)
+
+open Helpers
+
+let small_config _sys ~max_faults ~horizon =
+  { Chaos.Explore.max_faults; horizon; stride = 1; budget = 100_000; max_steps = 2_000 }
+
+(* The violation signature the differential test compares: everything but
+   the exec (which the runner reproduces deterministically anyway). *)
+let viol_sig (v : Chaos.Explore.violation) =
+  Chaos.Schedule.to_string v.Chaos.Explore.schedule
+  ^ "|" ^ v.Chaos.Explore.monitor ^ "|" ^ v.Chaos.Explore.reason
+  ^ "|" ^ string_of_bool v.Chaos.Explore.proven
+
+let verdict r = Option.map viol_sig r.Chaos.Explore.violation
+
+(* --- Satellite 1: differential vs the sequential explorer --- *)
+
+let check_differential name sys ~max_faults ~horizon =
+  let config = small_config sys ~max_faults ~horizon in
+  let seq = Chaos.Explore.run ~config sys in
+  List.iter
+    (fun j ->
+      let tag suffix = Printf.sprintf "%s -j%d %s" name j suffix in
+      (* Without dedup the parallel report must be identical in full. *)
+      let par = Chaos.Explore.run_par ~config ~domains:j ~dedup:false sys in
+      Alcotest.(check int) (tag "examined") seq.Chaos.Explore.examined par.Chaos.Explore.examined;
+      Alcotest.(check int) (tag "space") seq.Chaos.Explore.space par.Chaos.Explore.space;
+      Alcotest.(check bool) (tag "truncated") seq.Chaos.Explore.truncated
+        par.Chaos.Explore.truncated;
+      Alcotest.(check int) (tag "step budget hits") seq.Chaos.Explore.step_budget_hits
+        par.Chaos.Explore.step_budget_hits;
+      Alcotest.(check int) (tag "monitor truncations") seq.Chaos.Explore.monitor_truncations
+        par.Chaos.Explore.monitor_truncations;
+      Alcotest.(check int) (tag "undelivered") seq.Chaos.Explore.undelivered_crashes
+        par.Chaos.Explore.undelivered_crashes;
+      Alcotest.(check int) (tag "dedup hits (off)") 0 par.Chaos.Explore.dedup_hits;
+      Alcotest.(check (option string)) (tag "verdict") (verdict seq) (verdict par);
+      (* With dedup, the verdict and the examined/space/truncated counts
+         still coincide (pruning inherits proven verdicts, never invents or
+         suppresses them); only monitor_truncations may undercount. *)
+      let ded = Chaos.Explore.run_par ~config ~domains:j ~dedup:true sys in
+      Alcotest.(check int) (tag "dedup examined") seq.Chaos.Explore.examined
+        ded.Chaos.Explore.examined;
+      Alcotest.(check int) (tag "dedup space") seq.Chaos.Explore.space ded.Chaos.Explore.space;
+      Alcotest.(check bool) (tag "dedup truncated") seq.Chaos.Explore.truncated
+        ded.Chaos.Explore.truncated;
+      Alcotest.(check int) (tag "dedup step budget hits") seq.Chaos.Explore.step_budget_hits
+        ded.Chaos.Explore.step_budget_hits;
+      Alcotest.(check int) (tag "dedup undelivered") seq.Chaos.Explore.undelivered_crashes
+        ded.Chaos.Explore.undelivered_crashes;
+      Alcotest.(check bool) (tag "dedup truncations bounded") true
+        (ded.Chaos.Explore.monitor_truncations <= seq.Chaos.Explore.monitor_truncations);
+      Alcotest.(check (option string)) (tag "dedup verdict") (verdict seq) (verdict ded))
+    [ 1; 2; 4 ]
+
+let test_differential_direct () =
+  check_differential "direct f=1" (Protocols.Direct.system ~n:2 ~f:1) ~max_faults:2 ~horizon:6;
+  check_differential "direct f=0" (Protocols.Direct.system ~n:2 ~f:0) ~max_faults:1 ~horizon:5;
+  check_differential "direct n=3" (Protocols.Direct.system ~n:3 ~f:2) ~max_faults:2 ~horizon:4
+
+let test_differential_tob () =
+  check_differential "tob f=0" (Protocols.Tob_direct.system ~n:2 ~f:0) ~max_faults:1 ~horizon:5;
+  check_differential "tob f=1" (Protocols.Tob_direct.system ~n:2 ~f:1) ~max_faults:2 ~horizon:6
+
+(* --- Satellite 2: fingerprint soundness --- *)
+
+(* Structurally equal configurations get equal fingerprints, even when
+   rebuilt through fresh arrays (no physical sharing). *)
+let test_fingerprint_structural () =
+  let sys = Protocols.Direct.system ~n:2 ~f:1 in
+  let schedule = Chaos.Schedule.make [ Chaos.Schedule.crash ~step:2 ~pid:1 ] in
+  let r = Chaos.Runner.run ~schedule ~max_steps:500 sys in
+  let s = Model.Exec.last_state (r.Chaos.Runner.exec) in
+  let rebuilt = Model.State.with_proc s 0 s.Model.State.procs.(0) in
+  Alcotest.check state_testable "rebuilt state equal" s rebuilt;
+  Alcotest.(check int) "equal states, equal fingerprints" (Model.State.fingerprint s)
+    (Model.State.fingerprint rebuilt);
+  (* The observable-history fingerprint ignores crash placement. *)
+  let obs = Model.Exec.obs_fingerprint r.Chaos.Runner.exec in
+  let crashed = Model.Exec.append_fail sys r.Chaos.Runner.exec 0 in
+  Alcotest.(check int) "obs fingerprint blind to fail events" obs
+    (Model.Exec.obs_fingerprint crashed);
+  Alcotest.(check bool) "distinct decisions, distinct state fingerprints" true
+    (Model.State.fingerprint s
+    <> Model.State.fingerprint (Model.State.with_decision s 0 (Ioa.Value.int 7)))
+
+(* Deterministic replay of the same schedule reaches fingerprint-identical
+   configurations at every prefix. *)
+let qcheck_fingerprint_replay =
+  let gen = QCheck2.Gen.(pair (int_bound 5) (int_bound 1)) in
+  qtest "equal exec prefixes have equal fingerprints" ~count:50 gen (fun (step, pid) ->
+      let sys = Protocols.Direct.system ~n:2 ~f:1 in
+      let schedule = Chaos.Schedule.make [ Chaos.Schedule.crash ~step ~pid ] in
+      let r1 = Chaos.Runner.run ~schedule ~max_steps:300 sys in
+      let r2 = Chaos.Runner.run ~schedule ~max_steps:300 sys in
+      let s1 = Model.Exec.last_state r1.Chaos.Runner.exec
+      and s2 = Model.Exec.last_state r2.Chaos.Runner.exec in
+      Model.State.equal s1 s2
+      && Model.State.fingerprint s1 = Model.State.fingerprint s2
+      && Model.Exec.obs_fingerprint r1.Chaos.Runner.exec
+         = Model.Exec.obs_fingerprint r2.Chaos.Runner.exec)
+
+(* Dedup never suppresses a violation the no-dedup explorer finds: on
+   sampled configurations, run both and compare verdicts (and counts). *)
+let qcheck_dedup_preserves_verdicts =
+  let gen = QCheck2.Gen.(triple (int_range 0 2) (int_range 1 6) (int_bound 2)) in
+  qtest "dedup preserves verdicts" ~count:40 gen (fun (max_faults, horizon, which) ->
+      let sys =
+        match which with
+        | 0 -> Protocols.Direct.system ~n:2 ~f:0
+        | 1 -> Protocols.Direct.system ~n:2 ~f:1
+        | _ -> Protocols.Register_wait.system ()
+      in
+      let config = small_config sys ~max_faults ~horizon in
+      let plain = Chaos.Explore.run_par ~config ~domains:1 ~dedup:false sys in
+      let ded = Chaos.Explore.run_par ~config ~domains:1 ~dedup:true sys in
+      verdict plain = verdict ded && plain.Chaos.Explore.examined = ded.Chaos.Explore.examined)
+
+(* --- Satellite 3: merging is associative / order-insensitive --- *)
+
+let qcheck_merge_order_insensitive =
+  (* One shared violating run provides realistic violation payloads. *)
+  let sys = Protocols.Register_wait.system () in
+  let exec =
+    (Chaos.Runner.run ~schedule:Chaos.Schedule.empty ~max_steps:200 sys).Chaos.Runner.exec
+  in
+  let record_gen rank =
+    QCheck2.Gen.(
+      let* budget_hit = bool and* truncations = int_bound 3 and* undelivered = int_bound 2 in
+      let* deduped = bool in
+      let* violating = int_bound 4 in
+      let* step = int_bound 6 and* pid = int_bound 1 and* proven = bool in
+      let found =
+        if violating = 0 then
+          Some
+            Chaos.Explore.
+              {
+                schedule = Chaos.Schedule.make [ Chaos.Schedule.crash ~step ~pid ];
+                monitor = (if proven then "f-termination" else "agreement");
+                reason = "generated";
+                proven;
+                exec;
+              }
+        else None
+      in
+      return Chaos.Explore.{ rank; budget_hit; truncations; undelivered; deduped; found })
+  in
+  let gen =
+    QCheck2.Gen.(
+      let* n = int_range 0 24 in
+      let* records = flatten_l (List.init n record_gen) in
+      let* shuffled = shuffle_l records in
+      let* owners = list_repeat n (int_bound 3) in
+      return (records, shuffled, owners, n))
+  in
+  let report_sig (r : Chaos.Explore.report) =
+    Format.asprintf "%d/%d/%b/%d/%d/%d/%d/%s" r.Chaos.Explore.examined r.Chaos.Explore.space
+      r.Chaos.Explore.truncated r.Chaos.Explore.step_budget_hits
+      r.Chaos.Explore.monitor_truncations r.Chaos.Explore.undelivered_crashes
+      r.Chaos.Explore.dedup_hits
+      (Option.value (verdict r) ~default:"clean")
+  in
+  qtest "merge is order- and partition-insensitive" ~count:100 gen
+    (fun (records, shuffled, owners, n) ->
+      let space = n + 5 and scheduled = n in
+      let flat = Chaos.Explore.merge ~space ~scheduled [ records ] in
+      (* Partition the shuffled records across 4 "workers" and merge. *)
+      let buckets = Array.make 4 [] in
+      List.iteri
+        (fun i r ->
+          let w = List.nth owners i in
+          buckets.(w) <- r :: buckets.(w))
+        shuffled;
+      let split = Chaos.Explore.merge ~space ~scheduled (Array.to_list buckets) in
+      report_sig flat = report_sig split)
+
+(* --- Satellite 4: the silent-budget footgun stays dead --- *)
+
+let test_silent_budget_regression () =
+  let sys = Protocols.Direct.system ~n:2 ~f:1 in
+  let config =
+    { (small_config sys ~max_faults:1 ~horizon:6) with Chaos.Explore.budget = 3 }
+  in
+  let check name (r : Chaos.Explore.report) =
+    Alcotest.(check bool) (name ^ ": space exceeds budget") true (r.Chaos.Explore.space > 3);
+    Alcotest.(check int) (name ^ ": examined = budget") 3 r.Chaos.Explore.examined;
+    Alcotest.(check bool) (name ^ ": truncated flagged") true r.Chaos.Explore.truncated;
+    (* The footgun: a clean verdict on a partial sweep without the flag. *)
+    Alcotest.(check bool) (name ^ ": no silent clean verdict") false
+      (r.Chaos.Explore.violation = None
+      && r.Chaos.Explore.examined < r.Chaos.Explore.space
+      && not r.Chaos.Explore.truncated)
+  in
+  check "sequential" (Chaos.Explore.run ~config sys);
+  check "par j=2 dedup" (Chaos.Explore.run_par ~config ~domains:2 ~dedup:true sys);
+  check "par j=4 no-dedup" (Chaos.Explore.run_par ~config ~domains:4 ~dedup:false sys)
+
+(* --- Driver integration: -j routes through the parallel engine --- *)
+
+let test_driver_parallel () =
+  let sys = Protocols.Register_wait.system () in
+  let config = { (Chaos.Explore.default_config sys) with Chaos.Explore.max_faults = 1 } in
+  let seq = Chaos.Driver.run ~shrink:false (Chaos.Driver.Systematic config) sys in
+  let par = Chaos.Driver.run ~shrink:false ~domains:4 (Chaos.Driver.Systematic config) sys in
+  let monitor_of r =
+    match r.Chaos.Driver.outcome with
+    | Chaos.Driver.Passed -> None
+    | Chaos.Driver.Violated { original; _ } -> Some original.Chaos.Explore.monitor
+  in
+  Alcotest.(check (option string)) "same monitor violated" (monitor_of seq) (monitor_of par);
+  Alcotest.(check int) "same examined" seq.Chaos.Driver.examined par.Chaos.Driver.examined
+
+let suite =
+  ( "chaos-par",
+    [
+      Alcotest.test_case "differential: direct at -j 1,2,4" `Quick test_differential_direct;
+      Alcotest.test_case "differential: tob at -j 1,2,4" `Quick test_differential_tob;
+      Alcotest.test_case "fingerprints are structural" `Quick test_fingerprint_structural;
+      qcheck_fingerprint_replay;
+      qcheck_dedup_preserves_verdicts;
+      qcheck_merge_order_insensitive;
+      Alcotest.test_case "silent-budget regression (seq + par)" `Quick
+        test_silent_budget_regression;
+      Alcotest.test_case "driver -j parity" `Quick test_driver_parallel;
+    ] )
