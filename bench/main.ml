@@ -226,6 +226,28 @@ let bench_chaos_par_tob =
   bench_chaos_par (Protocols.Tob_direct.system ~n:2 ~f:1)
     (Printf.sprintf "chaos/explore-par-tob-j%d" jobs)
 
+let bench_chaos_par_tob_pruned =
+  (* The same sweep with the abstract-interpretation infeasibility oracle:
+     schedules whose crashes land after the certified quiescence step are
+     skipped without execution. Compare against explore-par-tob-j* for the
+     prune-rate/wall-time row in EXPERIMENTS.md. *)
+  let sys = Protocols.Tob_direct.system ~n:2 ~f:1 in
+  let config = par_chaos_config sys in
+  Test.make ~name:(Printf.sprintf "chaos/explore-par-tob-pruned-j%d" jobs)
+    (Staged.stage (fun () ->
+       ignore (Chaos.Explore.run_par ~config ~domains:jobs ~dedup:true ~static_prune:true sys)))
+
+(* The abstract-reachability fixpoint itself: the one-shot cost `boost lint`
+   pays per protocol, and the amortized cost of the pruning oracle. *)
+let bench_fixpoint sys name =
+  Test.make ~name (Staged.stage (fun () -> ignore (Analysis.Reach.analyze sys)))
+
+let bench_fixpoint_direct =
+  bench_fixpoint (Protocols.Direct.system ~n:2 ~f:1) "analysis/fixpoint-direct"
+
+let bench_fixpoint_tob =
+  bench_fixpoint (Protocols.Tob_direct.system ~n:2 ~f:1) "analysis/fixpoint-tob"
+
 (* Substrate micro-benchmarks. *)
 let bench_state_hash =
   let sys = Protocols.Fd_boost.system ~n:4 in
@@ -258,6 +280,9 @@ let tests =
       bench_chaos_tob;
       bench_chaos_par_direct;
       bench_chaos_par_tob;
+      bench_chaos_par_tob_pruned;
+      bench_fixpoint_direct;
+      bench_fixpoint_tob;
       bench_state_hash;
       bench_transition;
     ]

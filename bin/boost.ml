@@ -3,83 +3,32 @@
 
 open Cmdliner
 
-type protocol =
-  | P_direct
-  | P_split
-  | P_register_vote
-  | P_register_wait
-  | P_tob
-  | P_fd_all
-  | P_kset
-  | P_fd_boost
-  | P_tas
-  | P_queue
-  | P_mp_all
-  | P_mp_quorum
-  | P_universal
+module Registry = Protocols.Registry
 
+(* The one protocol table: bin, bench and the test-suites all enumerate
+   [Registry.all]. *)
 let protocol_conv =
-  let parse = function
-    | "direct" -> Ok P_direct
-    | "split" -> Ok P_split
-    | "register-vote" -> Ok P_register_vote
-    | "register-wait" -> Ok P_register_wait
-    | "tob" -> Ok P_tob
-    | "fd-all" -> Ok P_fd_all
-    | "kset" -> Ok P_kset
-    | "fd-boost" -> Ok P_fd_boost
-    | "tas" -> Ok P_tas
-    | "queue" -> Ok P_queue
-    | "mp-all" -> Ok P_mp_all
-    | "mp-quorum" -> Ok P_mp_quorum
-    | "universal" -> Ok P_universal
-    | s -> Error (`Msg ("unknown protocol: " ^ s))
+  let parse s =
+    match Registry.find s with
+    | Some e -> Ok e
+    | None ->
+      Error
+        (`Msg
+          (Printf.sprintf "unknown protocol: %s (expected one of %s)" s
+             (String.concat " | " Registry.names)))
   in
-  let print ppf p =
-    Format.pp_print_string ppf
-      (match p with
-      | P_direct -> "direct"
-      | P_split -> "split"
-      | P_register_vote -> "register-vote"
-      | P_register_wait -> "register-wait"
-      | P_tob -> "tob"
-      | P_fd_all -> "fd-all"
-      | P_kset -> "kset"
-      | P_fd_boost -> "fd-boost"
-      | P_tas -> "tas"
-      | P_queue -> "queue"
-      | P_mp_all -> "mp-all"
-      | P_mp_quorum -> "mp-quorum"
-      | P_universal -> "universal")
-  in
+  let print ppf (e : Registry.entry) = Format.pp_print_string ppf e.Registry.name in
   Arg.conv (parse, print)
 
-let build_system protocol ~n ~f ~groups ~group_size =
-  match protocol with
-  | P_direct -> Protocols.Direct.system ~n ~f
-  | P_split -> Protocols.Split.system ~n
-  | P_register_vote -> Protocols.Register_vote.system ()
-  | P_register_wait -> Protocols.Register_wait.system ()
-  | P_tob -> Protocols.Tob_direct.system ~n ~f
-  | P_fd_all -> Protocols.Fd_allconnected.system ~n ~f
-  | P_kset -> Protocols.Kset_boost.system ~groups ~group_size
-  | P_fd_boost -> Protocols.Fd_boost.system ~n
-  | P_tas -> Protocols.Tas_consensus.system ~f
-  | P_queue -> Protocols.Queue_consensus.system ~f
-  | P_mp_all -> Protocols.Mp_consensus.all_system ~n
-  | P_mp_quorum -> Protocols.Mp_consensus.quorum_system ~n
-  | P_universal ->
-    Protocols.Universal.system ~obj:(Spec.Seq_counter.make ())
-      ~ops:(List.init n (fun _ -> Spec.Seq_counter.increment))
+let params ~n ~f ~groups ~group_size = { Registry.n; f; groups; group_size }
+
+let build_system e ~n ~f ~groups ~group_size =
+  e.Registry.build (params ~n ~f ~groups ~group_size)
+
+let protocol_doc = "Protocol: " ^ String.concat " | " Registry.names ^ "."
 
 let protocol_arg =
-  Arg.(
-    required
-    & pos 0 (some protocol_conv) None
-    & info [] ~docv:"PROTOCOL"
-        ~doc:
-          "Protocol: direct | split | register-vote | register-wait | tob | fd-all | kset \
-           | fd-boost | tas | queue | mp-all | mp-quorum | universal.")
+  Arg.(required & pos 0 (some protocol_conv) None & info [] ~docv:"PROTOCOL" ~doc:protocol_doc)
 
 let n_arg = Arg.(value & opt int 2 & info [ "n"; "procs" ] ~docv:"N" ~doc:"Number of processes.")
 let f_arg = Arg.(value & opt int 0 & info [ "f"; "resilience" ] ~docv:"F" ~doc:"Service resilience level.")
@@ -169,7 +118,7 @@ let run_cmd =
   let run protocol n f groups group_size seeds =
     let sys = build_system protocol ~n ~f ~groups ~group_size in
     let np = Model.System.n_processes sys in
-    let k = match protocol with P_kset -> groups | _ -> 1 in
+    let k = protocol.Registry.k_of (params ~n ~f ~groups ~group_size) in
     let ok = ref 0 in
     for seed = 0 to seeds - 1 do
       let exec0 =
@@ -328,6 +277,16 @@ let chaos_cmd =
             (false, info [ "no-shrink" ] ~doc:"Report the violating schedule as found.");
           ])
   in
+  let static_prune_arg =
+    Arg.(
+      value & flag
+      & info [ "static-prune" ]
+          ~doc:
+            "Systematic mode: skip schedules the abstract-interpretation analyzer proves \
+             infeasible as violations (crashes landing after the certified quiescence \
+             step), without executing them. The report is unchanged except for the prune \
+             count.")
+  in
   let schedule_arg =
     Arg.(
       value
@@ -339,7 +298,7 @@ let chaos_cmd =
              adversary).")
   in
   let run protocol n f groups group_size faults seed runs max_steps horizon budget stride
-      jobs dedup shrink schedule =
+      jobs dedup shrink static_prune schedule =
     let sys = build_system protocol ~n ~f ~groups ~group_size in
     let horizon =
       if horizon > 0 then horizon else 2 * Array.length sys.Model.System.tasks
@@ -377,7 +336,7 @@ let chaos_cmd =
           Chaos.Driver.Systematic
             { Chaos.Explore.max_faults = faults; horizon; stride; budget; max_steps }
       in
-      let report = Chaos.Driver.run ~shrink ~domains:jobs ~dedup mode sys in
+      let report = Chaos.Driver.run ~shrink ~domains:jobs ~dedup ~static_prune mode sys in
       Format.printf "%a@." Chaos.Driver.pp_report report;
       (match report.Chaos.Driver.outcome with
       | Chaos.Driver.Passed -> 0
@@ -387,7 +346,7 @@ let chaos_cmd =
     Term.(
       const run $ protocol_opt $ n_arg $ f_arg $ groups_arg $ group_size_arg $ faults_arg
       $ seed_arg $ runs_arg $ max_steps_arg $ horizon_arg $ budget_arg $ stride_arg
-      $ jobs_arg $ dedup_arg $ shrink_arg $ schedule_arg)
+      $ jobs_arg $ dedup_arg $ shrink_arg $ static_prune_arg $ schedule_arg)
   in
   Cmd.v
     (Cmd.info "chaos"
@@ -397,6 +356,63 @@ let chaos_cmd =
           and service silencings, check agreement/validity/f-termination/linearizability \
           during each run, and delta-debug any violation to a minimal schedule. Exits 1 \
           with the minimized schedule on violation, 0 when all monitors pass.")
+    term
+
+(* --- lint --- *)
+
+let lint_cmd =
+  let protocol_opt =
+    Arg.(
+      value
+      & pos 0 (some protocol_conv) None
+      & info [] ~docv:"PROTOCOL" ~doc:protocol_doc)
+  in
+  let all_arg =
+    Arg.(
+      value & flag
+      & info [ "all" ]
+          ~doc:"Lint every registry protocol with its default parameters; exit non-zero if any has findings.")
+  in
+  let max_faults_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "max-faults" ] ~docv:"K"
+          ~doc:"Analyze contexts with up to K crashed processes.")
+  in
+  let run all protocol n f groups group_size max_faults =
+    let lint_one name sys =
+      let r = Analysis.Lint.analyze ~max_faults sys in
+      Format.printf "@[<v 2>%s:@,%a@]@." name Analysis.Lint.pp r;
+      Analysis.Lint.exit_code r
+    in
+    match all, protocol with
+    | true, None ->
+      List.fold_left
+        (fun acc (e : Registry.entry) ->
+          max acc (lint_one e.Registry.name (e.Registry.build Registry.default_params)))
+        0 Registry.all
+    | false, Some e ->
+      lint_one e.Registry.name (build_system e ~n ~f ~groups ~group_size)
+    | true, Some _ ->
+      Format.eprintf "--all takes no PROTOCOL argument@.";
+      3
+    | false, None ->
+      Format.eprintf "need a PROTOCOL argument or --all@.";
+      3
+  in
+  let term =
+    Term.(
+      const run $ all_arg $ protocol_opt $ n_arg $ f_arg $ groups_arg $ group_size_arg
+      $ max_faults_arg)
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Statically analyze a protocol by abstract interpretation: dead or unreachable \
+          transitions, non-total/non-deterministic task functions (the §3.1 assumptions), \
+          statically-blank protocols (no reachable decide), and resilience-interface \
+          mismatches. One machine-readable finding per line; exits 0 when no finding is \
+          worse than info, 1 otherwise, 3 on usage errors.")
     term
 
 (* --- experiments --- *)
@@ -421,6 +437,15 @@ let main =
        ~doc:
          "Executable reproduction of 'The Impossibility of Boosting Distributed Service \
           Resilience' (Attie, Guerraoui, Kuznetsov, Lynch, Rajsbaum).")
-    [ refute_cmd; staircase_cmd; explore_cmd; run_cmd; lemmas_cmd; chaos_cmd; experiments_cmd ]
+    [
+      refute_cmd;
+      staircase_cmd;
+      explore_cmd;
+      run_cmd;
+      lemmas_cmd;
+      chaos_cmd;
+      lint_cmd;
+      experiments_cmd;
+    ]
 
 let () = exit (Cmd.eval' main)

@@ -1,0 +1,64 @@
+type bound = Fin of int | Inf
+
+type t = Bot | Range of int * bound
+
+let bot = Bot
+let zero = Range (0, Fin 0)
+let of_int n = Range (n, Fin n)
+let range lo hi = if hi < lo then Bot else Range (lo, Fin hi)
+let unbounded lo = Range (lo, Inf)
+
+let bound_leq a b = match a, b with _, Inf -> true | Inf, Fin _ -> false | Fin x, Fin y -> x <= y
+
+let leq a b =
+  match a, b with
+  | Bot, _ -> true
+  | _, Bot -> false
+  | Range (lo1, hi1), Range (lo2, hi2) -> lo2 <= lo1 && bound_leq hi1 hi2
+
+let join a b =
+  match a, b with
+  | Bot, x | x, Bot -> x
+  | Range (lo1, hi1), Range (lo2, hi2) ->
+    Range (min lo1 lo2, if bound_leq hi1 hi2 then hi2 else hi1)
+
+let widen a b =
+  match a, b with
+  | Bot, x | x, Bot -> x
+  | Range (lo1, hi1), Range (lo2, hi2) ->
+    Range ((if lo2 < lo1 then 0 else lo1), if bound_leq hi2 hi1 then hi1 else Inf)
+
+let equal a b =
+  match a, b with
+  | Bot, Bot -> true
+  | Range (lo1, hi1), Range (lo2, hi2) -> lo1 = lo2 && hi1 = hi2
+  | _ -> false
+
+let mem n = function
+  | Bot -> false
+  | Range (lo, hi) -> lo <= n && (match hi with Inf -> true | Fin h -> n <= h)
+
+let add t k =
+  match t with
+  | Bot -> Bot
+  | Range (lo, hi) ->
+    Range (max 0 (lo + k), (match hi with Inf -> Inf | Fin h -> Fin (max 0 (h + k))))
+
+let stretch t k =
+  match t with
+  | Bot -> Bot
+  | Range (lo, hi) -> Range (lo, (match hi with Inf -> Inf | Fin h -> Fin (h + k)))
+
+let pred t = add t (-1)
+
+let hull = function
+  | [] -> Bot
+  | n :: rest ->
+    let lo, hi = List.fold_left (fun (lo, hi) m -> min lo m, max hi m) (n, n) rest in
+    Range (lo, Fin hi)
+
+let pp ppf = function
+  | Bot -> Format.fprintf ppf "⊥"
+  | Range (lo, Fin hi) when lo = hi -> Format.fprintf ppf "%d" lo
+  | Range (lo, Fin hi) -> Format.fprintf ppf "[%d,%d]" lo hi
+  | Range (lo, Inf) -> Format.fprintf ppf "[%d,∞)" lo

@@ -1,0 +1,111 @@
+module Value = Ioa.Value
+module System = Model.System
+module Service = Model.Service
+
+type severity = Error | Warning | Info
+
+type finding = { code : string; severity : severity; subject : string; detail : string }
+
+type report = { findings : finding list; reach : Reach.t }
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+
+let compare_finding a b =
+  let c = compare (severity_rank a.severity) (severity_rank b.severity) in
+  if c <> 0 then c
+  else
+    let c = String.compare a.code b.code in
+    if c <> 0 then c else String.compare a.subject b.subject
+
+let analyze ?max_faults ?inputs (sys : System.t) =
+  let r = Reach.analyze ?max_faults ?inputs sys in
+  let fs = ref [] in
+  let add code severity subject detail = fs := { code; severity; subject; detail } :: !fs in
+  (* §3.1 assumption breaches and endpoint-discipline bugs surfaced by the
+     transfer probes. *)
+  List.iter
+    (fun (i : Transfer.incident) -> add i.Transfer.code Error i.Transfer.subject i.Transfer.detail)
+    r.Reach.incidents;
+  (* Statically blank: no decide event reachable failure-free. Subsumes the
+     per-process dead-decide findings. *)
+  if Reach.proven_blank r then
+    add "blank-protocol" Error "protocol"
+      "no decide event is reachable in any failure-free execution (statically Blank)"
+  else
+    List.iter
+      (fun i ->
+        add "dead-decide" Warning
+          (Printf.sprintf "process %d" i)
+          "provably never emits a decide event in any failure-free execution")
+      (Reach.never_decides r);
+  (* Tasks whose real action never fires in any analyzed context. *)
+  List.iter
+    (fun (_, tk) ->
+      add "dead-task" Info
+        (Format.asprintf "task %a" Model.Task.pp tk)
+        "real action fires in no analyzed context (dead or unreachable transition)")
+    (Reach.dead_tasks r);
+  (* Resilience-interface checks (static metadata, always exact). *)
+  let n = System.n_processes sys in
+  Array.iter
+    (fun (c : Service.t) ->
+      let subject = "service " ^ c.Service.id in
+      let m = Array.length c.Service.endpoints in
+      if c.Service.resilience >= m then
+        add "over-resilient" Warning subject
+          (Printf.sprintf "resilience f=%d ≥ %d endpoints: the silencing threshold is unattainable"
+             c.Service.resilience m)
+      else if Service.is_wait_free c && c.Service.cls <> Service.Register then
+        add "wait-free-claim" Info subject
+          (Printf.sprintf
+             "f=%d ≥ |J|−1=%d: wait-free, i.e. effectively reliable (§2.1.3) — boosting results do not apply to it"
+             c.Service.resilience (m - 1));
+      if not (Service.connected_to_all c ~n) then
+        add "not-connected-to-all" Info subject
+          "not connected to every process (Theorem 10 assumes fully connected general services)")
+    sys.System.services;
+  (* Decisions outside the proposed inputs: a validity risk when provable
+     on both sides. *)
+  (match (Reach.seed_info r).Reach.astate with
+  | Astate.Bot -> ()
+  | Astate.St st ->
+    let all_inputs =
+      Array.fold_left
+        (fun acc (d : Astate.dopt) ->
+          match acc with
+          | None -> None
+          | Some vs -> if d.Astate.may_none then None else (
+            match Vset.elements d.Astate.values with
+            | None -> None
+            | Some es -> Some (es @ vs)))
+        (Some []) st.Astate.inputs
+    in
+    match all_inputs, Vset.elements (Reach.may_decided_values r) with
+    | Some inputs, Some decided ->
+      List.iter
+        (fun v ->
+          if not (List.exists (Value.equal v) inputs) then
+            add "decide-outside-inputs" Info
+              (Format.asprintf "value %a" Value.pp v)
+              "may be decided although no process proposed it (potential validity violation)")
+        decided
+    | _ -> ());
+  { findings = List.sort_uniq compare_finding !fs; reach = r }
+
+let pp_severity ppf s =
+  Format.pp_print_string ppf
+    (match s with Error -> "error" | Warning -> "warning" | Info -> "info")
+
+let pp_finding ppf f =
+  Format.fprintf ppf "%a[%s] %s: %s" pp_severity f.severity f.code f.subject f.detail
+
+let pp ppf r =
+  Format.fprintf ppf "@[<v>";
+  List.iter (fun f -> Format.fprintf ppf "%a@," pp_finding f) r.findings;
+  Format.fprintf ppf "%d finding(s); crashes %a; fixpoint in %d iteration(s), %d widening(s)@]"
+    (List.length r.findings) Interval.pp
+    (Reach.crash_interval r.reach)
+    r.reach.Reach.stats.Fixpoint.iterations r.reach.Reach.stats.Fixpoint.widenings
+
+let exit_code r =
+  if List.exists (fun f -> f.severity <> Info) r.findings then 1 else 0

@@ -1,0 +1,39 @@
+(** Protocol lints over the abstract reachability solution.
+
+    Each finding is a proven or honestly-qualified fact about the protocol
+    as a transition system, surfaced before any concrete run:
+
+    - [error] findings break assumptions the exact engine ({!Engine.Graph},
+      {!Engine.Valence}) silently relies on (§3.1: total deterministic step
+      functions, non-empty δ relations, endpoint discipline) or make the
+      protocol statically vacuous ([blank-protocol]: no reachable decide —
+      the [Valence.Blank] anomaly caught without materializing G(C));
+    - [warning] findings are almost certainly protocol bugs ([dead-decide]:
+      a process provably never decides failure-free; [over-resilient]: a
+      resilience claim exceeding the endpoint count);
+    - [info] findings are interface observations ([dead-task],
+      [not-connected-to-all], [wait-free-claim], [decide-outside-inputs])
+      whose severity depends on intent.
+
+    Findings are deterministic and sorted (severity, code, subject), one per
+    line under {!pp} — machine-readable by design; {!exit_code} maps them to
+    a shell status. *)
+
+type severity = Error | Warning | Info
+
+type finding = { code : string; severity : severity; subject : string; detail : string }
+
+type report = { findings : finding list; reach : Reach.t }
+
+val analyze : ?max_faults:int -> ?inputs:Ioa.Value.t list -> Model.System.t -> report
+
+val pp_severity : Format.formatter -> severity -> unit
+val pp_finding : Format.formatter -> finding -> unit
+(** One line: [SEVERITY[code] subject: detail]. *)
+
+val pp : Format.formatter -> report -> unit
+(** All findings, one per line, then a summary line with the crash-count
+    interval covered and solver statistics. *)
+
+val exit_code : report -> int
+(** 0 when no finding is worse than [Info]; 1 otherwise. *)

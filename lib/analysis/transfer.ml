@@ -1,0 +1,372 @@
+module Value = Ioa.Value
+module System = Model.System
+module Service = Model.Service
+module Process = Model.Process
+module Task = Model.Task
+
+type incident = { code : string; subject : string; detail : string }
+
+type outcome = {
+  post : Astate.t;
+  real : bool;
+  dummy : bool;
+  decides : (int * Value.t) list;
+  decide_havoc : bool;
+  incidents : incident list;
+}
+
+(* Mutable accumulator threaded through one task's combo enumeration. *)
+type acc = {
+  mutable posts : Astate.t;
+  mutable fires : bool;
+  mutable dec : (int * Value.t) list;
+  mutable dec_havoc : bool;
+  mutable incs : incident list;
+}
+
+let acc () = { posts = Astate.Bot; fires = false; dec = []; dec_havoc = false; incs = [] }
+
+let incident acc code subject detail =
+  if not (List.exists (fun i -> String.equal i.code code && String.equal i.subject subject) acc.incs)
+  then acc.incs <- { code; subject; detail } :: acc.incs
+
+let emit acc post =
+  acc.fires <- true;
+  acc.posts <- Astate.join acc.posts post
+
+let set_arr a i x =
+  let a = Array.copy a in
+  a.(i) <- x;
+  a
+
+let rec last = function [] -> None | [ x ] -> Some x | _ :: rest -> last rest
+
+(* Call a concrete relation twice; a mismatch between the calls breaks the
+   §3.1 determinism assumption (the exact engine always takes the first
+   choice of a *stable* relation). *)
+let probe2 acc ~raise_code ~nondet_code ~subject ~equal f =
+  match f () with
+  | exception e ->
+    incident acc raise_code subject (Printexc.to_string e);
+    None
+  | r1 ->
+    (match f () with
+    | exception e -> incident acc nondet_code subject ("second call raised: " ^ Printexc.to_string e)
+    | r2 ->
+      if not (equal r1 r2) then
+        incident acc nondet_code subject "two calls on the same state disagreed");
+    Some r1
+
+let proc_outcome_equal o1 o2 =
+  match o1, o2 with
+  | Process.Internal a, Process.Internal b -> Value.equal a b
+  | Process.Decide { value = v1; next = n1 }, Process.Decide { value = v2; next = n2 } ->
+    Value.equal v1 v2 && Value.equal n1 n2
+  | ( Process.Invoke { service = s1; op = op1; next = n1 },
+      Process.Invoke { service = s2; op = op2; next = n2 } ) ->
+    String.equal s1 s2 && Value.equal op1 op2 && Value.equal n1 n2
+  | _ -> false
+
+let rmap_equal r1 r2 =
+  List.equal
+    (fun (j1, rs1) (j2, rs2) -> j1 = j2 && List.equal Value.equal rs1 rs2)
+    r1 r2
+
+let delta_head_equal d1 d2 =
+  (* The determinized semantics only ever takes the head (§3.1). *)
+  match d1, d2 with
+  | [], [] -> true
+  | (r1, v1) :: _, (r2, v2) :: _ -> rmap_equal r1 r2 && Value.equal v1 v2
+  | _ -> false
+
+(* --- buffer operations on the abstract encodings --- *)
+
+let buf_push ab v =
+  let items = Vset.map (fun q -> Value.list (Value.to_list q @ [ v ])) ab.Astate.items in
+  Astate.buf_make ~items ~len:(Interval.add ab.Astate.len 1)
+
+let buf_push_resp ~coalesce ab r =
+  let push q =
+    let ql = Value.to_list q in
+    if coalesce && (match last ql with Some t -> Value.equal t r | None -> false) then q
+    else Value.list (ql @ [ r ])
+  in
+  let items = Vset.map push ab.Astate.items in
+  let len =
+    if coalesce then Interval.stretch ab.Astate.len 1 else Interval.add ab.Astate.len 1
+  in
+  Astate.buf_make ~items ~len
+
+let buf_pop_top ab =
+  Astate.buf_top ~len:(Interval.pred ab.Astate.len)
+
+(* A buffer that may receive any responses: contents unknown, length only
+   bounded below. *)
+let buf_havoc_push ab =
+  match ab.Astate.len with
+  | Interval.Bot -> Astate.buf_top ~len:(Interval.unbounded 0)
+  | Interval.Range (lo, _) -> Astate.buf_top ~len:(Interval.Range (lo, Interval.Inf))
+
+let svc_subject (c : Service.t) = "service " ^ c.Service.id
+let proc_subject i = Printf.sprintf "process %d" i
+
+(* Apply a concrete response map to an abstract service, mirroring
+   [System.apply_response_map]. *)
+let apply_rmap acc (c : Service.t) (asvc : Astate.asvc) rmap =
+  List.fold_left
+    (fun asvc_opt (j, rs) ->
+      match asvc_opt with
+      | None -> None
+      | Some (asvc : Astate.asvc) -> (
+        match Service.endpoint_pos c j with
+        | None ->
+          incident acc "resp-non-endpoint" (svc_subject c)
+            (Printf.sprintf "δ maps a response to process %d, not an endpoint" j);
+          None
+        | Some rpos ->
+          let rb =
+            List.fold_left
+              (fun rb r -> buf_push_resp ~coalesce:c.Service.coalesce rb r)
+              asvc.Astate.resp.(rpos) rs
+          in
+          Some { asvc with Astate.resp = set_arr asvc.Astate.resp rpos rb }))
+    (Some asvc) rmap
+
+(* Every endpoint's resp buffer may be written when the response map is
+   unknown. *)
+let havoc_all_resp (asvc : Astate.asvc) =
+  { asvc with Astate.resp = Array.map buf_havoc_push asvc.Astate.resp }
+
+(* --- per-task transfers --- *)
+
+let proc_task sys acc (st : Astate.st) i =
+  let p = sys.System.processes.(i) in
+  match st.Astate.procs.(i) with
+  | Vset.Top ->
+    acc.dec_havoc <- true;
+    let d = st.Astate.decisions.(i) in
+    emit acc
+      (Astate.St
+         {
+           st with
+           Astate.procs = set_arr st.Astate.procs i Vset.top;
+           decisions =
+             set_arr st.Astate.decisions i
+               { Astate.may_none = d.Astate.may_none; values = Vset.top };
+         })
+  | Vset.Set vs ->
+    List.iter
+      (fun v ->
+        match
+          probe2 acc ~raise_code:"non-total-step" ~nondet_code:"nondet-step"
+            ~subject:(proc_subject i) ~equal:proc_outcome_equal
+            (fun () -> p.Process.step v)
+        with
+        | None -> ()
+        | Some (Process.Internal next) ->
+          emit acc (Astate.St { st with Astate.procs = set_arr st.Astate.procs i (Vset.singleton next) })
+        | Some (Process.Decide { value; next }) ->
+          acc.dec <- (i, value) :: acc.dec;
+          let d = st.Astate.decisions.(i) in
+          let d' =
+            {
+              Astate.may_none = false;
+              values =
+                Vset.join d.Astate.values
+                  (if d.Astate.may_none then Vset.singleton value else Vset.bot);
+            }
+          in
+          emit acc
+            (Astate.St
+               {
+                 st with
+                 Astate.procs = set_arr st.Astate.procs i (Vset.singleton next);
+                 decisions = set_arr st.Astate.decisions i d';
+               })
+        | Some (Process.Invoke { service; op; next }) -> (
+          match System.service_pos sys service with
+          | exception Invalid_argument msg ->
+            incident acc "unknown-service" (proc_subject i) msg
+          | svc -> (
+            let c = sys.System.services.(svc) in
+            match Service.endpoint_pos c i with
+            | None ->
+              incident acc "invoke-non-endpoint" (proc_subject i)
+                (Printf.sprintf "invokes %s without being one of its endpoints" service)
+            | Some pos ->
+              let asvc = st.Astate.svcs.(svc) in
+              let asvc' =
+                { asvc with Astate.inv = set_arr asvc.Astate.inv pos (buf_push asvc.Astate.inv.(pos) op) }
+              in
+              emit acc
+                (Astate.St
+                   {
+                     st with
+                     Astate.procs = set_arr st.Astate.procs i (Vset.singleton next);
+                     svcs = set_arr st.Astate.svcs svc asvc';
+                   }))))
+      vs
+
+let probe_delta acc (c : Service.t) ~what f =
+  match
+    probe2 acc ~raise_code:"delta-raised" ~nondet_code:"nondet-delta" ~subject:(svc_subject c)
+      ~equal:delta_head_equal f
+  with
+  | None -> None
+  | Some [] ->
+    incident acc "empty-delta" (svc_subject c)
+      (Printf.sprintf "%s relation empty (totality violation, §3.1)" what);
+    None
+  | Some (head :: _) -> Some head
+
+let perform_task sys acc (st : Astate.st) ~failed ~svc ~endpoint:i =
+  let c = sys.System.services.(svc) in
+  let pos = Option.get (Service.endpoint_pos c i) in
+  let asvc = st.Astate.svcs.(svc) in
+  let failed_c = Service.failed_endpoints c failed in
+  let inv = asvc.Astate.inv.(pos) in
+  match Vset.elements inv.Astate.items, Vset.elements asvc.Astate.value with
+  | Some qs, Some vs ->
+    List.iter
+      (fun qv ->
+        match Value.to_list qv with
+        | [] -> ()
+        | a :: rest ->
+          List.iter
+            (fun v ->
+              match
+                probe_delta acc c ~what:"delta_inv" (fun () ->
+                    c.Service.gtype.Spec.General_type.delta_inv a i v ~failed:failed_c)
+              with
+              | None -> ()
+              | Some (rmap, value') -> (
+                let asvc' =
+                  {
+                    asvc with
+                    Astate.value = Vset.singleton value';
+                    inv = set_arr asvc.Astate.inv pos (Astate.buf_of_queue rest);
+                  }
+                in
+                match apply_rmap acc c asvc' rmap with
+                | None -> ()
+                | Some asvc' ->
+                  emit acc (Astate.St { st with Astate.svcs = set_arr st.Astate.svcs svc asvc' })))
+            vs)
+      qs
+  | _ ->
+    (* Unknown queue or object value: the pop, the new value and the
+       response map are all unknown — unless the queue is provably empty,
+       in which case the real action cannot fire at all. *)
+    let may_nonempty =
+      match Vset.elements inv.Astate.items with
+      | Some qs -> List.exists (fun q -> Value.to_list q <> []) qs
+      | None -> true
+    in
+    if may_nonempty then begin
+      let asvc' =
+        havoc_all_resp
+          {
+            asvc with
+            Astate.value = Vset.top;
+            inv = set_arr asvc.Astate.inv pos (buf_pop_top inv);
+          }
+      in
+      emit acc (Astate.St { st with Astate.svcs = set_arr st.Astate.svcs svc asvc' })
+    end
+
+let output_task sys acc (st : Astate.st) ~svc ~endpoint:i =
+  let c = sys.System.services.(svc) in
+  let pos = Option.get (Service.endpoint_pos c i) in
+  let asvc = st.Astate.svcs.(svc) in
+  let p = sys.System.processes.(i) in
+  let rb = asvc.Astate.resp.(pos) in
+  match Vset.elements rb.Astate.items with
+  | None ->
+    let asvc' = { asvc with Astate.resp = set_arr asvc.Astate.resp pos (buf_pop_top rb) } in
+    emit acc
+      (Astate.St
+         {
+           st with
+           Astate.procs = set_arr st.Astate.procs i Vset.top;
+           svcs = set_arr st.Astate.svcs svc asvc';
+         })
+  | Some qs ->
+    List.iter
+      (fun qv ->
+        match Value.to_list qv with
+        | [] -> ()
+        | b :: rest ->
+          let asvc' =
+            { asvc with Astate.resp = set_arr asvc.Astate.resp pos (Astate.buf_of_queue rest) }
+          in
+          let with_proc pv' =
+            emit acc
+              (Astate.St
+                 {
+                   st with
+                   Astate.procs = set_arr st.Astate.procs i pv';
+                   svcs = set_arr st.Astate.svcs svc asvc';
+                 })
+          in
+          (match st.Astate.procs.(i) with
+          | Vset.Top -> with_proc Vset.top
+          | Vset.Set pvs ->
+            List.iter
+              (fun pv ->
+                match p.Process.on_response pv ~service:c.Service.id b with
+                | exception e ->
+                  incident acc "on-response-raised" (proc_subject i) (Printexc.to_string e)
+                | pv' -> with_proc (Vset.singleton pv'))
+              pvs))
+      qs
+
+let compute_task sys acc (st : Astate.st) ~failed ~svc ~glob =
+  let c = sys.System.services.(svc) in
+  let asvc = st.Astate.svcs.(svc) in
+  let failed_c = Service.failed_endpoints c failed in
+  match Vset.elements asvc.Astate.value with
+  | None ->
+    let asvc' = havoc_all_resp { asvc with Astate.value = Vset.top } in
+    emit acc (Astate.St { st with Astate.svcs = set_arr st.Astate.svcs svc asvc' })
+  | Some vs ->
+    List.iter
+      (fun v ->
+        match
+          probe_delta acc c ~what:"delta_glob" (fun () ->
+              c.Service.gtype.Spec.General_type.delta_glob glob v ~failed:failed_c)
+        with
+        | None -> ()
+        | Some (rmap, value') -> (
+          let asvc' = { asvc with Astate.value = Vset.singleton value' } in
+          match apply_rmap acc c asvc' rmap with
+          | None -> ()
+          | Some asvc' ->
+            emit acc (Astate.St { st with Astate.svcs = set_arr st.Astate.svcs svc asvc' })))
+      vs
+
+let task sys ~failed (a : Astate.t) (tk : Task.t) =
+  let dummy =
+    match tk with
+    | Task.Proc i -> Spec.Iset.mem i failed
+    | Task.Svc_perform { svc; endpoint } | Task.Svc_output { svc; endpoint } ->
+      System.dummy_io_enabled sys.System.services.(svc) failed endpoint
+    | Task.Svc_compute { svc; _ } -> System.dummy_compute_enabled sys.System.services.(svc) failed
+  in
+  match a with
+  | Astate.Bot ->
+    { post = Astate.Bot; real = false; dummy; decides = []; decide_havoc = false; incidents = [] }
+  | Astate.St st ->
+    let acc = acc () in
+    (match tk with
+    | Task.Proc i -> if not (Spec.Iset.mem i failed) then proc_task sys acc st i
+    | Task.Svc_perform { svc; endpoint } -> perform_task sys acc st ~failed ~svc ~endpoint
+    | Task.Svc_output { svc; endpoint } -> output_task sys acc st ~svc ~endpoint
+    | Task.Svc_compute { svc; glob } -> compute_task sys acc st ~failed ~svc ~glob);
+    {
+      post = acc.posts;
+      real = acc.fires;
+      dummy;
+      decides = List.sort_uniq (fun (i, v) (j, w) -> if i <> j then compare i j else Value.compare v w) acc.dec;
+      decide_havoc = acc.dec_havoc;
+      incidents = List.rev acc.incs;
+    }

@@ -1,0 +1,37 @@
+(** Abstract transfer functions, derived mechanically from the concrete task
+    semantics of {!Model.System}.
+
+    For a task and a failed set, {!task} computes an over-approximation of
+    every concrete successor reachable by taking that task's {e real}
+    (non-dummy) action from any state described by the abstract
+    configuration: finite abstract components are enumerated and pushed
+    through the very same [Process.step] / δ1 / δ2 the runtime uses (so
+    every protocol in [lib/protocols] is analyzable unmodified), [Top]
+    components havoc whatever the action may write. Dummy actions are
+    identity steps ([post] never includes them; collecting semantics joins
+    the pre-state anyway), reported only through the [dummy] flag.
+
+    The probes double as lint sensors: each concrete call is made twice and
+    compared, surfacing the §3.1 assumptions the exact engine silently
+    relies on — step functions must be total and deterministic, δ relations
+    non-empty ([System] raises on violation at runtime; here they become
+    {!incident}s). *)
+
+type incident = { code : string; subject : string; detail : string }
+(** Codes: [non-total-step], [nondet-step], [delta-raised], [nondet-delta],
+    [empty-delta], [on-response-raised], [unknown-service],
+    [invoke-non-endpoint], [resp-non-endpoint]. *)
+
+type outcome = {
+  post : Astate.t;
+      (** Join of all real successors; [Bot] when no real action can fire. *)
+  real : bool;  (** Some described state enables the real action. *)
+  dummy : bool;  (** The dummy action is enabled (failed-set dependent). *)
+  decides : (int * Ioa.Value.t) list;
+      (** Decide events the task may emit, deduplicated. *)
+  decide_havoc : bool;
+      (** A [Top] process state may decide arbitrary values. *)
+  incidents : incident list;
+}
+
+val task : Model.System.t -> failed:Spec.Iset.t -> Astate.t -> Model.Task.t -> outcome

@@ -1,0 +1,65 @@
+module Value = Ioa.Value
+
+type t = Top | Set of Value.t list
+
+let cap = 24
+let bot = Set []
+let top = Top
+let is_bot = function Set [] -> true | _ -> false
+let is_top = function Top -> true | _ -> false
+let singleton v = Set [ v ]
+
+let norm vs = if List.length vs > cap then Top else Set vs
+
+let of_list vs = norm (List.sort_uniq Value.compare vs)
+
+let rec insert v = function
+  | [] -> [ v ]
+  | x :: rest as l ->
+    let c = Value.compare v x in
+    if c < 0 then v :: l else if c = 0 then l else x :: insert v rest
+
+let add v = function Top -> Top | Set vs -> norm (insert v vs)
+let mem v = function Top -> true | Set vs -> List.exists (Value.equal v) vs
+let elements = function Top -> None | Set vs -> Some vs
+let cardinal = function Top -> None | Set vs -> Some (List.length vs)
+
+let rec union a b =
+  match a, b with
+  | [], l | l, [] -> l
+  | x :: xs, y :: ys ->
+    let c = Value.compare x y in
+    if c < 0 then x :: union xs b else if c > 0 then y :: union a ys else x :: union xs ys
+
+let leq a b =
+  match a, b with
+  | _, Top -> true
+  | Top, Set _ -> false
+  | Set xs, Set ys -> List.for_all (fun x -> List.exists (Value.equal x) ys) xs
+
+let join a b =
+  match a, b with Top, _ | _, Top -> Top | Set xs, Set ys -> norm (union xs ys)
+
+let widen = join
+
+let equal a b =
+  match a, b with
+  | Top, Top -> true
+  | Set xs, Set ys -> List.equal Value.equal xs ys
+  | _ -> false
+
+let map f = function Top -> Top | Set vs -> of_list (List.map f vs)
+
+let concat_map f = function
+  | Top -> Top
+  | Set vs ->
+    List.fold_left
+      (fun acc v -> match acc with Top -> Top | _ -> join acc (f v))
+      bot vs
+
+let pp ppf = function
+  | Top -> Format.fprintf ppf "⊤"
+  | Set vs ->
+    Format.fprintf ppf "{%a}"
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ") Value.pp)
+      vs

@@ -21,6 +21,7 @@ type report = {
   monitor_truncations : int;
   undelivered_crashes : int;
   dedup_hits : int;
+  static_prunes : int;
   outcome : outcome;
 }
 
@@ -50,15 +51,16 @@ let violated ?monitors ?max_steps ?interleave ?inputs ~shrink sys original =
   Violated
     { original; minimized; shrink_stats; witness = witness_of_violation final; replayed = None }
 
-let run ?monitors ?inputs ?(shrink = true) ?(domains = 1) ?(dedup = true) mode sys =
+let run ?monitors ?inputs ?(shrink = true) ?(domains = 1) ?(dedup = true)
+    ?(static_prune = false) mode sys =
   match mode with
   | Systematic config ->
     let r =
       (* One domain keeps the trusted sequential path, byte-identical to the
-         pre-parallel engine; more domains go through the deduplicated
-         work-stealing explorer. *)
-      if domains <= 1 then Explore.run ?monitors ?inputs ~config sys
-      else Explore.run_par ?monitors ?inputs ~config ~domains ~dedup sys
+         pre-parallel engine; more domains (or the static oracle) go through
+         the deduplicated work-stealing explorer. *)
+      if domains <= 1 && not static_prune then Explore.run ?monitors ?inputs ~config sys
+      else Explore.run_par ?monitors ?inputs ~config ~domains ~dedup ~static_prune sys
     in
     let outcome =
       match r.Explore.violation with
@@ -74,6 +76,7 @@ let run ?monitors ?inputs ?(shrink = true) ?(domains = 1) ?(dedup = true) mode s
       monitor_truncations = r.Explore.monitor_truncations;
       undelivered_crashes = r.Explore.undelivered_crashes;
       dedup_hits = r.Explore.dedup_hits;
+      static_prunes = r.Explore.static_prunes;
       outcome;
     }
   | Seeded { seed; runs; max_faults; horizon; max_steps } ->
@@ -128,6 +131,7 @@ let run ?monitors ?inputs ?(shrink = true) ?(domains = 1) ?(dedup = true) mode s
       monitor_truncations = !monitor_truncations;
       undelivered_crashes = !undelivered;
       dedup_hits = 0;
+      static_prunes = 0;
       outcome;
     }
 
@@ -145,6 +149,9 @@ let pp_report ppf r =
      else "");
   if r.dedup_hits > 0 then
     Format.fprintf ppf "%d schedule(s) pruned by configuration fingerprint@," r.dedup_hits;
+  if r.static_prunes > 0 then
+    Format.fprintf ppf "%d schedule(s) statically pruned (proven clean, never executed)@,"
+      r.static_prunes;
   if r.step_budget_hits > 0 then
     Format.fprintf ppf
       "%d run(s) hit the step budget undecided — liveness verdicts there are bounded evidence only@,"

@@ -45,6 +45,9 @@ type report = {
   dedup_hits : int;
       (** Schedules pruned by configuration fingerprint (parallel systematic
           mode only; 0 otherwise). *)
+  static_prunes : int;
+      (** Schedules skipped by the abstract-interpretation infeasibility
+          oracle (systematic mode with [static_prune]; 0 otherwise). *)
   outcome : outcome;
 }
 
@@ -56,12 +59,14 @@ val run :
   ?shrink:bool ->
   ?domains:int ->
   ?dedup:bool ->
+  ?static_prune:bool ->
   mode ->
   Model.System.t ->
   report
-(** [shrink] defaults to true. [domains] (default 1) > 1 routes systematic
-    exploration through {!Explore.run_par} with [dedup] (default true);
-    [domains = 1] keeps the sequential {!Explore.run} path, byte-identical
-    to the pre-parallel engine. Seeded mode ignores both. *)
+(** [shrink] defaults to true. [domains] (default 1) > 1 or [static_prune]
+    (default false) routes systematic exploration through {!Explore.run_par}
+    with [dedup] (default true); otherwise the sequential {!Explore.run}
+    path is kept, byte-identical to the pre-parallel engine. Seeded mode
+    ignores all three. *)
 
 val pp_report : Format.formatter -> report -> unit

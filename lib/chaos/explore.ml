@@ -36,6 +36,7 @@ type report = {
   monitor_truncations : int;
   undelivered_crashes : int;
   dedup_hits : int;
+  static_prunes : int;
   violation : violation option;
 }
 
@@ -122,6 +123,7 @@ let run ?monitors ?interleave ?inputs ?config (sys : Model.System.t) =
     monitor_truncations = !monitor_truncations;
     undelivered_crashes = !undelivered_crashes;
     dedup_hits = 0;
+    static_prunes = 0;
     violation;
   }
 
@@ -133,6 +135,7 @@ type run_record = {
   truncations : int;
   undelivered : int;
   deduped : bool;
+  statically_pruned : bool;
   found : violation option;
 }
 
@@ -179,6 +182,7 @@ let merge ~space ~scheduled partials =
     monitor_truncations = sum (fun r -> r.truncations);
     undelivered_crashes = sum (fun r -> r.undelivered);
     dedup_hits = sum (fun r -> if r.deduped then 1 else 0);
+    static_prunes = sum (fun r -> if r.statically_pruned then 1 else 0);
     violation = Option.map snd winner;
   }
 
@@ -224,12 +228,47 @@ let rec note_best best rank =
   if rank < cur && not (Atomic.compare_and_set best cur rank) then note_best best rank
 
 let run_par ?monitors ?interleave ?inputs ?config ?(domains = 1) ?(dedup = true)
-    (sys : Model.System.t) =
+    ?(static_prune = false) (sys : Model.System.t) =
   let n = Model.System.n_processes sys in
   let cfg = match config with Some c -> c | None -> default_config sys in
   let space = space_size ~n cfg in
   let candidates = Array.of_seq (Seq.take (max 0 cfg.budget) (schedules ~n cfg)) in
   let scheduled = Array.length candidates in
+  let quiescence =
+    (* The abstract-interpretation infeasibility oracle: a certified step Q
+       from which every crash-only silencing schedule provably ends in a
+       clean lasso with all crashes delivered. Engaged only under the exact
+       convention the certificate covers — default monitors, round-robin
+       interleaving — and only when the step budget provably accommodates
+       the longest pruned run (activation + crash deliveries + one full
+       silent cycle), so a concrete twin could never have hit [Budget]. *)
+    if
+      static_prune && monitors = None
+      && (match interleave with Some (Runner.Seeded _) -> false | _ -> true)
+      && cfg.horizon + cfg.max_faults + Array.length sys.Model.System.tasks + 2
+         <= cfg.max_steps
+    then
+      Analysis.Prune.clean_from ~max_faults:cfg.max_faults
+        ~inputs:(match inputs with Some l -> l | None -> Runner.default_inputs sys)
+        ~horizon:cfg.horizon sys
+    else None
+  in
+  let prunable (s : Schedule.t) =
+    match quiescence with
+    | None -> false
+    | Some q ->
+      (* Crash-only silencing schedules with every crash at or past Q; the
+         empty schedule is never pruned (it has rank 0, and concrete prefix
+         violations must keep dominating the rank-least merge). *)
+      s.Schedule.overrides = []
+      && s.Schedule.default_pref = Model.System.Prefer_dummy
+      && s.Schedule.faults <> []
+      && List.for_all
+           (function
+             | Schedule.Crash { step; _ } -> step >= q
+             | Schedule.Silence _ -> false)
+           s.Schedule.faults
+  in
   (* Clamp the spawned workers to the machine: oversubscribing domains past
      the core count makes every minor-collection barrier pay cross-thread
      scheduling latency (each stop-the-world must wait for descheduled
@@ -269,6 +308,21 @@ let run_par ?monitors ?interleave ?inputs ?config ?(domains = 1) ?(dedup = true)
        report; skipping them is the early-exit that makes the search stop. *)
     if rank < Atomic.get best then begin
       let schedule = candidates.(rank) in
+      if prunable schedule then
+        (* Proven clean lasso: all crashes delivered, no truncations, no
+           violation — exactly what the concrete run would have recorded. *)
+        records :=
+          {
+            rank;
+            budget_hit = false;
+            truncations = 0;
+            undelivered = 0;
+            deduped = false;
+            statically_pruned = true;
+            found = None;
+          }
+          :: !records
+      else begin
       let keyed = ref None in
       let on_active =
         if dedup then
@@ -293,6 +347,7 @@ let run_par ?monitors ?interleave ?inputs ?config ?(domains = 1) ?(dedup = true)
           truncations = List.length r.Runner.monitor_truncations;
           undelivered = r.Runner.undelivered_crashes;
           deduped = false;
+          statically_pruned = false;
           found = None;
         }
       in
@@ -316,6 +371,7 @@ let run_par ?monitors ?interleave ?inputs ?config ?(domains = 1) ?(dedup = true)
         | Runner.Pruned -> { base with deduped = true }
       in
       records := record :: !records
+      end
     end
   in
   let worker w () =
@@ -365,6 +421,11 @@ let pp_report ppf r =
       "%d schedule(s) pruned by configuration fingerprint (verdict inherited from an \
        equivalent run)@,"
       r.dedup_hits;
+  if r.static_prunes > 0 then
+    Format.fprintf ppf
+      "%d schedule(s) statically pruned (proven clean by abstract interpretation, never \
+       executed)@,"
+      r.static_prunes;
   if r.step_budget_hits > 0 then
     Format.fprintf ppf
       "%d run(s) hit the step budget undecided — liveness verdicts there are bounded evidence only@,"

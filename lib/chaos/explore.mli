@@ -40,6 +40,13 @@ type report = {
       (** Schedules pruned by configuration fingerprint ({!run_par} with
           dedup): counted as examined — their verdict is inherited from an
           equivalent already-run configuration. Always 0 for {!run}. *)
+  static_prunes : int;
+      (** Schedules skipped without any concrete execution because the
+          abstract-interpretation oracle ({!Analysis.Prune.clean_from})
+          proved them infeasible as violations: every crash lands at or
+          after the certified quiescence step, so the run provably ends in
+          a clean lasso. Counted as examined. Always 0 for {!run} and for
+          {!run_par} without [static_prune]. *)
   violation : violation option;
 }
 
@@ -88,6 +95,9 @@ type run_record = {
   truncations : int;
   undelivered : int;
   deduped : bool;
+  statically_pruned : bool;
+      (** Skipped by the static infeasibility oracle; the clean-lasso
+          counters were recorded without executing the run. *)
   found : violation option;
 }
 (** One worker-side run result, the unit {!merge} operates on. *)
@@ -107,9 +117,22 @@ val run_par :
   ?config:config ->
   ?domains:int ->
   ?dedup:bool ->
+  ?static_prune:bool ->
   Model.System.t ->
   report
 (** [domains] defaults to 1 (same worker machinery, no spawned domains);
-    [dedup] defaults to true. *)
+    [dedup] defaults to true.
+
+    With [static_prune] (default false), the abstract-interpretation oracle
+    {!Analysis.Prune.clean_from} certifies a quiescence step Q once per
+    exploration; crash-only silencing candidates whose crashes all land at
+    steps ≥ Q are then skipped without concrete execution, recording exactly
+    the counters their run would have produced (clean lasso, all crashes
+    delivered). The report is byte-identical to the unpruned one except that
+    [monitor_truncations] can undercount (like dedup) and [static_prunes]
+    counts the skips. The oracle only engages under the convention it
+    certifies: default monitors, round-robin interleaving, and a step budget
+    large enough that no pruned run could have hit [Budget]; otherwise every
+    candidate runs concretely. *)
 
 val pp_report : Format.formatter -> report -> unit

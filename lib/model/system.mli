@@ -64,6 +64,16 @@ val silence_policy : silenced:(int -> bool) -> policy
 (** Prefer dummies exactly for tasks of services selected by [silenced]
     (by service position); real otherwise. *)
 
+val dummy_io_enabled : Service.t -> Spec.Iset.t -> int -> bool
+(** Whether the dummy i-perform/i-output actions of a service are enabled
+    under a failed set: endpoint [i] failed, or more than [f] endpoints
+    failed (§2.1.3). Exported for the static analyzer, whose transfer
+    functions must mirror the runtime enabledness exactly. *)
+
+val dummy_compute_enabled : Service.t -> Spec.Iset.t -> bool
+(** Whether the dummy global-task actions are enabled: more than [f]
+    endpoints failed, or every endpoint failed (§2.1.3). *)
+
 val transition : ?policy:policy -> t -> State.t -> Task.t -> (Event.t * State.t) option
 (** One turn of a task: [None] iff no action of the task is enabled. Dummy
     steps return the state unchanged. *)

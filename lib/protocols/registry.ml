@@ -1,0 +1,101 @@
+type params = { n : int; f : int; groups : int; group_size : int }
+
+let default_params = { n = 2; f = 0; groups = 2; group_size = 2 }
+
+type entry = {
+  name : string;
+  doc : string;
+  build : params -> Model.System.t;
+  k_of : params -> int;
+}
+
+let one _ = 1
+
+let all =
+  [
+    {
+      name = "direct";
+      doc = "n clients on one f-resilient atomic consensus service";
+      build = (fun p -> Direct.system ~n:p.n ~f:p.f);
+      k_of = one;
+    };
+    {
+      name = "split";
+      doc = "per-process 0-resilient consensus services";
+      build = (fun p -> Split.system ~n:p.n);
+      k_of = one;
+    };
+    {
+      name = "register-vote";
+      doc = "2 processes voting through wait-free registers";
+      build = (fun _ -> Register_vote.system ());
+      k_of = one;
+    };
+    {
+      name = "register-wait";
+      doc = "2 processes on wait-free registers, flawed resilience claim";
+      build = (fun _ -> Register_wait.system ());
+      k_of = one;
+    };
+    {
+      name = "tob";
+      doc = "n clients on an f-resilient total-order broadcast service";
+      build = (fun p -> Tob_direct.system ~n:p.n ~f:p.f);
+      k_of = one;
+    };
+    {
+      name = "fd-all";
+      doc = "consensus from an all-connected failure detector";
+      build = (fun p -> Fd_allconnected.system ~n:p.n ~f:p.f);
+      k_of = one;
+    };
+    {
+      name = "kset";
+      doc = "k-set agreement from per-group consensus services";
+      build = (fun p -> Kset_boost.system ~groups:p.groups ~group_size:p.group_size);
+      k_of = (fun p -> p.groups);
+    };
+    {
+      name = "fd-boost";
+      doc = "boosting attempt through a failure-detector service";
+      build = (fun p -> Fd_boost.system ~n:p.n);
+      k_of = one;
+    };
+    {
+      name = "tas";
+      doc = "consensus from f-resilient test-and-set";
+      build = (fun p -> Tas_consensus.system ~f:p.f);
+      k_of = one;
+    };
+    {
+      name = "queue";
+      doc = "consensus from an f-resilient shared queue";
+      build = (fun p -> Queue_consensus.system ~f:p.f);
+      k_of = one;
+    };
+    {
+      name = "mp-all";
+      doc = "message-passing consensus, all-to-all delivery";
+      build = (fun p -> Mp_consensus.all_system ~n:p.n);
+      k_of = one;
+    };
+    {
+      name = "mp-quorum";
+      doc = "message-passing consensus, quorum delivery";
+      build = (fun p -> Mp_consensus.quorum_system ~n:p.n);
+      k_of = one;
+    };
+    {
+      name = "universal";
+      doc = "universal construction over a shared counter";
+      build =
+        (fun p ->
+          Universal.system ~obj:(Spec.Seq_counter.make ())
+            ~ops:(List.init p.n (fun _ -> Spec.Seq_counter.increment)));
+      k_of = one;
+    };
+  ]
+
+let names = List.map (fun e -> e.name) all
+
+let find name = List.find_opt (fun e -> String.equal e.name name) all

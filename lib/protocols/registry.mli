@@ -1,0 +1,31 @@
+(** The shared protocol table.
+
+    One name → constructor registry serving the CLI ([boost lint], [boost
+    chaos], ...), the benchmarks and the test-suites, so they all enumerate
+    the same protocols under the same names instead of each re-listing the
+    lookup. Construction is parameterized by the common knob set
+    ({!params}); protocols ignore the knobs they do not have. *)
+
+type params = {
+  n : int;  (** Process count (where configurable). *)
+  f : int;  (** Service resilience level (where configurable). *)
+  groups : int;  (** k-set: group count (= the k of k-agreement). *)
+  group_size : int;  (** k-set: processes per group. *)
+}
+
+val default_params : params
+(** [n = 2; f = 0; groups = 2; group_size = 2] — the CLI defaults. *)
+
+type entry = {
+  name : string;  (** CLI name, e.g. ["register-wait"]. *)
+  doc : string;
+  build : params -> Model.System.t;
+  k_of : params -> int;  (** Agreement width (1 except for k-set). *)
+}
+
+val all : entry list
+(** In CLI listing order. Names are unique. *)
+
+val names : string list
+
+val find : string -> entry option
