@@ -237,6 +237,40 @@ let bench_chaos_par_tob_pruned =
     (Staged.stage (fun () ->
        ignore (Chaos.Explore.run_par ~config ~domains:jobs ~dedup:true ~static_prune:true sys)))
 
+(* Partial-order reduction over the same single-crash sweep as
+   chaos/explore-*: schedules whose crash placement is interference-
+   equivalent to a lower-ranked one are skipped, verdict inherited.
+   Compare against chaos/explore-* for the POR row in EXPERIMENTS.md.
+   tob at f=1 (the crash-tolerant side), where the service's oblivious
+   class makes most task slots crash-independent. *)
+let bench_chaos_por sys name =
+  let config =
+    {
+      (Chaos.Explore.default_config sys) with
+      Chaos.Explore.max_faults = 1;
+      budget = 64;
+      max_steps = 4_000;
+    }
+  in
+  Test.make ~name
+    (Staged.stage (fun () ->
+       ignore (Chaos.Explore.run_par ~config ~dedup:false ~por:true sys)))
+
+let bench_chaos_por_direct =
+  bench_chaos_por (Protocols.Direct.system ~n:2 ~f:1) "chaos/explore-por-direct"
+
+let bench_chaos_por_tob =
+  bench_chaos_por (Protocols.Tob_direct.system ~n:2 ~f:1) "chaos/explore-por-tob"
+
+let bench_chaos_por_par_tob =
+  (* POR stacked on the parallel two-crash sweep with dedup, the fully
+     composed configuration. Compare against explore-par-tob-j*. *)
+  let sys = Protocols.Tob_direct.system ~n:2 ~f:1 in
+  let config = par_chaos_config sys in
+  Test.make ~name:(Printf.sprintf "chaos/explore-por-tob-j%d" jobs)
+    (Staged.stage (fun () ->
+       ignore (Chaos.Explore.run_par ~config ~domains:jobs ~dedup:true ~por:true sys)))
+
 (* The abstract-reachability fixpoint itself: the one-shot cost `boost lint`
    pays per protocol, and the amortized cost of the pruning oracle. *)
 let bench_fixpoint sys name =
@@ -281,6 +315,9 @@ let tests =
       bench_chaos_par_direct;
       bench_chaos_par_tob;
       bench_chaos_par_tob_pruned;
+      bench_chaos_por_direct;
+      bench_chaos_por_tob;
+      bench_chaos_por_par_tob;
       bench_fixpoint_direct;
       bench_fixpoint_tob;
       bench_state_hash;

@@ -15,7 +15,7 @@ let protocol_conv =
       Error
         (`Msg
           (Printf.sprintf "unknown protocol: %s (expected one of %s)" s
-             (String.concat " | " Registry.names)))
+             (String.concat " | " Registry.sorted_names)))
   in
   let print ppf (e : Registry.entry) = Format.pp_print_string ppf e.Registry.name in
   Arg.conv (parse, print)
@@ -287,6 +287,23 @@ let chaos_cmd =
              step), without executing them. The report is unchanged except for the prune \
              count.")
   in
+  let por_arg =
+    Arg.(
+      value
+      & vflag false
+          [
+            ( true,
+              info [ "por" ]
+                ~doc:
+                  "Systematic mode: partial-order reduction — skip schedules whose crash \
+                   placement is equivalent (by the static interference relation) to a \
+                   lower-ranked schedule's, inheriting its verdict. Violations and \
+                   verdicts match the un-reduced exploration exactly." );
+            ( false,
+              info [ "no-por" ]
+                ~doc:"Run every crash placement, even interference-equivalent ones (default)." );
+          ])
+  in
   let schedule_arg =
     Arg.(
       value
@@ -298,7 +315,7 @@ let chaos_cmd =
              adversary).")
   in
   let run protocol n f groups group_size faults seed runs max_steps horizon budget stride
-      jobs dedup shrink static_prune schedule =
+      jobs dedup shrink static_prune por schedule =
     let sys = build_system protocol ~n ~f ~groups ~group_size in
     let horizon =
       if horizon > 0 then horizon else 2 * Array.length sys.Model.System.tasks
@@ -336,7 +353,7 @@ let chaos_cmd =
           Chaos.Driver.Systematic
             { Chaos.Explore.max_faults = faults; horizon; stride; budget; max_steps }
       in
-      let report = Chaos.Driver.run ~shrink ~domains:jobs ~dedup ~static_prune mode sys in
+      let report = Chaos.Driver.run ~shrink ~domains:jobs ~dedup ~static_prune ~por mode sys in
       Format.printf "%a@." Chaos.Driver.pp_report report;
       (match report.Chaos.Driver.outcome with
       | Chaos.Driver.Passed -> 0
@@ -346,7 +363,7 @@ let chaos_cmd =
     Term.(
       const run $ protocol_opt $ n_arg $ f_arg $ groups_arg $ group_size_arg $ faults_arg
       $ seed_arg $ runs_arg $ max_steps_arg $ horizon_arg $ budget_arg $ stride_arg
-      $ jobs_arg $ dedup_arg $ shrink_arg $ static_prune_arg $ schedule_arg)
+      $ jobs_arg $ dedup_arg $ shrink_arg $ static_prune_arg $ por_arg $ schedule_arg)
   in
   Cmd.v
     (Cmd.info "chaos"
@@ -379,10 +396,22 @@ let lint_cmd =
       & info [ "max-faults" ] ~docv:"K"
           ~doc:"Analyze contexts with up to K crashed processes.")
   in
-  let run all protocol n f groups group_size max_faults =
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit one JSON object per finding (severity, protocol, rule, subject, message) \
+             instead of the human report. Exit-code semantics are unchanged.")
+  in
+  let run all protocol n f groups group_size max_faults json =
     let lint_one name sys =
       let r = Analysis.Lint.analyze ~max_faults sys in
-      Format.printf "@[<v 2>%s:@,%a@]@." name Analysis.Lint.pp r;
+      if json then
+        List.iter
+          (fun f -> print_endline (Analysis.Lint.json_of_finding ~protocol:name f))
+          r.Analysis.Lint.findings
+      else Format.printf "@[<v 2>%s:@,%a@]@." name Analysis.Lint.pp r;
       Analysis.Lint.exit_code r
     in
     match all, protocol with
@@ -403,7 +432,7 @@ let lint_cmd =
   let term =
     Term.(
       const run $ all_arg $ protocol_opt $ n_arg $ f_arg $ groups_arg $ group_size_arg
-      $ max_faults_arg)
+      $ max_faults_arg $ json_arg)
   in
   Cmd.v
     (Cmd.info "lint"

@@ -1,0 +1,52 @@
+(** Static may-read/may-write footprints per task.
+
+    The concrete configuration ({!Model.State.t}) decomposes into components:
+    per-process program states and decision slots, per-process crash bits
+    (the failed set, bit by bit), and per-service object values and
+    per-endpoint inv/resp buffers. A task's footprint names every component
+    its transition — real {e or} dummy branch, enabledness tests included —
+    may read or write, for any configuration reachable with at most
+    [max_crashes] total failures.
+
+    Footprints are derived from the task semantics the same way the
+    {!Transfer} functions are: structurally from the system's wiring
+    (endpoint sets, service classes), optionally refined by probing the
+    per-process [step] functions over a solved {!Reach} abstraction (the
+    refinement narrows a process task's may-invoke service set and its
+    may-decide bit; imprecision falls back to the structural answer, so the
+    result is always an over-approximation).
+
+    The footprint is what {!Interfere} builds its independence relation on:
+    two tasks whose footprints do not write-overlap commute in every
+    described configuration (DESIGN.md §3.9 connects this to paper
+    Lemma 8). *)
+
+type component =
+  | Pstate of int  (** Program state of process [i]. *)
+  | Decision of int  (** Decision slot of process [i]. *)
+  | Crash_bit of int  (** Membership of [i] in the failed set. *)
+  | Svc_value of int  (** Object value of the service at position [k]. *)
+  | Svc_inv of int * int  (** Invocation buffer of service [k], endpoint [i]. *)
+  | Svc_resp of int * int  (** Response buffer of service [k], endpoint [i]. *)
+
+module Cset : Set.S with type elt = component
+
+type t = { reads : Cset.t; writes : Cset.t }
+
+val of_task : ?reach:Reach.t -> ?max_crashes:int -> Model.System.t -> Model.Task.t -> t
+(** [max_crashes] (default: the process count, fully conservative) bounds
+    the failures in the configurations described; at most [f] crashes make
+    an f-resilient service's silencing threshold statically dead, shrinking
+    the crash-bit read set. [reach] enables the process-step refinement. *)
+
+val of_system :
+  ?reach:Reach.t -> ?max_crashes:int -> Model.System.t -> (Model.Task.t * t) array
+(** One footprint per entry of [sys.tasks], in task order. *)
+
+val fail_writes : int -> Cset.t
+(** The footprint of the adversary's [fail_pid] input: writes the pid's
+    crash bit, reads nothing. *)
+
+val pp_component : Format.formatter -> component -> unit
+val pp_cset : Format.formatter -> Cset.t -> unit
+val pp : Format.formatter -> t -> unit

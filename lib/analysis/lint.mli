@@ -10,7 +10,10 @@
       the [Valence.Blank] anomaly caught without materializing G(C));
     - [warning] findings are almost certainly protocol bugs ([dead-decide]:
       a process provably never decides failure-free; [over-resilient]: a
-      resilience claim exceeding the endpoint count);
+      resilience claim exceeding the endpoint count; [static-race]: two
+      tasks share a written state component yet can never share a
+      participant, stepping outside the Lemma 8 commutation discipline —
+      see {!Interfere.races});
     - [info] findings are interface observations ([dead-task],
       [not-connected-to-all], [wait-free-claim], [decide-outside-inputs])
       whose severity depends on intent.
@@ -23,7 +26,7 @@ type severity = Error | Warning | Info
 
 type finding = { code : string; severity : severity; subject : string; detail : string }
 
-type report = { findings : finding list; reach : Reach.t }
+type report = { findings : finding list; reach : Reach.t; interference : Interfere.t }
 
 val analyze : ?max_faults:int -> ?inputs:Ioa.Value.t list -> Model.System.t -> report
 
@@ -32,8 +35,14 @@ val pp_finding : Format.formatter -> finding -> unit
 (** One line: [SEVERITY[code] subject: detail]. *)
 
 val pp : Format.formatter -> report -> unit
-(** All findings, one per line, then a summary line with the crash-count
-    interval covered and solver statistics. *)
+(** All findings, one per line, then the per-task footprint summary and
+    independence census ({!Interfere.pp_summary}), then a summary line with
+    the crash-count interval covered and solver statistics. *)
+
+val json_of_finding : protocol:string -> finding -> string
+(** One finding as a single-line JSON object:
+    [{"protocol":…,"severity":…,"rule":…,"subject":…,"message":…}] — the
+    machine-readable shape behind [boost lint --json]. *)
 
 val exit_code : report -> int
 (** 0 when no finding is worse than [Info]; 1 otherwise. *)

@@ -22,6 +22,7 @@ type report = {
   undelivered_crashes : int;
   dedup_hits : int;
   static_prunes : int;
+  por_prunes : int;
   outcome : outcome;
 }
 
@@ -52,15 +53,16 @@ let violated ?monitors ?max_steps ?interleave ?inputs ~shrink sys original =
     { original; minimized; shrink_stats; witness = witness_of_violation final; replayed = None }
 
 let run ?monitors ?inputs ?(shrink = true) ?(domains = 1) ?(dedup = true)
-    ?(static_prune = false) mode sys =
+    ?(static_prune = false) ?(por = false) mode sys =
   match mode with
   | Systematic config ->
     let r =
       (* One domain keeps the trusted sequential path, byte-identical to the
-         pre-parallel engine; more domains (or the static oracle) go through
-         the deduplicated work-stealing explorer. *)
-      if domains <= 1 && not static_prune then Explore.run ?monitors ?inputs ~config sys
-      else Explore.run_par ?monitors ?inputs ~config ~domains ~dedup ~static_prune sys
+         pre-parallel engine; more domains (or either static oracle) go
+         through the deduplicated work-stealing explorer. *)
+      if domains <= 1 && not static_prune && not por then
+        Explore.run ?monitors ?inputs ~config sys
+      else Explore.run_par ?monitors ?inputs ~config ~domains ~dedup ~static_prune ~por sys
     in
     let outcome =
       match r.Explore.violation with
@@ -77,6 +79,7 @@ let run ?monitors ?inputs ?(shrink = true) ?(domains = 1) ?(dedup = true)
       undelivered_crashes = r.Explore.undelivered_crashes;
       dedup_hits = r.Explore.dedup_hits;
       static_prunes = r.Explore.static_prunes;
+      por_prunes = r.Explore.por_prunes;
       outcome;
     }
   | Seeded { seed; runs; max_faults; horizon; max_steps } ->
@@ -132,6 +135,7 @@ let run ?monitors ?inputs ?(shrink = true) ?(domains = 1) ?(dedup = true)
       undelivered_crashes = !undelivered;
       dedup_hits = 0;
       static_prunes = 0;
+      por_prunes = 0;
       outcome;
     }
 
@@ -152,6 +156,11 @@ let pp_report ppf r =
   if r.static_prunes > 0 then
     Format.fprintf ppf "%d schedule(s) statically pruned (proven clean, never executed)@,"
       r.static_prunes;
+  if r.por_prunes > 0 then
+    Format.fprintf ppf
+      "%d schedule(s) pruned by partial-order reduction (verdict inherited from the \
+       canonical crash placement)@,"
+      r.por_prunes;
   if r.step_budget_hits > 0 then
     Format.fprintf ppf
       "%d run(s) hit the step budget undecided — liveness verdicts there are bounded evidence only@,"

@@ -48,6 +48,9 @@ type report = {
   static_prunes : int;
       (** Schedules skipped by the abstract-interpretation infeasibility
           oracle (systematic mode with [static_prune]; 0 otherwise). *)
+  por_prunes : int;
+      (** Schedules skipped by partial-order reduction (systematic mode
+          with [por]; 0 otherwise). *)
   outcome : outcome;
 }
 
@@ -60,13 +63,14 @@ val run :
   ?domains:int ->
   ?dedup:bool ->
   ?static_prune:bool ->
+  ?por:bool ->
   mode ->
   Model.System.t ->
   report
-(** [shrink] defaults to true. [domains] (default 1) > 1 or [static_prune]
-    (default false) routes systematic exploration through {!Explore.run_par}
-    with [dedup] (default true); otherwise the sequential {!Explore.run}
-    path is kept, byte-identical to the pre-parallel engine. Seeded mode
-    ignores all three. *)
+(** [shrink] defaults to true. [domains] (default 1) > 1, [static_prune]
+    (default false) or [por] (default false) routes systematic exploration
+    through {!Explore.run_par} with [dedup] (default true); otherwise the
+    sequential {!Explore.run} path is kept, byte-identical to the
+    pre-parallel engine. Seeded mode ignores all four. *)
 
 val pp_report : Format.formatter -> report -> unit

@@ -37,6 +37,7 @@ type report = {
   undelivered_crashes : int;
   dedup_hits : int;
   static_prunes : int;
+  por_prunes : int;
   violation : violation option;
 }
 
@@ -124,6 +125,7 @@ let run ?monitors ?interleave ?inputs ?config (sys : Model.System.t) =
     undelivered_crashes = !undelivered_crashes;
     dedup_hits = 0;
     static_prunes = 0;
+    por_prunes = 0;
     violation;
   }
 
@@ -136,6 +138,7 @@ type run_record = {
   undelivered : int;
   deduped : bool;
   statically_pruned : bool;
+  por_pruned : bool;
   found : violation option;
 }
 
@@ -183,6 +186,7 @@ let merge ~space ~scheduled partials =
     undelivered_crashes = sum (fun r -> r.undelivered);
     dedup_hits = sum (fun r -> if r.deduped then 1 else 0);
     static_prunes = sum (fun r -> if r.statically_pruned then 1 else 0);
+    por_prunes = sum (fun r -> if r.por_pruned then 1 else 0);
     violation = Option.map snd winner;
   }
 
@@ -227,8 +231,65 @@ let rec note_best best rank =
   let cur = Atomic.get best in
   if rank < cur && not (Atomic.compare_and_set best cur rank) then note_best best rank
 
+(* --- partial-order reduction over crash placements ---
+
+   Two schedules are equivalent when one is obtained from the other by
+   sliding a crash delivery one grid notch earlier past task slots that are
+   statically crash-independent ({!Analysis.Interfere.crash_interferes}):
+   the slid-past tasks cannot observe the pid's crash bit, so both runs
+   execute the same task slots with the same outcomes, reach the same
+   configuration once the window closes, and the compiled schedules agree
+   from there on — the verdicts coincide. The enumeration orders schedules
+   lexicographically by crash step, so the earliest-crash form of every
+   equivalence class has the least rank: a schedule from which some crash
+   can still slide earlier is non-canonical and is skipped, its verdict
+   represented by the lower-ranked form. Violating schedules are never the
+   skipped side (their canonical form violates too, at lower rank), so the
+   rank-least merged violation — and with it [examined] and [truncated] —
+   matches the unreduced oracle exactly. *)
+
+let por_crash_dep cfg (sys : Model.System.t) =
+  (* dep.(pid).(task index): the task may observe pid's crash bit. The
+     footprints are sharpened by the exploration's own fault bound. *)
+  let inter = Analysis.Interfere.analyze ~max_crashes:cfg.max_faults sys in
+  Array.init (Model.System.n_processes sys) (fun pid ->
+      Array.map
+        (fun tk -> Analysis.Interfere.crash_interferes inter ~pid tk)
+        sys.Model.System.tasks)
+
+let por_prunable ~dep ~stride ~n_tasks (s : Schedule.t) =
+  (* Only the enumeration's own shape is eligible (crash-only, silencing
+     default, no overrides) — same convention as the static-prune oracle. *)
+  s.Schedule.overrides = []
+  && s.Schedule.default_pref = Model.System.Prefer_dummy
+  && List.for_all
+       (function Schedule.Crash _ -> true | Schedule.Silence _ -> false)
+       s.Schedule.faults
+  &&
+  (* Walk the crashes in delivery order (d_k = max(t_k, d_{k-1}+1)); crash k
+     can slide from step t to t - stride iff the window stays clear of other
+     deliveries (prev delivered strictly before t - stride, next scheduled
+     strictly after t) and every task slot in [t - stride, t) — cursor u - k,
+     k deliveries having happened — ignores the pid's crash bit. *)
+  let rec scan k prev_delivery = function
+    | [] -> false
+    | (t, pid) :: rest ->
+      let movable =
+        prev_delivery < t - stride
+        && (match rest with [] -> true | (t', _) :: _ -> t' > t)
+        &&
+        let ok = ref true in
+        for u = t - stride to t - 1 do
+          if dep.(pid).((u - k) mod n_tasks) then ok := false
+        done;
+        !ok
+      in
+      movable || scan (k + 1) (max t (prev_delivery + 1)) rest
+  in
+  scan 0 (-1) (Schedule.crashes s)
+
 let run_par ?monitors ?interleave ?inputs ?config ?(domains = 1) ?(dedup = true)
-    ?(static_prune = false) (sys : Model.System.t) =
+    ?(static_prune = false) ?(por = false) (sys : Model.System.t) =
   let n = Model.System.n_processes sys in
   let cfg = match config with Some c -> c | None -> default_config sys in
   let space = space_size ~n cfg in
@@ -252,6 +313,25 @@ let run_par ?monitors ?interleave ?inputs ?config ?(domains = 1) ?(dedup = true)
         ~inputs:(match inputs with Some l -> l | None -> Runner.default_inputs sys)
         ~horizon:cfg.horizon sys
     else None
+  in
+  let por_dep =
+    (* Engaged under the same convention as the quiescence oracle: default
+       monitors (the swap argument needs monitors blind to crash events),
+       deterministic round-robin interleaving, and a step budget that
+       provably accommodates the longest pruned run. *)
+    if
+      por && monitors = None
+      && (match interleave with Some (Runner.Seeded _) -> false | _ -> true)
+      && cfg.horizon + cfg.max_faults + Array.length sys.Model.System.tasks + 2
+         <= cfg.max_steps
+    then Some (por_crash_dep cfg sys)
+    else None
+  in
+  let n_tasks = Array.length sys.Model.System.tasks in
+  let por_prunable_schedule s =
+    match por_dep with
+    | Some dep -> por_prunable ~dep ~stride:cfg.stride ~n_tasks s
+    | None -> false
   in
   let prunable (s : Schedule.t) =
     match quiescence with
@@ -319,6 +399,25 @@ let run_par ?monitors ?interleave ?inputs ?config ?(domains = 1) ?(dedup = true)
             undelivered = 0;
             deduped = false;
             statically_pruned = true;
+            por_pruned = false;
+            found = None;
+          }
+          :: !records
+      else if por_prunable_schedule schedule then
+        (* Non-canonical: a crash slides earlier past provably independent
+           task slots, so a lower-ranked equivalent schedule reproduces this
+           run's verdict. Kept records at ranks ≤ the winner are clean (a
+           violating schedule's canonical form wins first), all crashes
+           delivered within the horizon, no truncations. *)
+        records :=
+          {
+            rank;
+            budget_hit = false;
+            truncations = 0;
+            undelivered = 0;
+            deduped = false;
+            statically_pruned = false;
+            por_pruned = true;
             found = None;
           }
           :: !records
@@ -348,6 +447,7 @@ let run_par ?monitors ?interleave ?inputs ?config ?(domains = 1) ?(dedup = true)
           undelivered = r.Runner.undelivered_crashes;
           deduped = false;
           statically_pruned = false;
+          por_pruned = false;
           found = None;
         }
       in
@@ -426,6 +526,11 @@ let pp_report ppf r =
       "%d schedule(s) statically pruned (proven clean by abstract interpretation, never \
        executed)@,"
       r.static_prunes;
+  if r.por_prunes > 0 then
+    Format.fprintf ppf
+      "%d schedule(s) pruned by partial-order reduction (crash placement equivalent to a \
+       lower-ranked schedule, verdict inherited)@,"
+      r.por_prunes;
   if r.step_budget_hits > 0 then
     Format.fprintf ppf
       "%d run(s) hit the step budget undecided — liveness verdicts there are bounded evidence only@,"

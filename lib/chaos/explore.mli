@@ -47,6 +47,13 @@ type report = {
           after the certified quiescence step, so the run provably ends in
           a clean lasso. Counted as examined. Always 0 for {!run} and for
           {!run_par} without [static_prune]. *)
+  por_prunes : int;
+      (** Schedules skipped by partial-order reduction ({!run_par} with
+          [por]): their crash placement differs from a lower-ranked
+          schedule's only by sliding crash deliveries past task slots that
+          are statically crash-independent ({!Analysis.Interfere}), so the
+          lower-ranked run provably reaches the same verdict. Counted as
+          examined. Always 0 for {!run}. *)
   violation : violation option;
 }
 
@@ -98,6 +105,9 @@ type run_record = {
   statically_pruned : bool;
       (** Skipped by the static infeasibility oracle; the clean-lasso
           counters were recorded without executing the run. *)
+  por_pruned : bool;
+      (** Skipped by partial-order reduction: an equivalent lower-ranked
+          schedule represents this run's verdict. *)
   found : violation option;
 }
 (** One worker-side run result, the unit {!merge} operates on. *)
@@ -118,6 +128,7 @@ val run_par :
   ?domains:int ->
   ?dedup:bool ->
   ?static_prune:bool ->
+  ?por:bool ->
   Model.System.t ->
   report
 (** [domains] defaults to 1 (same worker machinery, no spawned domains);
@@ -133,6 +144,23 @@ val run_par :
     counts the skips. The oracle only engages under the convention it
     certifies: default monitors, round-robin interleaving, and a step budget
     large enough that no pruned run could have hit [Budget]; otherwise every
-    candidate runs concretely. *)
+    candidate runs concretely.
+
+    With [por] (default false), candidates whose crash placement is
+    non-canonical — some crash delivery can slide one grid notch earlier
+    across task slots that provably ignore its crash bit (the static
+    interference relation, {!Analysis.Interfere.crash_interferes},
+    sharpened by the config's fault bound) — are skipped: an equivalent
+    schedule of strictly lower rank runs the same task slots to the same
+    verdict. Violations, [examined], [space] and [truncated] match the
+    un-reduced oracle exactly (a violating schedule's canonical form
+    violates at lower rank, so the rank-least winner is never pruned);
+    [monitor_truncations] can undercount like dedup, and [step_budget_hits]
+    could in principle undercount when a pruned run's lasso would land
+    within one cycle length of the step budget — the same step-budget guard
+    as [static_prune] keeps the shipped configurations far from that edge.
+    Engages under the same convention: default monitors, round-robin
+    interleaving, sufficient step budget. Composes freely with [dedup],
+    [static_prune] and [domains]. *)
 
 val pp_report : Format.formatter -> report -> unit

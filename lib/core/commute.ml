@@ -20,6 +20,23 @@ let shared_participant sys s e e' =
   let ps' = Model.System.participants sys s e' in
   List.find_opt (fun p -> List.exists (participant_equal p) ps') ps
 
+type mismatch = Diverged | Lost of string
+
+let commute_at ?policy sys s e e' =
+  (* Both orders must be defined and land in the same state. *)
+  let via b first second =
+    match Model.System.transition ?policy sys s first with
+    | None -> Error (Printf.sprintf "%s not applicable" b)
+    | Some (_, s1) -> (
+      match Model.System.transition ?policy sys s1 second with
+      | None -> Error (Printf.sprintf "%s not applicable after %s" b b)
+      | Some (_, s2) -> Ok s2)
+  in
+  match via "e" e e', via "e'" e' e with
+  | Ok s_ee', Ok s_e'e ->
+    if Model.State.equal s_ee' s_e'e then Ok () else Error Diverged
+  | Error r, _ | _, Error r -> Error (Lost r)
+
 let check_disjoint analysis =
   let g = Valence.graph analysis in
   let sys = Graph.system g in
@@ -31,26 +48,16 @@ let check_disjoint analysis =
         List.iter
           (fun (e', _) ->
             if Model.Task.compare e e' < 0 && Option.is_none (shared_participant sys s e e')
-            then begin
-              (* Both orders must be defined and land in the same state. *)
-              let via b first second =
-                match Model.System.transition sys s first with
-                | None -> Error (Printf.sprintf "%s not applicable" b)
-                | Some (_, s1) -> (
-                  match Model.System.transition sys s1 second with
-                  | None -> Error (Printf.sprintf "%s not applicable after %s" b b)
-                  | Some (_, s2) -> Ok s2)
-              in
-              match via "e" e e', via "e'" e' e with
-              | Ok s_ee', Ok s_e'e ->
-                if not (Model.State.equal s_ee' s_e'e) then
-                  violations :=
-                    { vertex; e; e'; reason = "disjoint participants but e'(e(s)) <> e(e'(s))" }
-                    :: !violations
-              | Error r, _ | _, Error r ->
+            then
+              match commute_at sys s e e' with
+              | Ok () -> ()
+              | Error Diverged ->
                 violations :=
-                  { vertex; e; e'; reason = "applicability lost: " ^ r } :: !violations
-            end)
+                  { vertex; e; e'; reason = "disjoint participants but e'(e(s)) <> e(e'(s))" }
+                  :: !violations
+              | Error (Lost r) ->
+                violations :=
+                  { vertex; e; e'; reason = "applicability lost: " ^ r } :: !violations)
           edges)
       edges);
   List.rev !violations

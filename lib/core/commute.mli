@@ -18,6 +18,19 @@ type violation = {
 
 val pp_violation : Format.formatter -> violation -> unit
 
+type mismatch =
+  | Diverged  (** Both orders defined but [e'(e(s)) <> e(e'(s))]. *)
+  | Lost of string  (** One order lost applicability midway. *)
+
+val commute_at :
+  ?policy:Model.System.policy ->
+  Model.System.t -> Model.State.t -> Model.Task.t -> Model.Task.t ->
+  (unit, mismatch) result
+(** The state-level commutation check both {!check_disjoint} and the static
+    independence tests ({!Analysis.Interfere}'s differential suites) share:
+    apply the tasks in both orders from [s] under [policy] (default: prefer
+    real) and compare the final states. *)
+
 val check_disjoint : Valence.t -> violation list
 (** For every explored vertex and every ordered pair of applicable tasks with
     disjoint participants, check [e'(e(s)) = e(e'(s))]. Returns all

@@ -28,4 +28,7 @@ val all : entry list
 
 val names : string list
 
+val sorted_names : string list
+(** [names] in alphabetical order — for error messages and stable listings. *)
+
 val find : string -> entry option

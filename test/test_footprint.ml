@@ -1,0 +1,269 @@
+(* The static interference relation, pinned to the concrete semantics.
+
+   The soundness obligation is directional: whenever the footprints declare
+   two tasks independent (or a task independent of a pid's crash bit), the
+   concrete transition function must commute them — same final state,
+   applicability preserved either way, under either policy resolution. The
+   converse (interfering pairs that happen to commute) is allowed slack;
+   the partial-order reduction only ever exploits the sound direction, and
+   its report is differentially pinned to the unreduced explorer here. *)
+
+open Helpers
+module A = Analysis
+
+(* --- concrete commutation oracles --- *)
+
+(* Strong commutation at a state: matching applicability in both orders and,
+   when both tasks fire, equal final states (Engine.Commute.commute_at also
+   demands applicability is preserved across the swap). *)
+let commutes ?policy sys s e e' =
+  let step tk st = Model.System.transition ?policy sys st tk in
+  match step e s, step e' s with
+  | None, None -> true
+  | Some (_, s_e), None -> Option.is_none (step e' s_e)
+  | None, Some (_, s_e') -> Option.is_none (step e s_e')
+  | Some _, Some _ -> (
+    match Engine.Commute.commute_at ?policy sys s e e' with
+    | Ok () -> true
+    | Error _ -> false)
+
+(* Commutation of a task against the adversary's fail_pid input: the task
+   must take the same action to the same state on both sides of the crash
+   delivery. *)
+let crash_commutes ?policy sys s ~pid tk =
+  let fail st = snd (Model.System.apply_fail sys st pid) in
+  let step st = Model.System.transition ?policy sys st tk in
+  match step (fail s), step s with
+  | None, None -> true
+  | Some (ev1, s1), Some (ev2, s2) ->
+    Model.Event.equal ev1 ev2 && Model.State.equal s1 (fail s2)
+  | Some _, None | None, Some _ -> false
+
+let policies = [ Model.System.real_policy; Model.System.dummy_policy ]
+
+(* Every statically-independent claim the analysis makes at [s] must hold
+   concretely; returns a counterexample description, or None. *)
+let independence_sound inter sys s =
+  let tasks = sys.Model.System.tasks in
+  let n = Array.length tasks in
+  let bad = ref None in
+  let note msg = if !bad = None then bad := Some msg in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if A.Interfere.independent inter tasks.(i) tasks.(j) then
+        List.iter
+          (fun policy ->
+            if not (commutes ~policy sys s tasks.(i) tasks.(j)) then
+              note
+                (Format.asprintf "%a / %a do not commute at %a" Model.Task.pp tasks.(i)
+                   Model.Task.pp tasks.(j) Model.State.pp s))
+          policies
+    done
+  done;
+  let k = A.Interfere.max_crashes inter in
+  for pid = 0 to Model.System.n_processes sys - 1 do
+    (* Delivering fail_pid here stays within the crash bound the footprints
+       were sharpened for. *)
+    if Spec.Iset.mem pid s.Model.State.failed || Spec.Iset.cardinal s.Model.State.failed < k
+    then
+      Array.iter
+        (fun tk ->
+          if not (A.Interfere.crash_interferes inter ~pid tk) then
+            List.iter
+              (fun policy ->
+                if not (crash_commutes ~policy sys s ~pid tk) then
+                  note
+                    (Format.asprintf "%a does not commute with fail_%d at %a" Model.Task.pp
+                       tk pid Model.State.pp s))
+              policies)
+        tasks
+  done;
+  !bad
+
+(* --- protocols under test --- *)
+
+let build name =
+  match Protocols.Registry.find name with
+  | Some e -> e.Protocols.Registry.build Protocols.Registry.default_params
+  | None -> Alcotest.failf "unknown registry protocol %s" name
+
+let small_protocols = [ "direct"; "split"; "register-vote"; "tob" ]
+
+(* --- random-walk soundness --- *)
+
+(* Walk the concrete system by arbitrary task/crash choices (at most
+   [max_crashes] crashes injected, so every visited state is within the
+   bound the footprints assume), then audit every independence claim at the
+   final state. *)
+let qcheck_walk_soundness =
+  let gen =
+    QCheck2.Gen.(
+      let* which = int_bound (List.length small_protocols - 1) in
+      let* bits = list_repeat 2 (int_bound 1) in
+      let* max_crashes = int_bound 2 in
+      let* picks = list_size (int_bound 25) (int_bound 10_000) in
+      let* adversarial = bool in
+      return (List.nth small_protocols which, bits, max_crashes, picks, adversarial))
+  in
+  qtest "independent claims commute along random walks" ~count:150 gen
+    (fun (name, bits, max_crashes, picks, adversarial) ->
+      let sys = build name in
+      let policy =
+        if adversarial then Model.System.dummy_policy else Model.System.real_policy
+      in
+      let n_tasks = Array.length sys.Model.System.tasks in
+      let np = Model.System.n_processes sys in
+      let s = ref (Model.System.initialize sys (int_inputs bits)) in
+      List.iter
+        (fun v ->
+          if v mod 7 = 0 && Spec.Iset.cardinal !s.Model.State.failed < max_crashes then
+            s := snd (Model.System.apply_fail sys !s (v / 7 mod np))
+          else
+            match
+              Model.System.transition ~policy sys !s sys.Model.System.tasks.(v mod n_tasks)
+            with
+            | Some (_, s') -> s := s'
+            | None -> ())
+        picks;
+      let reach = A.Reach.analyze ~max_faults:max_crashes ~inputs:(int_inputs bits) sys in
+      let inter = A.Interfere.analyze ~reach ~max_crashes sys in
+      match independence_sound inter sys !s with
+      | None -> true
+      | Some msg -> QCheck2.Test.fail_report msg)
+
+(* --- exhaustive soundness over G(C) --- *)
+
+let test_exhaustive_small () =
+  (* Every failure-free reachable state of the small protocols, audited
+     against footprints sharpened for one crash: all task pairs, plus one
+     crash delivery per pid from each state. *)
+  List.iter
+    (fun name ->
+      let sys = build name in
+      let inputs = List.init (Model.System.n_processes sys) (fun i -> i mod 2) in
+      let reach = A.Reach.analyze ~max_faults:1 ~inputs:(int_inputs inputs) sys in
+      let inter = A.Interfere.analyze ~reach ~max_crashes:1 sys in
+      let g = Engine.Graph.explore sys (Model.System.initialize sys (int_inputs inputs)) in
+      if not (Engine.Graph.complete g) then Alcotest.failf "%s: G(C) did not materialize" name;
+      Engine.Graph.iter_states g (fun _ s ->
+          match independence_sound inter sys s with
+          | None -> ()
+          | Some msg -> Alcotest.failf "%s: %s" name msg))
+    small_protocols
+
+(* --- interference over-approximates Commute.check_disjoint --- *)
+
+let test_interference_covers_disjoint_violations () =
+  (* Commute.check_disjoint reports concretely non-commuting disjoint pairs
+     over G(C); the static relation must flag every such pair interfering.
+     Registry protocols have none (Lemma 8 holds), so the check is vacuous
+     there — assert that emptiness too, which is the same theorem. *)
+  List.iter
+    (fun name ->
+      let sys = build name in
+      let inter = A.Interfere.analyze sys in
+      let g = Engine.Graph.explore sys (Model.System.initialize sys (int_inputs [ 1; 0 ])) in
+      let a = Engine.Valence.analyze g in
+      List.iter
+        (fun (v : Engine.Commute.violation) ->
+          Alcotest.(check bool)
+            (Format.asprintf "%s: %a/%a flagged interfering" name Model.Task.pp
+               v.Engine.Commute.e Model.Task.pp v.Engine.Commute.e')
+            true
+            (A.Interfere.interferes inter v.Engine.Commute.e v.Engine.Commute.e'))
+        (Engine.Commute.check_disjoint a);
+      Alcotest.(check int)
+        (name ^ ": Lemma 8 discipline holds concretely")
+        0
+        (List.length (Engine.Commute.check_disjoint a)))
+    small_protocols
+
+let test_registry_race_free () =
+  (* The static Lemma 8/Claim 2 theorem-check: in a well-wired system every
+     written component is owned by a participant both writers share, so the
+     race lint is provably empty on all registry protocols. *)
+  List.iter
+    (fun e ->
+      let sys = e.Protocols.Registry.build Protocols.Registry.default_params in
+      let inter = A.Interfere.analyze sys in
+      Alcotest.(check int)
+        (e.Protocols.Registry.name ^ " has no static races")
+        0
+        (List.length (A.Interfere.races inter)))
+    Protocols.Registry.all
+
+(* --- partial-order reduction, pinned to the unreduced explorer --- *)
+
+let cfg ?(max_faults = 1) ?(horizon = 12) () =
+  { Chaos.Explore.max_faults; horizon; stride = 1; budget = 100_000; max_steps = 2_000 }
+
+let report_sig (r : Chaos.Explore.report) =
+  (* Everything the reduced run must reproduce byte-identically; por_prunes
+     is the one field allowed to differ (asserted separately). *)
+  Format.asprintf "%d/%d/%b/%d/%d/%d/%s" r.Chaos.Explore.examined r.Chaos.Explore.space
+    r.Chaos.Explore.truncated r.Chaos.Explore.step_budget_hits
+    r.Chaos.Explore.monitor_truncations r.Chaos.Explore.undelivered_crashes
+    (match r.Chaos.Explore.violation with
+    | None -> "clean"
+    | Some v ->
+      Chaos.Schedule.to_string v.Chaos.Explore.schedule
+      ^ "|" ^ v.Chaos.Explore.monitor ^ "|" ^ v.Chaos.Explore.reason
+      ^ "|" ^ string_of_bool v.Chaos.Explore.proven)
+
+let por_differential ?max_faults ?horizon ~expect_prunes sys =
+  let config = cfg ?max_faults ?horizon () in
+  let oracle = Chaos.Explore.run ~config sys in
+  let reduced = Chaos.Explore.run_par ~config ~dedup:false ~por:true sys in
+  Alcotest.(check string) "report identical" (report_sig oracle) (report_sig reduced);
+  Alcotest.(check int) "oracle never prunes" 0 oracle.Chaos.Explore.por_prunes;
+  if expect_prunes then
+    Alcotest.(check bool) "skipped a nonzero number of schedules" true
+      (reduced.Chaos.Explore.por_prunes > 0)
+
+let test_por_direct_clean () =
+  por_differential ~expect_prunes:true (Protocols.Direct.system ~n:2 ~f:1)
+
+let test_por_tob_clean () =
+  por_differential ~horizon:40 ~expect_prunes:true (Protocols.Tob_direct.system ~n:2 ~f:1)
+
+let test_por_direct_violating () =
+  (* f = 0: the reports must coincide including the violation — a violating
+     schedule's canonical crash placement violates at lower rank, so the
+     rank-least winner survives reduction. *)
+  por_differential ~expect_prunes:false (Protocols.Direct.system ~n:2 ~f:0)
+
+let test_por_prune_rate_tob () =
+  (* The acceptance bar: ≥ 20% of the default-config tob space is pruned. *)
+  let sys = Protocols.Tob_direct.system ~n:2 ~f:1 in
+  let config = Chaos.Explore.default_config sys in
+  let r = Chaos.Explore.run_par ~config ~dedup:false ~por:true sys in
+  Alcotest.(check bool)
+    (Printf.sprintf "%d of %d pruned" r.Chaos.Explore.por_prunes r.Chaos.Explore.space)
+    true
+    (5 * r.Chaos.Explore.por_prunes >= r.Chaos.Explore.space)
+
+let test_por_composes () =
+  (* por ∘ static_prune ∘ dedup ∘ domains, against the sequential oracle. *)
+  let sys = Protocols.Tob_direct.system ~n:2 ~f:1 in
+  let config = cfg ~horizon:40 () in
+  let oracle = Chaos.Explore.run ~config sys in
+  let reduced =
+    Chaos.Explore.run_par ~config ~domains:2 ~dedup:true ~static_prune:true ~por:true sys
+  in
+  Alcotest.(check string) "report identical" (report_sig oracle) (report_sig reduced)
+
+let suite =
+  ( "footprint",
+    [
+      qcheck_walk_soundness;
+      Alcotest.test_case "exhaustive soundness on small G(C)" `Slow test_exhaustive_small;
+      Alcotest.test_case "covers concrete disjoint violations" `Quick
+        test_interference_covers_disjoint_violations;
+      Alcotest.test_case "registry race-free" `Quick test_registry_race_free;
+      Alcotest.test_case "por differential: direct clean" `Quick test_por_direct_clean;
+      Alcotest.test_case "por differential: tob clean" `Quick test_por_tob_clean;
+      Alcotest.test_case "por differential: direct violating" `Quick
+        test_por_direct_violating;
+      Alcotest.test_case "por prune rate on tob" `Quick test_por_prune_rate_tob;
+      Alcotest.test_case "por composes with dedup and static-prune" `Quick test_por_composes;
+    ] )
