@@ -208,7 +208,7 @@ let par_chaos_config sys =
   in
   { cfg with
     Chaos.Explore.budget =
-      Chaos.Explore.space_size ~n:(Model.System.n_processes sys) cfg }
+      Chaos.Explore.space_size sys cfg }
 
 let bench_chaos_par sys name =
   let config = par_chaos_config sys in
@@ -271,6 +271,69 @@ let bench_chaos_por_par_tob =
     (Staged.stage (fun () ->
        ignore (Chaos.Explore.run_par ~config ~domains:jobs ~dedup:true ~por:true sys)))
 
+(* Network adversary: the mixed omission/partition sweep of ISSUE 5's
+   tentpole. Same bounded budget as chaos/explore-* so the rows compare
+   directly — the delta is the cost of compiling and delivering buffer
+   mutations and partition spans instead of pure crash schedules. *)
+let net_kinds =
+  Chaos.Schedule.[ Crash_k; Drop_k; Dup_k; Delay_k; Partition_k ]
+
+let bench_chaos_net sys name =
+  let config =
+    {
+      (Chaos.Explore.default_config sys) with
+      Chaos.Explore.max_faults = 1;
+      kinds = net_kinds;
+      budget = 64;
+      max_steps = 4_000;
+    }
+  in
+  Test.make ~name (Staged.stage (fun () -> ignore (Chaos.Explore.run ~config sys)))
+
+let bench_chaos_net_tob =
+  bench_chaos_net (Protocols.Tob_direct.system ~n:2 ~f:0) "chaos/explore-net-tob"
+
+let bench_chaos_net_fdnet =
+  let sys = Protocols.Fd_network.system ~n:2 in
+  let output = Protocols.Fd_network.output_of in
+  let monitors =
+    Chaos.Monitor.safety ()
+    @ [ Chaos.Monitor.fd_completeness ~output (); Chaos.Monitor.fd_accuracy ~output () ]
+  in
+  let config =
+    {
+      (Chaos.Explore.default_config sys) with
+      Chaos.Explore.max_faults = 1;
+      kinds = net_kinds;
+      budget = 64;
+      max_steps = 4_000;
+    }
+  in
+  Test.make ~name:"chaos/explore-net-fdnet"
+    (Staged.stage (fun () -> ignore (Chaos.Explore.run ~monitors ~config sys)))
+
+(* The same mixed sweep over the full single-fault space on [jobs] domains.
+   Net-fault schedules are never statically pruned or POR-collapsed (the
+   oracles are crash-only), so this row isolates the raw parallel speedup
+   on the widened space. *)
+let bench_chaos_net_par sys name =
+  let d = Chaos.Explore.default_config sys in
+  let cfg =
+    { d with Chaos.Explore.max_faults = 1; kinds = net_kinds; max_steps = 4_000 }
+  in
+  let config = { cfg with Chaos.Explore.budget = Chaos.Explore.space_size sys cfg } in
+  Test.make ~name
+    (Staged.stage (fun () ->
+       ignore (Chaos.Explore.run_par ~config ~domains:jobs ~dedup:true sys)))
+
+let bench_chaos_net_par_tob =
+  bench_chaos_net_par (Protocols.Tob_direct.system ~n:2 ~f:1)
+    (Printf.sprintf "chaos/explore-net-tob-j%d" jobs)
+
+let bench_chaos_net_par_fdnet =
+  bench_chaos_net_par (Protocols.Fd_network.system ~n:2)
+    (Printf.sprintf "chaos/explore-net-fdnet-j%d" jobs)
+
 (* The abstract-reachability fixpoint itself: the one-shot cost `boost lint`
    pays per protocol, and the amortized cost of the pruning oracle. *)
 let bench_fixpoint sys name =
@@ -318,6 +381,10 @@ let tests =
       bench_chaos_por_direct;
       bench_chaos_por_tob;
       bench_chaos_por_par_tob;
+      bench_chaos_net_tob;
+      bench_chaos_net_fdnet;
+      bench_chaos_net_par_tob;
+      bench_chaos_net_par_fdnet;
       bench_fixpoint_direct;
       bench_fixpoint_tob;
       bench_state_hash;

@@ -200,18 +200,101 @@ let lemmas_cmd =
 
 (* --- chaos --- *)
 
+(* fd-network is deliberately not in the registry: it decides nothing (the
+   lint analyzer flags blank protocols as errors), so the chaos command
+   resolves it here and swaps f-termination for the ◇P monitors its spec
+   actually promises. *)
+let chaos_resolve name ~n ~f ~groups ~group_size =
+  match name with
+  | "fd-network" | "fd_network" ->
+    let sys = Protocols.Fd_network.system ~n:(max n 2) in
+    let output = Protocols.Fd_network.output_of in
+    Ok
+      ( sys,
+        Some
+          (Chaos.Monitor.safety ()
+          @ [
+              Chaos.Monitor.fd_completeness ~output ();
+              Chaos.Monitor.fd_accuracy ~output ();
+              Chaos.Monitor.linearizability ();
+            ]) )
+  | name -> (
+    match Registry.find name with
+    | Some e -> Ok (build_system e ~n ~f ~groups ~group_size, None)
+    | None ->
+      Error
+        (Printf.sprintf "unknown protocol: %s (expected fd-network | %s)" name
+           (String.concat " | " Registry.sorted_names)))
+
 let chaos_cmd =
+  let protocol_pos =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"PROTOCOL"
+          ~doc:("Protocol to attack: fd-network | " ^ String.concat " | " Registry.names ^ "."))
+  in
   let protocol_opt =
     Arg.(
-      required
-      & opt (some protocol_conv) None
+      value
+      & opt (some string) None
       & info [ "protocol" ] ~docv:"PROTOCOL"
-          ~doc:"Protocol to attack (same names as the positional arg of the other commands).")
+          ~doc:"Alias for the positional PROTOCOL argument.")
+  in
+  let faults_conv =
+    let parse s =
+      match int_of_string_opt s with
+      | Some k when k >= 0 -> Ok (`Count k)
+      | Some _ -> Error (`Msg "--faults: negative budget")
+      | None -> (
+        match Chaos.Schedule.parse_kinds s with
+        | Ok ks -> Ok (`Kinds ks)
+        | Error e -> Error (`Msg e))
+    in
+    let print ppf = function
+      | `Count k -> Format.fprintf ppf "%d" k
+      | `Kinds ks ->
+        Format.pp_print_list
+          ~pp_sep:(fun ppf () -> Format.fprintf ppf ",")
+          Chaos.Schedule.pp_kind ppf ks
+    in
+    Arg.conv (parse, print)
   in
   let faults_arg =
     Arg.(
+      value
+      & opt faults_conv (`Count 1)
+      & info [ "faults" ] ~docv:"K|KINDS"
+          ~doc:
+            "Either an integer K — explore schedules with up to K crashes (the legacy \
+             crash-only adversary) — or a comma-separated fault-kind list drawn from \
+             crash, silence, drop, dup, delay, partition; the budget is then set by \
+             $(b,--max-faults).")
+  in
+  let max_faults_arg =
+    Arg.(
       value & opt int 1
-      & info [ "faults" ] ~docv:"K" ~doc:"Explore fault schedules with up to K crashes.")
+      & info [ "max-faults" ] ~docv:"K"
+          ~doc:"Fault budget when $(b,--faults) names kinds: up to K faults in total.")
+  in
+  let timeout_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "timeout" ] ~docv:"SECS"
+          ~doc:
+            "Wall-clock budget: stop starting new schedules after SECS seconds (or on \
+             SIGINT), emit the partial report with an explicit 'truncated: wall-clock' \
+             marker, and exit 2 unless a violation was already found.")
+  in
+  let witness_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "witness-out" ] ~docv:"FILE"
+          ~doc:
+            "On violation, write the minimized (or, without shrinking, the original) \
+             schedule to FILE in $(b,--schedule) syntax.")
   in
   let seed_arg =
     Arg.(
@@ -314,65 +397,135 @@ let chaos_cmd =
              'crash@0:1,silence@4:cons' ('helpful,' prefix for the non-silencing \
              adversary).")
   in
-  let run protocol n f groups group_size faults seed runs max_steps horizon budget stride
-      jobs dedup shrink static_prune por schedule =
-    let sys = build_system protocol ~n ~f ~groups ~group_size in
-    let horizon =
-      if horizon > 0 then horizon else 2 * Array.length sys.Model.System.tasks
+  let run protocol_pos protocol_opt n f groups group_size faults max_faults seed runs
+      max_steps horizon budget stride jobs dedup shrink static_prune por schedule timeout
+      witness_out =
+    let name =
+      match protocol_pos, protocol_opt with
+      | Some p, None | None, Some p -> Ok p
+      | Some a, Some b when String.equal a b -> Ok a
+      | Some _, Some _ -> Error "give PROTOCOL positionally or via --protocol, not both"
+      | None, None -> Error "need a PROTOCOL argument (or --protocol)"
     in
-    match schedule with
-    | Some spec -> (
-      match Chaos.Schedule.parse spec with
-      | Error e ->
-        Format.eprintf "bad --schedule: %s@." e;
-        3
-      | Ok schedule -> (
-        match Chaos.Schedule.validate sys schedule with
+    match
+      Result.bind name (fun name -> chaos_resolve name ~n ~f ~groups ~group_size)
+    with
+    | Error e ->
+      Format.eprintf "%s@." e;
+      3
+    | Ok (sys, monitors) -> (
+      let horizon =
+        if horizon > 0 then horizon else 2 * Array.length sys.Model.System.tasks
+      in
+      match schedule with
+      | Some spec -> (
+        match Chaos.Schedule.parse spec with
         | Error e ->
           Format.eprintf "bad --schedule: %s@." e;
           3
-        | Ok () -> (
-          let r = Chaos.Runner.run ~max_steps ~schedule sys in
-          List.iter
-            (fun (m, why) -> Format.printf "monitor %s truncated: %s@." m why)
-            r.Chaos.Runner.monitor_truncations;
-          if r.Chaos.Runner.undelivered_crashes > 0 then
-            Format.printf "%d scheduled crash(es) fell beyond --max-steps@."
-              r.Chaos.Runner.undelivered_crashes;
-          Format.printf "%d steps: %a@." r.Chaos.Runner.steps Chaos.Runner.pp_stop
-            r.Chaos.Runner.stop;
-          match r.Chaos.Runner.stop with
-          | Chaos.Runner.Violation _ -> 1
-          | Chaos.Runner.Lasso _ | Chaos.Runner.Budget | Chaos.Runner.Pruned -> 0)))
-    | None ->
-      let mode =
-        match seed with
-        | Some seed ->
-          Chaos.Driver.Seeded { seed; runs; max_faults = faults; horizon; max_steps }
-        | None ->
-          Chaos.Driver.Systematic
-            { Chaos.Explore.max_faults = faults; horizon; stride; budget; max_steps }
-      in
-      let report = Chaos.Driver.run ~shrink ~domains:jobs ~dedup ~static_prune ~por mode sys in
-      Format.printf "%a@." Chaos.Driver.pp_report report;
-      (match report.Chaos.Driver.outcome with
-      | Chaos.Driver.Passed -> 0
-      | Chaos.Driver.Violated _ -> 1)
+        | Ok schedule -> (
+          match Chaos.Schedule.validate sys schedule with
+          | Error e ->
+            Format.eprintf "bad --schedule: %s@." e;
+            3
+          | Ok () -> (
+            let r = Chaos.Runner.run ?monitors ~max_steps ~schedule sys in
+            List.iter
+              (fun (m, why) -> Format.printf "monitor %s truncated: %s@." m why)
+              r.Chaos.Runner.monitor_truncations;
+            if r.Chaos.Runner.undelivered_crashes > 0 then
+              Format.printf "%d scheduled crash(es) fell beyond --max-steps@."
+                r.Chaos.Runner.undelivered_crashes;
+            if r.Chaos.Runner.undelivered_net > 0 then
+              Format.printf "%d scheduled network fault(s) fell beyond --max-steps@."
+                r.Chaos.Runner.undelivered_net;
+            if r.Chaos.Runner.vacuous_net_faults > 0 then
+              Format.printf "%d delivered network fault(s) found an empty buffer@."
+                r.Chaos.Runner.vacuous_net_faults;
+            Format.printf "%d steps: %a@." r.Chaos.Runner.steps Chaos.Runner.pp_stop
+              r.Chaos.Runner.stop;
+            match r.Chaos.Runner.stop with
+            | Chaos.Runner.Violation _ -> 1
+            | Chaos.Runner.Lasso _ | Chaos.Runner.Budget | Chaos.Runner.Pruned -> 0)))
+      | None ->
+        let max_faults, kinds =
+          match faults with
+          | `Count k -> k, None
+          | `Kinds ks -> max_faults, Some ks
+        in
+        let mode =
+          match seed with
+          | Some seed ->
+            Chaos.Driver.Seeded
+              {
+                seed;
+                runs;
+                max_faults;
+                horizon;
+                max_steps;
+                kinds =
+                  Option.value kinds
+                    ~default:[ Chaos.Schedule.Crash_k; Chaos.Schedule.Silence_k ];
+              }
+          | None ->
+            Chaos.Driver.Systematic
+              {
+                Chaos.Explore.max_faults;
+                horizon;
+                stride;
+                budget;
+                max_steps;
+                kinds = Option.value kinds ~default:[ Chaos.Schedule.Crash_k ];
+              }
+        in
+        (* Wall-clock budget: expiry and SIGINT share one graceful path —
+           finish the schedule in flight, report partially, exit 2. *)
+        let interrupted = ref false in
+        let deadline = Option.map (fun s -> Unix.gettimeofday () +. s) timeout in
+        let prev_sigint =
+          Sys.signal Sys.sigint (Sys.Signal_handle (fun _ -> interrupted := true))
+        in
+        let stop () =
+          !interrupted
+          || match deadline with Some d -> Unix.gettimeofday () >= d | None -> false
+        in
+        let report =
+          Chaos.Driver.run ?monitors ~shrink ~domains:jobs ~dedup ~static_prune ~por
+            ~stop mode sys
+        in
+        Sys.set_signal Sys.sigint prev_sigint;
+        Format.printf "%a@." Chaos.Driver.pp_report report;
+        (match report.Chaos.Driver.outcome, witness_out with
+        | Chaos.Driver.Violated { original; minimized; _ }, Some file ->
+          let v = Option.value minimized ~default:original in
+          let oc = open_out file in
+          output_string oc (Chaos.Schedule.to_string v.Chaos.Explore.schedule);
+          output_char oc '\n';
+          close_out oc;
+          Format.printf "witness schedule written to %s@." file
+        | _ -> ());
+        (match report.Chaos.Driver.outcome with
+        | Chaos.Driver.Violated _ -> 1
+        | Chaos.Driver.Passed -> if report.Chaos.Driver.wall_truncated then 2 else 0))
   in
   let term =
     Term.(
-      const run $ protocol_opt $ n_arg $ f_arg $ groups_arg $ group_size_arg $ faults_arg
-      $ seed_arg $ runs_arg $ max_steps_arg $ horizon_arg $ budget_arg $ stride_arg
-      $ jobs_arg $ dedup_arg $ shrink_arg $ static_prune_arg $ por_arg $ schedule_arg)
+      const run $ protocol_pos $ protocol_opt $ n_arg $ f_arg $ groups_arg
+      $ group_size_arg $ faults_arg $ max_faults_arg $ seed_arg $ runs_arg $ max_steps_arg
+      $ horizon_arg $ budget_arg $ stride_arg $ jobs_arg $ dedup_arg $ shrink_arg
+      $ static_prune_arg $ por_arg $ schedule_arg $ timeout_arg $ witness_out_arg)
   in
   Cmd.v
     (Cmd.info "chaos"
        ~doc:
          "Systematic fault-schedule injection with property monitors and shrinking: \
-          enumerate (or randomly sample, with --seed and exact replay) crash placements \
-          and service silencings, check agreement/validity/f-termination/linearizability \
-          during each run, and delta-debug any violation to a minimal schedule. Exits 1 \
-          with the minimized schedule on violation, 0 when all monitors pass.")
+          enumerate (or randomly sample, with --seed and exact replay) crash placements, \
+          service silencings and network faults (drop/dup/delay/partition, with --faults \
+          KINDS), check agreement/validity/f-termination/linearizability — or, for \
+          fd-network, the \xe2\x97\x87P completeness/accuracy monitors — during each run, \
+          and delta-debug any violation to a minimal schedule. Exits 1 with the minimized \
+          schedule on violation, 0 when all monitors pass, 2 when the wall-clock budget \
+          truncated the exploration first.")
     term
 
 (* --- lint --- *)

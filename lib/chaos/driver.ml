@@ -1,6 +1,13 @@
 type mode =
   | Systematic of Explore.config
-  | Seeded of { seed : int; runs : int; max_faults : int; horizon : int; max_steps : int }
+  | Seeded of {
+      seed : int;
+      runs : int;
+      max_faults : int;
+      horizon : int;
+      max_steps : int;
+      kinds : Schedule.kind list;
+    }
 
 type outcome =
   | Passed
@@ -17,9 +24,12 @@ type report = {
   examined : int;
   space : int;
   truncated : bool;
+  wall_truncated : bool;
   step_budget_hits : int;
   monitor_truncations : int;
   undelivered_crashes : int;
+  undelivered_net : int;
+  vacuous_net_faults : int;
   dedup_hits : int;
   static_prunes : int;
   por_prunes : int;
@@ -53,7 +63,7 @@ let violated ?monitors ?max_steps ?interleave ?inputs ~shrink sys original =
     { original; minimized; shrink_stats; witness = witness_of_violation final; replayed = None }
 
 let run ?monitors ?inputs ?(shrink = true) ?(domains = 1) ?(dedup = true)
-    ?(static_prune = false) ?(por = false) mode sys =
+    ?(static_prune = false) ?(por = false) ?(stop = fun () -> false) mode sys =
   match mode with
   | Systematic config ->
     let r =
@@ -61,8 +71,10 @@ let run ?monitors ?inputs ?(shrink = true) ?(domains = 1) ?(dedup = true)
          pre-parallel engine; more domains (or either static oracle) go
          through the deduplicated work-stealing explorer. *)
       if domains <= 1 && not static_prune && not por then
-        Explore.run ?monitors ?inputs ~config sys
-      else Explore.run_par ?monitors ?inputs ~config ~domains ~dedup ~static_prune ~por sys
+        Explore.run ?monitors ?inputs ~config ~stop sys
+      else
+        Explore.run_par ?monitors ?inputs ~config ~domains ~dedup ~static_prune ~por
+          ~stop sys
     in
     let outcome =
       match r.Explore.violation with
@@ -74,37 +86,52 @@ let run ?monitors ?inputs ?(shrink = true) ?(domains = 1) ?(dedup = true)
       examined = r.Explore.examined;
       space = r.Explore.space;
       truncated = r.Explore.truncated;
+      wall_truncated = r.Explore.wall_truncated;
       step_budget_hits = r.Explore.step_budget_hits;
       monitor_truncations = r.Explore.monitor_truncations;
       undelivered_crashes = r.Explore.undelivered_crashes;
+      undelivered_net = r.Explore.undelivered_net;
+      vacuous_net_faults = r.Explore.vacuous_net_faults;
       dedup_hits = r.Explore.dedup_hits;
       static_prunes = r.Explore.static_prunes;
       por_prunes = r.Explore.por_prunes;
       outcome;
     }
-  | Seeded { seed; runs; max_faults; horizon; max_steps } ->
+  | Seeded { seed; runs; max_faults; horizon; max_steps; kinds } ->
     let step_budget_hits = ref 0 and monitor_truncations = ref 0 in
-    let undelivered = ref 0 in
+    let undelivered = ref 0 and undelivered_n = ref 0 and vacuous = ref 0 in
+    let wall = ref false in
     let rec go i =
-      if i >= runs then None
+      if i >= runs then None, runs
+      else if stop () then begin
+        wall := true;
+        None, i
+      end
       else begin
         let seed_i = seed + i in
         let r, schedule =
-          Rand.run ~seed:seed_i ~max_faults ~horizon ?monitors ~max_steps ?inputs sys
+          Rand.run ~seed:seed_i ~max_faults ~horizon ~kinds ?monitors ~max_steps ?inputs
+            sys
         in
         monitor_truncations := !monitor_truncations + List.length r.Runner.monitor_truncations;
         undelivered := !undelivered + r.Runner.undelivered_crashes;
+        undelivered_n := !undelivered_n + r.Runner.undelivered_net;
+        vacuous := !vacuous + r.Runner.vacuous_net_faults;
         match r.Runner.stop with
         | Runner.Violation { monitor; reason; proven } ->
-          Some (seed_i, Explore.{ schedule; monitor; reason; proven; exec = r.Runner.exec })
+          ( Some
+              (seed_i,
+               Explore.
+                 { schedule; monitor; reason; proven; exec = r.Runner.exec;
+                   steps = r.Runner.steps }),
+            i + 1 )
         | Runner.Lasso _ | Runner.Pruned -> go (i + 1)
         | Runner.Budget ->
           incr step_budget_hits;
           go (i + 1)
       end
     in
-    let found = go 0 in
-    let examined = match found with Some (s, _) -> s - seed + 1 | None -> runs in
+    let found, examined = go 0 in
     let outcome =
       match found with
       | None -> Passed
@@ -112,7 +139,8 @@ let run ?monitors ?inputs ?(shrink = true) ?(domains = 1) ?(dedup = true)
         let interleave = Rand.interleave ~seed:seed_i in
         (* Exact replay: the same seed must reproduce the identical trace. *)
         let replay, _ =
-          Rand.run ~seed:seed_i ~max_faults ~horizon ?monitors ~max_steps ?inputs sys
+          Rand.run ~seed:seed_i ~max_faults ~horizon ~kinds ?monitors ~max_steps ?inputs
+            sys
         in
         let replayed =
           List.equal Model.Event.equal
@@ -130,9 +158,12 @@ let run ?monitors ?inputs ?(shrink = true) ?(domains = 1) ?(dedup = true)
       examined;
       space = runs;
       truncated = false;
+      wall_truncated = !wall;
       step_budget_hits = !step_budget_hits;
       monitor_truncations = !monitor_truncations;
       undelivered_crashes = !undelivered;
+      undelivered_net = !undelivered_n;
+      vacuous_net_faults = !vacuous;
       dedup_hits = 0;
       static_prunes = 0;
       por_prunes = 0;
@@ -141,16 +172,27 @@ let run ?monitors ?inputs ?(shrink = true) ?(domains = 1) ?(dedup = true)
 
 let pp_mode ppf = function
   | Systematic c ->
-    Format.fprintf ppf "systematic exploration (≤%d fault(s), horizon %d, stride %d)"
-      c.Explore.max_faults c.Explore.horizon c.Explore.stride
-  | Seeded { seed; runs; max_faults; _ } ->
-    Format.fprintf ppf "seeded chaos (seed %d, %d run(s), ≤%d fault(s))" seed runs max_faults
+    Format.fprintf ppf
+      "systematic exploration (≤%d fault(s) of {%a}, horizon %d, stride %d)"
+      c.Explore.max_faults
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ",")
+         Schedule.pp_kind)
+      c.Explore.kinds c.Explore.horizon c.Explore.stride
+  | Seeded { seed; runs; max_faults; kinds; _ } ->
+    Format.fprintf ppf "seeded chaos (seed %d, %d run(s), ≤%d fault(s) of {%a})" seed runs
+      max_faults
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ",")
+         Schedule.pp_kind)
+      kinds
 
 let pp_report ppf r =
   Format.fprintf ppf "@[<v>%a@," pp_mode r.mode;
-  Format.fprintf ppf "examined %d of %d candidate schedule(s)%s@," r.examined r.space
+  Format.fprintf ppf "examined %d of %d candidate schedule(s)%s%s@," r.examined r.space
     (if r.truncated then " — TRUNCATED: enumeration budget hit before exhausting the space"
-     else "");
+     else "")
+    (if r.wall_truncated then " — truncated: wall-clock" else "");
   if r.dedup_hits > 0 then
     Format.fprintf ppf "%d schedule(s) pruned by configuration fingerprint@," r.dedup_hits;
   if r.static_prunes > 0 then
@@ -170,6 +212,13 @@ let pp_report ppf r =
   if r.undelivered_crashes > 0 then
     Format.fprintf ppf "%d scheduled crash(es) fell beyond the executed step range@,"
       r.undelivered_crashes;
+  if r.undelivered_net > 0 then
+    Format.fprintf ppf
+      "%d scheduled network fault(s) fell beyond the executed step range@,"
+      r.undelivered_net;
+  if r.vacuous_net_faults > 0 then
+    Format.fprintf ppf "%d delivered network fault(s) found an empty buffer (vacuous)@,"
+      r.vacuous_net_faults;
   (match r.outcome with
   | Passed -> Format.fprintf ppf "all monitors passed@]"
   | Violated { original; minimized; shrink_stats; witness; replayed } ->

@@ -17,6 +17,9 @@ type mode =
       max_faults : int;
       horizon : int;
       max_steps : int;
+      kinds : Schedule.kind list;
+          (** Fault kinds the random generator may draw; see
+              {!Rand.schedule}. *)
     }
 
 type outcome =
@@ -39,9 +42,19 @@ type report = {
   examined : int;
   space : int;
   truncated : bool;
+  wall_truncated : bool;
+      (** The wall-clock budget ([stop] returning true) cut the run short
+          before a violation was found; reported as
+          ["truncated: wall-clock"]. *)
   step_budget_hits : int;
   monitor_truncations : int;
   undelivered_crashes : int;
+  undelivered_net : int;
+      (** Network faults / partition starts scheduled beyond executed
+          ranges, summed over runs. *)
+  vacuous_net_faults : int;
+      (** Delivered network faults that found an empty buffer and mutated
+          nothing, summed over runs. *)
   dedup_hits : int;
       (** Schedules pruned by configuration fingerprint (parallel systematic
           mode only; 0 otherwise). *)
@@ -64,6 +77,7 @@ val run :
   ?dedup:bool ->
   ?static_prune:bool ->
   ?por:bool ->
+  ?stop:(unit -> bool) ->
   mode ->
   Model.System.t ->
   report
@@ -71,6 +85,12 @@ val run :
     (default false) or [por] (default false) routes systematic exploration
     through {!Explore.run_par} with [dedup] (default true); otherwise the
     sequential {!Explore.run} path is kept, byte-identical to the
-    pre-parallel engine. Seeded mode ignores all four. *)
+    pre-parallel engine. Seeded mode ignores all four.
+
+    [stop] (default never) is the wall-clock budget: polled between
+    candidate schedules in every mode; once it returns true no further
+    schedule starts, and the partial report carries
+    [wall_truncated = true] unless a violation had already been found.
+    Shrinking of an already-found violation is not interrupted. *)
 
 val pp_report : Format.formatter -> report -> unit

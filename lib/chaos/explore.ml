@@ -4,6 +4,7 @@ type config = {
   stride : int;
   budget : int;
   max_steps : int;
+  kinds : Schedule.kind list;
 }
 
 let default_config (sys : Model.System.t) =
@@ -13,6 +14,7 @@ let default_config (sys : Model.System.t) =
     stride = 1;
     budget = 1_024;
     max_steps = 20_000;
+    kinds = [ Schedule.Crash_k ];
   }
 
 type violation = {
@@ -21,6 +23,7 @@ type violation = {
   reason : string;
   proven : bool;
   exec : Model.Exec.t;
+  steps : int;
 }
 
 let pp_violation ppf v =
@@ -32,9 +35,12 @@ type report = {
   examined : int;
   space : int;
   truncated : bool;
+  wall_truncated : bool;
   step_budget_hits : int;
   monitor_truncations : int;
   undelivered_crashes : int;
+  undelivered_net : int;
+  vacuous_net_faults : int;
   dedup_hits : int;
   static_prunes : int;
   por_prunes : int;
@@ -62,43 +68,91 @@ let rec tuples k points =
       (fun tl -> Seq.map (fun p -> p :: tl) (List.to_seq points))
       (fun () -> tuples (k - 1) points ())
 
-let schedules ~n cfg =
+(* Fault-site templates: one per (kind, target) pair; the step grid
+   instantiates them. Crash templates come first, in pid order, so with
+   [kinds = [Crash_k]] the candidate stream is exactly the crash-only
+   enumeration of the earlier engine — the invariant the pinned differential
+   in test_chaos_net.ml protects. *)
+let templates (sys : Model.System.t) cfg =
+  let n = Model.System.n_processes sys in
+  let service_endpoints =
+    Array.to_list sys.Model.System.services
+    |> List.concat_map (fun (c : Model.Service.t) ->
+           List.map
+             (fun ep -> c.Model.Service.id, ep)
+             (Array.to_list c.Model.Service.endpoints))
+  in
+  let heal_of step = step + max 1 (cfg.horizon / 2) in
+  List.concat_map
+    (function
+      | Schedule.Crash_k -> List.init n (fun pid step -> Schedule.crash ~step ~pid)
+      | Schedule.Silence_k ->
+        Array.to_list sys.Model.System.services
+        |> List.map (fun (c : Model.Service.t) step ->
+               Schedule.silence ~step ~service:c.Model.Service.id)
+      | Schedule.Drop_k ->
+        List.map
+          (fun (service, endpoint) step -> Schedule.drop ~step ~service ~endpoint)
+          service_endpoints
+      | Schedule.Dup_k ->
+        List.map
+          (fun (service, endpoint) step -> Schedule.duplicate ~step ~service ~endpoint)
+          service_endpoints
+      | Schedule.Delay_k ->
+        List.map
+          (fun (service, endpoint) step -> Schedule.delay ~step ~service ~endpoint ~lag:1)
+          service_endpoints
+      | Schedule.Partition_k ->
+        (* Isolate-one-pid splits — the coarsest §6.3-meaningful partitions;
+           finer block structures are reachable by stacking several. Heal at
+           half a horizon later, so degradation is graceful within the
+           explored window. *)
+        if n < 2 then []
+        else
+          List.init n (fun pid step ->
+              Schedule.partition ~step ~blocks:[ [ pid ] ] ~heal_at:(heal_of step)))
+    cfg.kinds
+
+let schedules sys cfg =
   let points = grid cfg in
-  let pids = List.init n Fun.id in
+  let tmpls = templates sys cfg in
   let of_size k =
     Seq.flat_map
       (fun subset ->
         Seq.map
           (fun steps ->
-            Schedule.make
-              (List.map2 (fun pid step -> Schedule.crash ~step ~pid) subset (List.rev steps)))
+            Schedule.make (List.map2 (fun tmpl step -> tmpl step) subset (List.rev steps)))
           (tuples k points))
-      (choose k pids)
+      (choose k tmpls)
   in
   Seq.flat_map of_size (Seq.init (cfg.max_faults + 1) Fun.id)
 
-let space_size ~n cfg =
+let space_size sys cfg =
   let g = List.length (grid cfg) in
+  let t = List.length (templates sys cfg) in
   let rec binom n k = if k = 0 || k = n then 1 else binom (n - 1) (k - 1) + binom (n - 1) k in
   let rec pow b e = if e = 0 then 1 else b * pow b (e - 1) in
   let rec sum k acc =
-    if k > cfg.max_faults || k > n then acc else sum (k + 1) (acc + (binom n k * pow g k))
+    if k > cfg.max_faults || k > t then acc else sum (k + 1) (acc + (binom t k * pow g k))
   in
   sum 0 0
 
-let run ?monitors ?interleave ?inputs ?config (sys : Model.System.t) =
-  let n = Model.System.n_processes sys in
+let run ?monitors ?interleave ?inputs ?config ?(stop = fun () -> false)
+    (sys : Model.System.t) =
   let cfg = match config with Some c -> c | None -> default_config sys in
-  let space = space_size ~n cfg in
+  let space = space_size sys cfg in
   let examined = ref 0 in
   let step_budget_hits = ref 0 in
   let monitor_truncations = ref 0 in
   let undelivered_crashes = ref 0 in
+  let undelivered_net = ref 0 in
+  let vacuous = ref 0 in
   let rec scan seq =
     match seq () with
-    | Seq.Nil -> None, false
+    | Seq.Nil -> None, false, false
     | Seq.Cons (schedule, rest) ->
-      if !examined >= cfg.budget then None, true
+      if stop () then None, false, true
+      else if !examined >= cfg.budget then None, true, false
       else begin
         incr examined;
         let r =
@@ -106,23 +160,29 @@ let run ?monitors ?interleave ?inputs ?config (sys : Model.System.t) =
         in
         monitor_truncations := !monitor_truncations + List.length r.Runner.monitor_truncations;
         undelivered_crashes := !undelivered_crashes + r.Runner.undelivered_crashes;
+        undelivered_net := !undelivered_net + r.Runner.undelivered_net;
+        vacuous := !vacuous + r.Runner.vacuous_net_faults;
         match r.Runner.stop with
         | Runner.Violation { monitor; reason; proven } ->
-          Some { schedule; monitor; reason; proven; exec = r.Runner.exec }, false
+          Some { schedule; monitor; reason; proven; exec = r.Runner.exec; steps = r.Runner.steps },
+          false, false
         | Runner.Lasso _ | Runner.Pruned -> scan rest
         | Runner.Budget ->
           incr step_budget_hits;
           scan rest
       end
   in
-  let violation, truncated = scan (schedules ~n cfg) in
+  let violation, truncated, wall_truncated = scan (schedules sys cfg) in
   {
     examined = !examined;
     space;
     truncated;
+    wall_truncated;
     step_budget_hits = !step_budget_hits;
     monitor_truncations = !monitor_truncations;
     undelivered_crashes = !undelivered_crashes;
+    undelivered_net = !undelivered_net;
+    vacuous_net_faults = !vacuous;
     dedup_hits = 0;
     static_prunes = 0;
     por_prunes = 0;
@@ -136,6 +196,8 @@ type run_record = {
   budget_hit : bool;
   truncations : int;
   undelivered : int;
+  undelivered_n : int;
+  vacuous : int;
   deduped : bool;
   statically_pruned : bool;
   por_pruned : bool;
@@ -154,7 +216,7 @@ let compare_found v1 v2 =
       let c = String.compare v1.reason v2.reason in
       if c <> 0 then c else Bool.compare v1.proven v2.proven
 
-let merge ~space ~scheduled partials =
+let merge ?(wall = false) ~space ~scheduled partials =
   let records = List.concat partials in
   (* The winner is the enumeration-least violation: minimal rank, then the
      lexicographically least schedule. A pure function of the record
@@ -177,13 +239,20 @@ let merge ~space ~scheduled partials =
   let keep r = match winner with None -> true | Some (br, _) -> r.rank <= br in
   let kept = List.filter keep records in
   let sum f = List.fold_left (fun acc r -> acc + f r) 0 kept in
+  let wall_truncated = wall && winner = None in
   {
-    examined = (match winner with Some (br, _) -> br + 1 | None -> scheduled);
+    examined =
+      (match winner with
+      | Some (br, _) -> br + 1
+      | None -> if wall_truncated then List.length records else scheduled);
     space;
-    truncated = winner = None && scheduled < space;
+    truncated = (not wall_truncated) && winner = None && scheduled < space;
+    wall_truncated;
     step_budget_hits = sum (fun r -> if r.budget_hit then 1 else 0);
     monitor_truncations = sum (fun r -> r.truncations);
     undelivered_crashes = sum (fun r -> r.undelivered);
+    undelivered_net = sum (fun r -> r.undelivered_n);
+    vacuous_net_faults = sum (fun r -> r.vacuous);
     dedup_hits = sum (fun r -> if r.deduped then 1 else 0);
     static_prunes = sum (fun r -> if r.statically_pruned then 1 else 0);
     por_prunes = sum (fun r -> if r.por_pruned then 1 else 0);
@@ -262,9 +331,12 @@ let por_prunable ~dep ~stride ~n_tasks (s : Schedule.t) =
      default, no overrides) — same convention as the static-prune oracle. *)
   s.Schedule.overrides = []
   && s.Schedule.default_pref = Model.System.Prefer_dummy
-  && List.for_all
-       (function Schedule.Crash _ -> true | Schedule.Silence _ -> false)
-       s.Schedule.faults
+  (* Crash-only: the sliding argument covers crash deliveries alone. Every
+     network fault kind is explicitly excluded — a drop/dup/delay mutates a
+     buffer whose content depends on the exact slot, and partitions gate
+     task enabledness, so no independence footprint covers them (tested in
+     test_chaos_net.ml). *)
+  && Schedule.is_crash_only s
   &&
   (* Walk the crashes in delivery order (d_k = max(t_k, d_{k-1}+1)); crash k
      can slide from step t to t - stride iff the window stays clear of other
@@ -289,11 +361,11 @@ let por_prunable ~dep ~stride ~n_tasks (s : Schedule.t) =
   scan 0 (-1) (Schedule.crashes s)
 
 let run_par ?monitors ?interleave ?inputs ?config ?(domains = 1) ?(dedup = true)
-    ?(static_prune = false) ?(por = false) (sys : Model.System.t) =
-  let n = Model.System.n_processes sys in
+    ?(static_prune = false) ?(por = false) ?(stop = fun () -> false)
+    (sys : Model.System.t) =
   let cfg = match config with Some c -> c | None -> default_config sys in
-  let space = space_size ~n cfg in
-  let candidates = Array.of_seq (Seq.take (max 0 cfg.budget) (schedules ~n cfg)) in
+  let space = space_size sys cfg in
+  let candidates = Array.of_seq (Seq.take (max 0 cfg.budget) (schedules sys cfg)) in
   let scheduled = Array.length candidates in
   let quiescence =
     (* The abstract-interpretation infeasibility oracle: a certified step Q
@@ -346,7 +418,10 @@ let run_par ?monitors ?interleave ?inputs ?config ?(domains = 1) ?(dedup = true)
       && List.for_all
            (function
              | Schedule.Crash { step; _ } -> step >= q
-             | Schedule.Silence _ -> false)
+             (* The certificate covers crash-only schedules; every other
+                fault kind disqualifies (explicitly, with a test). *)
+             | Schedule.Silence _ | Schedule.Drop _ | Schedule.Duplicate _
+             | Schedule.Delay _ | Schedule.Partition _ -> false)
            s.Schedule.faults
   in
   (* Clamp the spawned workers to the machine: oversubscribing domains past
@@ -397,6 +472,8 @@ let run_par ?monitors ?interleave ?inputs ?config ?(domains = 1) ?(dedup = true)
             budget_hit = false;
             truncations = 0;
             undelivered = 0;
+            undelivered_n = 0;
+            vacuous = 0;
             deduped = false;
             statically_pruned = true;
             por_pruned = false;
@@ -415,6 +492,8 @@ let run_par ?monitors ?interleave ?inputs ?config ?(domains = 1) ?(dedup = true)
             budget_hit = false;
             truncations = 0;
             undelivered = 0;
+            undelivered_n = 0;
+            vacuous = 0;
             deduped = false;
             statically_pruned = false;
             por_pruned = true;
@@ -445,6 +524,8 @@ let run_par ?monitors ?interleave ?inputs ?config ?(domains = 1) ?(dedup = true)
           budget_hit = false;
           truncations = List.length r.Runner.monitor_truncations;
           undelivered = r.Runner.undelivered_crashes;
+          undelivered_n = r.Runner.undelivered_net;
+          vacuous = r.Runner.vacuous_net_faults;
           deduped = false;
           statically_pruned = false;
           por_pruned = false;
@@ -455,7 +536,13 @@ let run_par ?monitors ?interleave ?inputs ?config ?(domains = 1) ?(dedup = true)
         match r.Runner.stop with
         | Runner.Violation { monitor; reason; proven } ->
           note_best best rank;
-          { base with found = Some { schedule; monitor; reason; proven; exec = r.Runner.exec } }
+          {
+            base with
+            found =
+              Some
+                { schedule; monitor; reason; proven; exec = r.Runner.exec;
+                  steps = r.Runner.steps };
+          }
         | Runner.Lasso _ ->
           (* Only proven-quiescent clean runs seed the visited table: a
              pruned twin would provably replay this suffix to the same
@@ -474,6 +561,7 @@ let run_par ?monitors ?interleave ?inputs ?config ?(domains = 1) ?(dedup = true)
       end
     end
   in
+  let wall_stopped = Atomic.make false in
   let worker w () =
     let records = ref [] in
     let my = deques.(w) in
@@ -492,7 +580,12 @@ let run_par ?monitors ?interleave ?inputs ?config ?(domains = 1) ?(dedup = true)
         | None -> scavenge (v + 1)
     in
     let rec loop () =
-      if Atomic.get outstanding > 0 then begin
+      if Atomic.get wall_stopped then ()
+      else if stop () then
+        (* Wall-clock budget expired: every worker drains on its next poll;
+           the partial records merge into a wall-truncated report. *)
+        Atomic.set wall_stopped true
+      else if Atomic.get outstanding > 0 then begin
         (match next_rank my with
         | Some rank ->
           (try run_one rank records with e -> poison e);
@@ -510,12 +603,14 @@ let run_par ?monitors ?interleave ?inputs ?config ?(domains = 1) ?(dedup = true)
   let spawned = Array.init (domains - 1) (fun i -> Domain.spawn (fun () -> worker (i + 1) ())) in
   let mine = worker 0 () in
   let partials = mine :: Array.to_list (Array.map Domain.join spawned) in
-  merge ~space ~scheduled partials
+  merge ~wall:(Atomic.get wall_stopped) ~space ~scheduled partials
 
 let pp_report ppf r =
-  Format.fprintf ppf "@[<v>examined %d of %d candidate fault schedule(s)%s@," r.examined r.space
+  Format.fprintf ppf "@[<v>examined %d of %d candidate fault schedule(s)%s%s@," r.examined
+    r.space
     (if r.truncated then " — TRUNCATED: enumeration budget hit before exhausting the space"
-     else "");
+     else "")
+    (if r.wall_truncated then " — truncated: wall-clock" else "");
   if r.dedup_hits > 0 then
     Format.fprintf ppf
       "%d schedule(s) pruned by configuration fingerprint (verdict inherited from an \
@@ -541,6 +636,12 @@ let pp_report ppf r =
   if r.undelivered_crashes > 0 then
     Format.fprintf ppf "%d scheduled crash(es) fell beyond the executed step range@,"
       r.undelivered_crashes;
+  if r.undelivered_net > 0 then
+    Format.fprintf ppf "%d scheduled network fault(s) fell beyond the executed step range@,"
+      r.undelivered_net;
+  if r.vacuous_net_faults > 0 then
+    Format.fprintf ppf "%d delivered network fault(s) were vacuous (empty buffer)@,"
+      r.vacuous_net_faults;
   (match r.violation with
   | Some v -> Format.fprintf ppf "%a@]" pp_violation v
   | None -> Format.fprintf ppf "no violation found@]")

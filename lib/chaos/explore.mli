@@ -8,16 +8,20 @@
     monitor that declined to decide. *)
 
 type config = {
-  max_faults : int;  (** Enumerate 0, 1, ..., [max_faults] crashes. *)
-  horizon : int;  (** Crash steps drawn from [0, horizon). *)
+  max_faults : int;  (** Enumerate 0, 1, ..., [max_faults] faults. *)
+  horizon : int;  (** Fault steps drawn from [0, horizon). *)
   stride : int;  (** Step-grid granularity. *)
   budget : int;  (** Maximum schedules to run. *)
   max_steps : int;  (** Per-run step bound. *)
+  kinds : Schedule.kind list;
+      (** Fault kinds the budget lattice ranges over. [[Crash_k]] reproduces
+          the crash-only enumeration of the earlier engine exactly (pinned
+          by the differential in test_chaos_net.ml). *)
 }
 
 val default_config : Model.System.t -> config
 (** 1 fault, horizon twice the task count, stride 1, 1024 schedules,
-    20_000 steps. *)
+    20_000 steps, crash faults only. *)
 
 type violation = {
   schedule : Schedule.t;
@@ -25,6 +29,10 @@ type violation = {
   reason : string;
   proven : bool;
   exec : Model.Exec.t;  (** The violating prefix. *)
+  steps : int;
+      (** The violating run's step count (>= the exec length: skipped and
+          vacuous turns advance the step clock without appending an event);
+          the shrinker clamps fault references to this range. *)
 }
 
 val pp_violation : Format.formatter -> violation -> unit
@@ -33,9 +41,17 @@ type report = {
   examined : int;
   space : int;  (** Full enumeration-space size for the config. *)
   truncated : bool;  (** Enumeration budget hit before exhausting the space. *)
+  wall_truncated : bool;
+      (** The caller's [stop] thunk fired before the enumeration finished
+          and no violation had been found: the report is a partial,
+          wall-clock-truncated view of the space. *)
   step_budget_hits : int;  (** Runs ending undecided at [max_steps]. *)
   monitor_truncations : int;
   undelivered_crashes : int;
+  undelivered_net : int;
+      (** Net faults / partition starts scheduled beyond executed ranges. *)
+  vacuous_net_faults : int;
+      (** Delivered net faults that found an empty buffer (no-ops). *)
   dedup_hits : int;
       (** Schedules pruned by configuration fingerprint ({!run_par} with
           dedup): counted as examined — their verdict is inherited from an
@@ -57,23 +73,30 @@ type report = {
   violation : violation option;
 }
 
-val schedules : n:int -> config -> Schedule.t Seq.t
-(** The lazy candidate stream: by fault count, then pid subsets, then step
-    assignments, all lexicographic. Every candidate uses the silencing
-    adversary ({!Schedule.make}'s default). *)
+val schedules : Model.System.t -> config -> Schedule.t Seq.t
+(** The lazy candidate stream: by fault count, then fault-site subsets, then
+    step assignments, all lexicographic. Fault sites are drawn per kind in
+    [config.kinds] order — crashes per pid, silences per service,
+    drop/dup/delay per (service, endpoint), isolate-one-pid partitions per
+    pid — so with [kinds = [Crash_k]] the stream coincides with the old
+    crash-only enumeration. Every candidate uses the silencing adversary
+    ({!Schedule.make}'s default). *)
 
-val space_size : n:int -> config -> int
+val space_size : Model.System.t -> config -> int
 
 val run :
   ?monitors:Monitor.t list ->
   ?interleave:Runner.interleave ->
   ?inputs:Ioa.Value.t list ->
   ?config:config ->
+  ?stop:(unit -> bool) ->
   Model.System.t ->
   report
 (** The sequential explorer — the trusted oracle the parallel engine is
     differentially tested against. Single-domain, no dedup, first violation
-    in enumeration order wins. *)
+    in enumeration order wins. [stop] is polled once per candidate; once it
+    returns true the scan ends immediately and the report is marked
+    [wall_truncated]. *)
 
 (** {1 Parallel exploration}
 
@@ -101,6 +124,8 @@ type run_record = {
   budget_hit : bool;
   truncations : int;
   undelivered : int;
+  undelivered_n : int;
+  vacuous : int;
   deduped : bool;
   statically_pruned : bool;
       (** Skipped by the static infeasibility oracle; the clean-lasso
@@ -115,10 +140,12 @@ type run_record = {
 type partial = run_record list
 (** A worker's sub-report. *)
 
-val merge : space:int -> scheduled:int -> partial list -> report
+val merge : ?wall:bool -> space:int -> scheduled:int -> partial list -> report
 (** Deterministic, partition- and order-insensitive merge: any shuffling of
     records across sub-reports yields the identical report. [scheduled] is
-    the number of ranks dealt out, i.e. [min budget space]. *)
+    the number of ranks dealt out, i.e. [min budget space]. With [wall]
+    (default false) and no winning violation, the report is marked
+    [wall_truncated] and [examined] counts the records actually produced. *)
 
 val run_par :
   ?monitors:Monitor.t list ->
@@ -129,6 +156,7 @@ val run_par :
   ?dedup:bool ->
   ?static_prune:bool ->
   ?por:bool ->
+  ?stop:(unit -> bool) ->
   Model.System.t ->
   report
 (** [domains] defaults to 1 (same worker machinery, no spawned domains);

@@ -10,6 +10,43 @@ type t = {
 
 let on_decide = function Model.Event.Decide _ -> true | _ -> false
 
+(* Recovery-aware waiving: the liveness monitors refuse to turn a network
+   fault into a spurious verdict. All three predicates are false on
+   crash-only executions, so the crash-only verdicts — and with them the
+   pinned differential — are untouched. *)
+
+let has_drop exec =
+  List.exists
+    (function
+      | { Model.Exec.event = Model.Event.Net { kind = Model.Event.Drop; _ }; _ } -> true
+      | _ -> false)
+    exec.Model.Exec.rev_steps
+
+let has_net_fault exec =
+  List.exists
+    (function { Model.Exec.event = Model.Event.Net _; _ } -> true | _ -> false)
+    exec.Model.Exec.rev_steps
+
+(* Newest-first scan: a heal seen before (i.e. after, in execution order)
+   its partition discharges it; a partition with no matching heal is still
+   in force when the run ends. *)
+let unhealed_partition exec =
+  let rec scan healed = function
+    | [] -> false
+    | { Model.Exec.event = Model.Event.Heal blocks; _ } :: rest ->
+      scan (blocks :: healed) rest
+    | { Model.Exec.event = Model.Event.Partition blocks; _ } :: rest ->
+      let rec remove = function
+        | [] -> None
+        | b :: bs -> if b = blocks then Some bs else Option.map (List.cons b) (remove bs)
+      in
+      (match remove healed with
+      | Some healed -> scan healed rest
+      | None -> true)
+    | _ :: rest -> scan healed rest
+  in
+  scan [] exec.Model.Exec.rev_steps
+
 let pp_values ppf vs =
   Format.fprintf ppf "{%a}"
     (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ",") Ioa.Value.pp)
@@ -63,6 +100,14 @@ let f_termination =
       (fun _sys exec ->
         let s = Model.Exec.last_state exec in
         if Model.Properties.termination s then Pass
+        else if has_drop exec then
+          (* An omitted message may be the decision's only carrier; failing
+             here would charge the protocol for the adversary's theft.
+             Duplications, delays and healed partitions give no such excuse —
+             degradation must be graceful once the network recovers. *)
+          Truncated "termination waived: message-drop fault(s) in this run"
+        else if unhealed_partition exec then
+          Truncated "termination waived: partition still unhealed at end of run"
         else
           let undecided =
             List.filteri
@@ -84,6 +129,14 @@ let linearizability ?(max_history = 240) () =
     relevant = (fun _ -> true);
     check =
       (fun sys exec ->
+        if has_net_fault exec then
+          (* Buffer mutations detach responses from the operations that
+             earned them (a dropped response orphans its invocation, a
+             duplicate answers one invocation twice), so the reconstructed
+             history no longer reflects what the service did. *)
+          Truncated
+            "linearizability waived: network fault(s) mutated response buffers"
+        else
         let bad = ref None and trunc = ref [] in
         Array.iter
           (fun (c : Model.Service.t) ->
@@ -108,6 +161,71 @@ let linearizability ?(max_history = 240) () =
         match !bad with
         | Some why -> Fail why
         | None -> if !trunc = [] then Pass else Truncated (String.concat "; " !trunc));
+  }
+
+let alive_pids s =
+  List.init (Array.length s.Model.State.procs) Fun.id
+  |> List.filter (fun i -> not (Spec.Iset.mem i s.Model.State.failed))
+
+let fd_completeness ~output () =
+  {
+    name = "fd-completeness";
+    phase = End;
+    relevant = (fun _ -> true);
+    check =
+      (fun _sys exec ->
+        if unhealed_partition exec then
+          Truncated "completeness waived: partition still unhealed at end of run"
+        else
+          let s = Model.Exec.last_state exec in
+          let missing =
+            List.concat_map
+              (fun i ->
+                let suspects = output s ~pid:i in
+                Spec.Iset.elements s.Model.State.failed
+                |> List.filter (fun j -> not (Spec.Iset.mem j suspects))
+                |> List.map (fun j -> i, j))
+              (alive_pids s)
+          in
+          if missing = [] then Pass
+          else
+            Fail
+              (String.concat "; "
+                 (List.map
+                    (fun (i, j) -> Printf.sprintf "P%d never suspects crashed P%d" i j)
+                    missing)));
+  }
+
+let fd_accuracy ~output () =
+  {
+    name = "fd-accuracy";
+    phase = End;
+    relevant = (fun _ -> true);
+    check =
+      (fun _sys exec ->
+        if unhealed_partition exec then
+          (* ◇P tolerates finitely many false suspicions while a partition
+             is in force; only a healed network must converge to accuracy. *)
+          Truncated "accuracy waived: partition still unhealed at end of run"
+        else
+          let s = Model.Exec.last_state exec in
+          let alive = alive_pids s in
+          let false_suspicions =
+            List.concat_map
+              (fun i ->
+                let suspects = output s ~pid:i in
+                List.filter_map
+                  (fun j -> if Spec.Iset.mem j suspects then Some (i, j) else None)
+                  alive)
+              alive
+          in
+          if false_suspicions = [] then Pass
+          else
+            Fail
+              (String.concat "; "
+                 (List.map
+                    (fun (i, j) -> Printf.sprintf "P%d still suspects alive P%d" i j)
+                    false_suspicions)));
   }
 
 let safety ?k () = [ agreement ?k (); validity; per_process_agreement ]

@@ -37,12 +37,41 @@ val per_process_agreement : t
 
 val f_termination : t
 (** Modified termination (§2.2.4): at the end of the run, every nonfaulty
-    process that received an input has decided. *)
+    process that received an input has decided. Recovery-aware: a run with
+    message-drop faults or an unhealed partition yields {!Truncated} rather
+    than charging the protocol for the adversary's theft — duplications,
+    delays and healed partitions still enforce termination (degradation must
+    be graceful once the network recovers). Crash-only verdicts are
+    unchanged. *)
 
 val linearizability : ?max_history:int -> unit -> t
 (** Every service retaining a sequential spec ({!Model.Service.t}[.seq])
     has a linearizable history ({!Model.Linearize}). Histories longer than
-    [max_history] (default 240 events) yield {!Truncated}. *)
+    [max_history] (default 240 events) yield {!Truncated}, as do runs with
+    buffer-mutating network faults (drop/dup/delay), whose histories no
+    longer reflect what the service did. *)
+
+val fd_completeness : output:(Model.State.t -> pid:int -> Spec.Iset.t) -> unit -> t
+(** ◇P strong completeness at end of run: every crashed process is suspected
+    by every alive process, where [output s ~pid] reads a process's current
+    suspect set out of the protocol state. {!Truncated} while a partition is
+    unhealed. Opt-in (not part of {!defaults}); wire [output] to the
+    protocol's accessor, e.g. [Protocols.Fd_network.output_of]. *)
+
+val fd_accuracy : output:(Model.State.t -> pid:int -> Spec.Iset.t) -> unit -> t
+(** ◇P eventual accuracy at end of run: no alive process is still suspected
+    by an alive process. Unhealed partitions waive the verdict ({!Truncated})
+    — ◇P tolerates finitely many false suspicions until the network heals.
+    Opt-in, like {!fd_completeness}. *)
+
+val has_drop : Model.Exec.t -> bool
+(** Whether the execution carries a message-drop network fault. *)
+
+val has_net_fault : Model.Exec.t -> bool
+(** Whether the execution carries any buffer-mutating network fault. *)
+
+val unhealed_partition : Model.Exec.t -> bool
+(** Whether some partition is still in force when the execution ends. *)
 
 val defaults : ?k:int -> unit -> t list
 (** All of the above. *)

@@ -1,11 +1,20 @@
 let interleave ~seed = Runner.Seeded (seed lxor 0x5EED7)
 
-let schedule ~seed ?(max_faults = 1) ?(silence_prob = 0.25) ?horizon (sys : Model.System.t) =
+let default_kinds = [ Schedule.Crash_k; Schedule.Silence_k ]
+
+let schedule ~seed ?(max_faults = 1) ?(silence_prob = 0.25) ?horizon
+    ?(kinds = default_kinds) (sys : Model.System.t) =
   let rng = Random.State.make [| seed; 0xC4A05 |] in
   let n = Model.System.n_processes sys in
   let horizon =
     match horizon with Some h -> h | None -> 2 * Array.length sys.Model.System.tasks
   in
+  let want k = List.mem k kinds in
+  (* The crash/silence draws below always consume the legacy generator in
+     the legacy order, whether or not their kind is requested: with the
+     default [kinds] the produced schedule is byte-identical to the pre-net
+     engine (the seed-replay pin in the tests), and narrowing [kinds] never
+     shifts another kind's stream. *)
   let k = Random.State.int rng (min max_faults n + 1) in
   (* k distinct pids via a seeded Fisher–Yates prefix. *)
   let pids = Array.init n Fun.id in
@@ -19,19 +28,75 @@ let schedule ~seed ?(max_faults = 1) ?(silence_prob = 0.25) ?horizon (sys : Mode
     List.init k (fun i ->
       Schedule.crash ~step:(Random.State.int rng horizon) ~pid:pids.(i))
   in
+  let crashes = if want Schedule.Crash_k then crashes else [] in
   let silences =
     Array.to_list sys.Model.System.services
     |> List.filter_map (fun (c : Model.Service.t) ->
-         if Random.State.float rng 1.0 < silence_prob then
+         let hit = Random.State.float rng 1.0 < silence_prob in
+         if hit && want Schedule.Silence_k then
            Some
              (Schedule.silence ~step:(Random.State.int rng horizon)
                 ~service:c.Model.Service.id)
-         else None)
+         else begin
+           (* Keep the draw pattern fixed: a silenced-but-unwanted service
+              still consumes its step draw. *)
+           if hit then ignore (Random.State.int rng horizon);
+           None
+         end)
   in
-  Schedule.make (crashes @ silences)
+  (* Network faults come from a second, independently-seeded generator so
+     that requesting them leaves the crash/silence stream untouched. *)
+  let net_kinds =
+    List.filter
+      (function
+        | Schedule.Drop_k | Schedule.Dup_k | Schedule.Delay_k | Schedule.Partition_k ->
+          true
+        | Schedule.Crash_k | Schedule.Silence_k -> false)
+      kinds
+  in
+  let net =
+    if net_kinds = [] then []
+    else begin
+      let nrng = Random.State.make [| seed; 0x0F417 |] in
+      let sites =
+        Array.to_list sys.Model.System.services
+        |> List.concat_map (fun (c : Model.Service.t) ->
+             List.map
+               (fun ep -> c.Model.Service.id, ep)
+               (Array.to_list c.Model.Service.endpoints))
+      in
+      let kinds_arr = Array.of_list net_kinds in
+      let m = Random.State.int nrng (max_faults + 1) in
+      List.init m (fun _ ->
+        let step = Random.State.int nrng horizon in
+        match kinds_arr.(Random.State.int nrng (Array.length kinds_arr)) with
+        | Schedule.Partition_k ->
+          if n < 2 then None
+          else
+            let pid = Random.State.int nrng n in
+            let heal_at = step + 1 + Random.State.int nrng (max 1 (horizon / 2)) in
+            Some (Schedule.partition ~step ~blocks:[ [ pid ] ] ~heal_at)
+        | kind ->
+          if sites = [] then None
+          else
+            let service, endpoint = List.nth sites (Random.State.int nrng (List.length sites)) in
+            (match kind with
+            | Schedule.Drop_k -> Some (Schedule.drop ~step ~service ~endpoint)
+            | Schedule.Dup_k -> Some (Schedule.duplicate ~step ~service ~endpoint)
+            | Schedule.Delay_k ->
+              Some
+                (Schedule.delay ~step ~service ~endpoint
+                   ~lag:(1 + Random.State.int nrng 3))
+            | Schedule.Crash_k | Schedule.Silence_k | Schedule.Partition_k ->
+              assert false))
+      |> List.filter_map Fun.id
+    end
+  in
+  Schedule.make (crashes @ silences @ net)
 
-let run ~seed ?max_faults ?silence_prob ?horizon ?monitors ?max_steps ?inputs sys =
-  let sched = schedule ~seed ?max_faults ?silence_prob ?horizon sys in
+let run ~seed ?max_faults ?silence_prob ?horizon ?kinds ?monitors ?max_steps ?inputs sys
+    =
+  let sched = schedule ~seed ?max_faults ?silence_prob ?horizon ?kinds sys in
   let r =
     Runner.run ?monitors ?max_steps ~interleave:(interleave ~seed) ?inputs ~schedule:sched
       sys

@@ -17,18 +17,26 @@ val schedule :
   ?max_faults:int ->
   ?silence_prob:float ->
   ?horizon:int ->
+  ?kinds:Schedule.kind list ->
   Model.System.t ->
   Schedule.t
 (** A pseudo-random schedule: up to [max_faults] (default 1) crashes of
     distinct processes at steps below [horizon] (default twice the task
     count), plus each service silenced with probability [silence_prob]
-    (default 0.25). *)
+    (default 0.25). [kinds] (default [[Crash_k; Silence_k]]) selects the
+    fault kinds drawn: with the default the schedule is byte-identical to
+    the crash-only generator of the earlier engine. Network kinds
+    ({!Schedule.Drop_k}, {!Schedule.Dup_k}, {!Schedule.Delay_k},
+    {!Schedule.Partition_k}) add up to [max_faults] further faults drawn
+    from a second generator seeded independently of the crash/silence
+    stream, so mixing kinds in never shifts the crash-only draws. *)
 
 val run :
   seed:int ->
   ?max_faults:int ->
   ?silence_prob:float ->
   ?horizon:int ->
+  ?kinds:Schedule.kind list ->
   ?monitors:Monitor.t list ->
   ?max_steps:int ->
   ?inputs:Ioa.Value.t list ->

@@ -12,6 +12,8 @@ type result = {
   stop : stop;
   monitor_truncations : (string * string) list;
   undelivered_crashes : int;
+  undelivered_net : int;
+  vacuous_net_faults : int;
 }
 
 let pp_stop ppf = function
@@ -125,6 +127,7 @@ let run ?(monitors = Monitor.defaults ()) ?(max_steps = 20_000) ?(interleave = R
   let cursor = ref 0 in
   let seen = Tbl.create 256 in
   let truncs = ref [] in
+  let vacuous = ref 0 in
   let finish exec steps stop =
     {
       exec;
@@ -132,6 +135,8 @@ let run ?(monitors = Monitor.defaults ()) ?(max_steps = 20_000) ?(interleave = R
       stop;
       monitor_truncations = !truncs;
       undelivered_crashes = Schedule.undelivered compiled;
+      undelivered_net = Schedule.undelivered_net compiled;
+      vacuous_net_faults = !vacuous;
     }
   in
   (* End-of-run: evaluate the liveness monitors; [proven] records whether
@@ -184,7 +189,19 @@ let run ?(monitors = Monitor.defaults ()) ?(max_steps = 20_000) ?(interleave = R
       | Some period -> ended exec step ~proven:true (Lasso { period })
       | None -> (
         match Schedule.due compiled ~step with
-        | Some pid -> go (Model.Exec.append_fail sys exec pid) (step + 1)
+        | Some (Schedule.Deliver_fail pid) ->
+          go (Model.Exec.append_fail sys exec pid) (step + 1)
+        | Some (Schedule.Deliver_net { service; endpoint; kind }) -> (
+          match Model.Exec.append_net sys exec ~service ~endpoint ~kind with
+          | None ->
+            (* Vacuous fault (empty buffer): counted, not recorded. *)
+            incr vacuous;
+            go exec (step + 1)
+          | Some exec -> go exec (step + 1))
+        | Some (Schedule.Deliver_partition { blocks; _ }) ->
+          go (Model.Exec.append_partition exec blocks) (step + 1)
+        | Some (Schedule.Deliver_heal blocks) ->
+          go (Model.Exec.append_heal exec blocks) (step + 1)
         | None -> (
           let task =
             match rng with
@@ -194,6 +211,11 @@ let run ?(monitors = Monitor.defaults ()) ?(max_steps = 20_000) ?(interleave = R
               incr cursor;
               t
           in
+          if Schedule.blocked compiled sys (Model.Exec.last_state exec) task then
+            (* An active partition holds this output turn back; the task
+               regains its turn after the heal. *)
+            go exec (step + 1)
+          else
           match Model.Exec.append_task ~policy sys exec task with
           | None -> go exec (step + 1)
           | Some exec' -> (

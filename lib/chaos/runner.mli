@@ -32,6 +32,12 @@ type result = {
           silently dropped. *)
   undelivered_crashes : int;
       (** Crashes scheduled beyond the executed step range. *)
+  undelivered_net : int;
+      (** Net faults / partition starts scheduled beyond the executed
+          range. *)
+  vacuous_net_faults : int;
+      (** Delivered net faults that found an empty buffer and mutated
+          nothing; they leave no event in the execution. *)
 }
 
 val pp_stop : Format.formatter -> stop -> unit

@@ -1,10 +1,18 @@
 (** Delta-debug a failing fault schedule to a minimal one.
 
-    Greedy fixpoint over structural reductions — drop a fault, downgrade
-    the silencing adversary to the helpful one, drop a per-task override,
-    pull a crash earlier — keeping a reduction iff re-running the shrunk
-    schedule still violates the {e same} monitor. The result is 1-minimal:
-    no single remaining reduction preserves the violation.
+    Greedy fixpoint over structural reductions — drop a fault (cheapest
+    kinds first: a duplication before a drop before a delay before a crash
+    before a silencing, a partition last), downgrade the silencing
+    adversary to the helpful one, drop a per-task override, weaken a fault
+    in place (shorten a delay's lag, heal a partition earlier, merge a
+    partition block into the residual block), pull a crash earlier, and
+    clamp fault steps or heal points referencing steps beyond the
+    violating run's executed range back into it — keeping a reduction iff
+    re-running the shrunk schedule still violates the {e same} monitor.
+    Every candidate is re-validated ({!Schedule.validate}) after mutation
+    and skipped when the mutation broke a well-formedness invariant. The
+    result is 1-minimal: no single remaining reduction preserves the
+    violation.
 
     Pass the same [monitors]/[max_steps]/[interleave]/[inputs] the
     violation was found with; in particular, seeded-random violations

@@ -118,7 +118,10 @@ let gamma_prime exec ~from_length ~in_j =
           match e with
           | Model.Task.Proc i when in_j i -> None
           | _ -> Some e)
-      | Model.Exec.L_init _ | Model.Exec.L_fail _ -> None)
+      | Model.Exec.L_init _ | Model.Exec.L_fail _ -> None
+      (* The impossibility engine only builds crash executions; network
+         adversary labels exist solely in chaos runs and carry no task. *)
+      | Model.Exec.L_net _ | Model.Exec.L_partition _ | Model.Exec.L_heal _ -> None)
     suffix
 
 (* Pick J: [failures] processes including [must_include], drawn from

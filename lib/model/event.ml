@@ -1,5 +1,7 @@
 module Value = Ioa.Value
 
+type net_kind = Drop | Duplicate | Delay of int
+
 type t =
   | Init of int * Value.t
   | Fail of int
@@ -10,8 +12,25 @@ type t =
   | Perform of string * int
   | Compute of string * string
   | Dummy of Task.t
+  | Net of { service : string; endpoint : int; kind : net_kind }
+  | Partition of int list list
+  | Heal of int list list
 
 let equal a b = Stdlib.compare a b = 0
+
+let pp_net_kind ppf = function
+  | Drop -> Format.pp_print_string ppf "drop"
+  | Duplicate -> Format.pp_print_string ppf "dup"
+  | Delay lag -> Format.fprintf ppf "delay(%d)" lag
+
+let pp_blocks ppf blocks =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_char ppf '|')
+    (fun ppf block ->
+      Format.pp_print_list
+        ~pp_sep:(fun ppf () -> Format.pp_print_char ppf '.')
+        Format.pp_print_int ppf block)
+    ppf blocks
 
 let pp ppf = function
   | Init (i, v) -> Format.fprintf ppf "init(%a)_%d" Value.pp v i
@@ -23,6 +42,10 @@ let pp ppf = function
   | Perform (k, i) -> Format.fprintf ppf "perform_{%d,%s}" i k
   | Compute (k, g) -> Format.fprintf ppf "compute_{%s,%s}" g k
   | Dummy e -> Format.fprintf ppf "dummy(%a)" Task.pp e
+  | Net { service; endpoint; kind } ->
+    Format.fprintf ppf "%a_{%d,%s}" pp_net_kind kind endpoint service
+  | Partition blocks -> Format.fprintf ppf "partition(%a)" pp_blocks blocks
+  | Heal blocks -> Format.fprintf ppf "heal(%a)" pp_blocks blocks
 
 let to_string t = Format.asprintf "%a" pp t
 
@@ -45,3 +68,8 @@ let to_ioa = function
     Services.Sig_names.dummy_output endpoint (string_of_int svc)
   | Dummy (Task.Svc_compute { svc; glob }) ->
     Services.Sig_names.dummy_compute glob (string_of_int svc)
+  | Net { service; endpoint; kind } ->
+    let k, lag = match kind with Drop -> "drop", 0 | Duplicate -> "dup", 0 | Delay l -> "delay", l in
+    Services.Sig_names.net_fault k endpoint service lag
+  | Partition blocks -> Services.Sig_names.partition blocks
+  | Heal blocks -> Services.Sig_names.heal blocks

@@ -6,6 +6,11 @@
 
 module Value = Ioa.Value
 
+type net_kind =
+  | Drop  (** Discard the head response at the target endpoint. *)
+  | Duplicate  (** Re-enqueue a copy of the head response at the tail. *)
+  | Delay of int  (** Move the head response [lag] positions back. *)
+
 type t =
   | Init of int * Value.t  (** [init(v)_i]. *)
   | Fail of int  (** [fail_i]. *)
@@ -16,8 +21,19 @@ type t =
   | Perform of string * int  (** [perform_{i,k}]. *)
   | Compute of string * string  (** [compute_{g,k}]. *)
   | Dummy of Task.t  (** A dummy step of the given task. *)
+  | Net of { service : string; endpoint : int; kind : net_kind }
+      (** A network-adversary buffer mutation at [service]'s response buffer
+          for [endpoint] (omission/duplication/delay faults; delivered by the
+          chaos engine's schedules, never produced by task transitions). *)
+  | Partition of int list list
+      (** The network adversary split the processes into the given blocks
+          (§6.3 connectivity weakening); processes not listed share one
+          implicit residual block. *)
+  | Heal of int list list  (** The matching partition healed. *)
 
 val equal : t -> t -> bool
+val pp_net_kind : Format.formatter -> net_kind -> unit
+val pp_blocks : Format.formatter -> int list list -> unit
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string
 

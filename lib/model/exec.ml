@@ -1,11 +1,21 @@
 module Value = Ioa.Value
 
-type label = L_init of int * Value.t | L_fail of int | L_task of Task.t
+type label =
+  | L_init of int * Value.t
+  | L_fail of int
+  | L_task of Task.t
+  | L_net of { service : string; endpoint : int; kind : Event.net_kind }
+  | L_partition of int list list
+  | L_heal of int list list
 
 let pp_label ppf = function
   | L_init (i, v) -> Format.fprintf ppf "init(%a)_%d" Value.pp v i
   | L_fail i -> Format.fprintf ppf "fail_%d" i
   | L_task e -> Task.pp ppf e
+  | L_net { service; endpoint; kind } ->
+    Format.fprintf ppf "%a_{%d,%s}" Event.pp_net_kind kind endpoint service
+  | L_partition blocks -> Format.fprintf ppf "partition(%a)" Event.pp_blocks blocks
+  | L_heal blocks -> Format.fprintf ppf "heal(%a)" Event.pp_blocks blocks
 
 type step = { label : label; event : Event.t; state : State.t }
 type t = { start : State.t; rev_steps : step list; obs_fp : int }
@@ -34,6 +44,23 @@ let obs_fp_event h =
   | Event.Decide (i, v) -> combine (combine (combine h 4) i) (Value.hash v)
   | Event.Perform (svc, k) -> combine (combine (combine h 5) (hstr svc)) k
   | Event.Compute (g, k) -> combine (combine (combine h 6) (hstr g)) (hstr k)
+  (* Network-adversary events are monitor-observable: the recovery-aware
+     monitors waive verdicts based on them, so executions differing only in
+     a net fault must not share a fingerprint. Crash-only executions never
+     carry these events, keeping crash-only fingerprints unchanged. *)
+  | Event.Net { service; endpoint; kind } ->
+    let k, lag =
+      match kind with Event.Drop -> 1, 0 | Event.Duplicate -> 2, 0 | Event.Delay l -> 3, l
+    in
+    combine (combine (combine (combine (combine h 7) endpoint) (hstr service)) k) lag
+  | Event.Partition blocks ->
+    List.fold_left
+      (fun h block -> List.fold_left (fun h i -> combine h (i + 1)) (combine h 0xb) block)
+      (combine h 8) blocks
+  | Event.Heal blocks ->
+    List.fold_left
+      (fun h block -> List.fold_left (fun h i -> combine h (i + 1)) (combine h 0xb) block)
+      (combine h 9) blocks
   | Event.Fail _ | Event.Proc_internal _ | Event.Dummy _ -> h
 
 let init start = { start; rev_steps = []; obs_fp = obs_fp_seed }
@@ -63,6 +90,16 @@ let append_init sys t i v =
 let append_fail sys t i =
   let event, state = System.apply_fail sys (last_state t) i in
   push t (L_fail i) event state
+
+let append_net sys t ~service ~endpoint ~kind =
+  match System.apply_net sys (last_state t) ~service ~endpoint ~kind with
+  | None -> None
+  | Some (event, state) -> Some (push t (L_net { service; endpoint; kind }) event state)
+
+let append_partition t blocks =
+  push t (L_partition blocks) (Event.Partition blocks) (last_state t)
+
+let append_heal t blocks = push t (L_heal blocks) (Event.Heal blocks) (last_state t)
 
 let append_task ?policy sys t task =
   match System.transition ?policy sys (last_state t) task with

@@ -12,6 +12,10 @@ type label =
   | L_init of int * Value.t  (** Environment delivered [init(v)_i]. *)
   | L_fail of int  (** Environment delivered [fail_i]. *)
   | L_task of Task.t  (** The task that got this turn. *)
+  | L_net of { service : string; endpoint : int; kind : Event.net_kind }
+      (** The network adversary mutated a response buffer. *)
+  | L_partition of int list list  (** A partition came into effect. *)
+  | L_heal of int list list  (** The matching partition healed. *)
 
 val pp_label : Format.formatter -> label -> unit
 
@@ -39,6 +43,18 @@ val is_failure_free : t -> bool
 val append_init : System.t -> t -> int -> Value.t -> t
 val append_fail : System.t -> t -> int -> t
 
+val append_net :
+  System.t -> t -> service:string -> endpoint:int -> kind:Event.net_kind -> t option
+(** One network-adversary buffer mutation; [None] iff the fault is vacuous
+    in the final state (see {!System.apply_net}) — vacuous faults leave no
+    trace in the execution. *)
+
+val append_partition : t -> int list list -> t
+(** Records the partition event; the state is unchanged — blocking is
+    enforced by the chaos scheduler, not the transition relation. *)
+
+val append_heal : t -> int list list -> t
+
 val append_task : ?policy:System.policy -> System.t -> t -> Task.t -> t option
 (** One turn of a task from the final state; [None] iff not applicable. *)
 
@@ -50,9 +66,11 @@ val decide_events : t -> (int * Value.t) list
 
 val obs_fingerprint : t -> int
 (** Fingerprint of the monitor-observable event history: invocations,
-    performs, computes, responses, decisions and inits, in order. [Fail],
-    internal and dummy events are excluded, so executions differing only in
-    crash placement or no-op turns can share a fingerprint. Together with
+    performs, computes, responses, decisions, inits, and network-adversary
+    events (net faults, partitions, heals — the recovery-aware monitors
+    waive verdicts based on them), in order. [Fail], internal and dummy
+    events are excluded, so executions differing only in crash placement or
+    no-op turns can share a fingerprint. Together with
     {!State.fingerprint} of the final state this keys the chaos explorer's
     cross-run dedup ([Chaos.Fingerprint]). O(1): the fold is maintained
     incrementally as steps are appended. *)

@@ -201,6 +201,35 @@ let svc_pop_resp svc ~pos =
     resp_bufs.(pos) <- rest;
     Some (b, { svc with resp_bufs })
 
+let svc_drop_resp svc ~pos =
+  match svc.resp_bufs.(pos) with
+  | [] -> None
+  | _ :: rest ->
+    let resp_bufs = Array.copy svc.resp_bufs in
+    resp_bufs.(pos) <- rest;
+    Some { svc with resp_bufs }
+
+let svc_dup_resp svc ~pos =
+  match svc.resp_bufs.(pos) with
+  | [] -> None
+  | (b :: _) as q ->
+    let resp_bufs = Array.copy svc.resp_bufs in
+    resp_bufs.(pos) <- q @ [ b ];
+    Some { svc with resp_bufs }
+
+let svc_delay_resp svc ~pos ~lag =
+  match svc.resp_bufs.(pos) with
+  | [] | [ _ ] -> None
+  | b :: rest ->
+    let lag = min lag (List.length rest) in
+    if lag <= 0 then None
+    else begin
+      let rec insert n q = if n = 0 then b :: q else match q with [] -> [ b ] | x :: q' -> x :: insert (n - 1) q' in
+      let resp_bufs = Array.copy svc.resp_bufs in
+      resp_bufs.(pos) <- insert lag rest;
+      Some { svc with resp_bufs }
+    end
+
 let decided_pairs s =
   Array.to_list s.decisions
   |> List.mapi (fun i d -> Option.map (fun v -> i, v) d)

@@ -63,6 +63,19 @@ val svc_push_resp : ?coalesce:bool -> svc -> pos:int -> Value.t -> svc
 
 val svc_pop_resp : svc -> pos:int -> (Value.t * svc) option
 
+val svc_drop_resp : svc -> pos:int -> svc option
+(** Discards the head response at endpoint position [pos] (omission fault);
+    [None] when the buffer is empty — the fault is vacuous. *)
+
+val svc_dup_resp : svc -> pos:int -> svc option
+(** Re-enqueues a copy of the head response at the tail (duplication fault);
+    [None] when the buffer is empty. *)
+
+val svc_delay_resp : svc -> pos:int -> lag:int -> svc option
+(** Moves the head response [lag] positions back in the buffer, clamped to
+    the buffer length (delay/reordering fault); [None] when the mutation
+    would leave the buffer unchanged (empty, singleton, or [lag <= 0]). *)
+
 val decided_pairs : t -> (int * Value.t) list
 (** All [(pid, v)] with a recorded decision. *)
 

@@ -84,6 +84,22 @@ let apply_init t s i v =
 
 let apply_fail _t s i = Event.Fail i, State.with_failed s (Spec.Iset.add i s.State.failed)
 
+let apply_net t s ~service ~endpoint ~kind =
+  let svc = service_pos t service in
+  let c = t.services.(svc) in
+  match Service.endpoint_pos c endpoint with
+  | None -> None
+  | Some pos ->
+    let updated =
+      match kind with
+      | Event.Drop -> State.svc_drop_resp s.State.svcs.(svc) ~pos
+      | Event.Duplicate -> State.svc_dup_resp s.State.svcs.(svc) ~pos
+      | Event.Delay lag -> State.svc_delay_resp s.State.svcs.(svc) ~pos ~lag
+    in
+    Option.map
+      (fun st -> Event.Net { service; endpoint; kind }, State.with_svc s svc st)
+      updated
+
 let initialize t vs =
   if List.length vs <> Array.length t.processes then
     invalid_arg "System.initialize: need one input per process";
@@ -263,4 +279,6 @@ let participants ?policy t s task =
     | Event.Dummy (Task.Proc i) -> [ P i ]
     | Event.Dummy (Task.Svc_perform { svc; _ })
     | Event.Dummy (Task.Svc_output { svc; _ })
-    | Event.Dummy (Task.Svc_compute { svc; _ }) -> [ S svc ])
+    | Event.Dummy (Task.Svc_compute { svc; _ }) -> [ S svc ]
+    | Event.Net { service; _ } -> [ S (service_pos t service) ]
+    | Event.Partition _ | Event.Heal _ -> [])

@@ -37,6 +37,14 @@ val apply_init : t -> State.t -> int -> Value.t -> Event.t * State.t
 val apply_fail : t -> State.t -> int -> Event.t * State.t
 (** The [fail_i] input action: marks the process failed (idempotent). *)
 
+val apply_net :
+  t -> State.t -> service:string -> endpoint:int -> kind:Event.net_kind -> (Event.t * State.t) option
+(** A network-adversary mutation of [service]'s response buffer at
+    [endpoint]: drop the head, duplicate the head to the tail, or delay the
+    head [lag] positions back. [None] when the fault is vacuous — the
+    endpoint does not belong to the service, the buffer is empty, or the
+    mutation would not change the buffer (delays on singleton buffers). *)
+
 val initialize : t -> Value.t list -> State.t
 (** [initialize sys vs] is the §3.2 initialization: the initial state
     extended with one [init(v_i)_i] per process. Requires one value per

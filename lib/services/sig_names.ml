@@ -13,6 +13,16 @@ let init i v = Action.make "init" (Value.pair (Value.int i) v)
 let decide i v = Action.make "decide" (Value.pair (Value.int i) v)
 let step i = Action.make "step" (Value.int i)
 
+let net_fault kind i k lag =
+  Action.make ("net_" ^ kind)
+    (Value.triple (Value.int i) (Value.str k) (Value.int lag))
+
+let blocks_value blocks =
+  Value.list (List.map (fun b -> Value.list (List.map Value.int b)) blocks)
+
+let partition blocks = Action.make "partition" (blocks_value blocks)
+let heal blocks = Action.make "heal" (blocks_value blocks)
+
 let as_triple act expected =
   if String.equal (Action.name act) expected then
     let i, k, x = Value.to_triple (Action.arg act) in

@@ -27,6 +27,17 @@ val init : int -> Value.t -> Action.t
 val decide : int -> Value.t -> Action.t
 val step : int -> Action.t
 
+val net_fault : string -> int -> string -> int -> Action.t
+(** [net_fault kind endpoint service lag]: a network-adversary buffer
+    mutation ("drop" / "dup" / "delay") at [service]'s response buffer for
+    [endpoint]; [lag] is 0 except for delays. *)
+
+val partition : int list list -> Action.t
+(** The adversary split the processes into the given blocks. *)
+
+val heal : int list list -> Action.t
+(** The matching partition healed. *)
+
 (** {1 Recognizers}
 
     Each recognizer returns the decoded payload when the action matches. *)

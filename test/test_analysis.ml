@@ -169,7 +169,8 @@ let test_golden_flawed_blank () =
 (* --- static pruning, pinned to the unpruned explorer --- *)
 
 let cfg ?(horizon = 12) () =
-  { Chaos.Explore.max_faults = 1; horizon; stride = 1; budget = 100_000; max_steps = 2_000 }
+  { Chaos.Explore.max_faults = 1; horizon; stride = 1; budget = 100_000; max_steps = 2_000;
+    kinds = [ Chaos.Schedule.Crash_k ] }
 
 let report_sig (r : Chaos.Explore.report) =
   (* Everything the pruned run must reproduce byte-identically; static_prunes

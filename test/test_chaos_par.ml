@@ -11,7 +11,8 @@
 open Helpers
 
 let small_config _sys ~max_faults ~horizon =
-  { Chaos.Explore.max_faults; horizon; stride = 1; budget = 100_000; max_steps = 2_000 }
+  { Chaos.Explore.max_faults; horizon; stride = 1; budget = 100_000; max_steps = 2_000;
+    kinds = [ Chaos.Schedule.Crash_k ] }
 
 (* The violation signature the differential test compares: everything but
    the exec (which the runner reproduces deterministically anyway). *)
@@ -149,6 +150,7 @@ let qcheck_merge_order_insensitive =
                 reason = "generated";
                 proven;
                 exec;
+                steps = Model.Exec.length exec;
               }
         else None
       in
@@ -159,6 +161,8 @@ let qcheck_merge_order_insensitive =
             budget_hit;
             truncations;
             undelivered;
+            undelivered_n = 0;
+            vacuous = 0;
             deduped;
             statically_pruned;
             por_pruned;

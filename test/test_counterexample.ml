@@ -151,7 +151,11 @@ let test_witness_execution_replayable () =
             | Model.Exec.L_init (i, v) -> Some (Model.Exec.append_init sys e i v)
             | Model.Exec.L_fail i -> Some (Model.Exec.append_fail sys e i)
             | Model.Exec.L_task t ->
-              Model.Exec.append_task ~policy:Model.System.dummy_policy sys e t))
+              Model.Exec.append_task ~policy:Model.System.dummy_policy sys e t
+            | Model.Exec.L_net { service; endpoint; kind } ->
+              Model.Exec.append_net sys e ~service ~endpoint ~kind
+            | Model.Exec.L_partition blocks -> Some (Model.Exec.append_partition e blocks)
+            | Model.Exec.L_heal blocks -> Some (Model.Exec.append_heal e blocks)))
         (Some replay) (Model.Exec.steps exec)
     in
     (match final with
