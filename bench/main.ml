@@ -334,6 +334,27 @@ let bench_chaos_net_par_fdnet =
   bench_chaos_net_par (Protocols.Fd_network.system ~n:2)
     (Printf.sprintf "chaos/explore-net-fdnet-j%d" jobs)
 
+(* Degrade-aware monitoring (ISSUE 6): the same mixed sweep as
+   chaos/explore-net-tob with the graceful-degradation monitors and the
+   per-violation live-vector annotation. The damage summary is folded once
+   per end-of-run check, so the delta against chaos/explore-net-tob is the
+   monitoring overhead budgeted at <5%. *)
+let bench_chaos_degrade_tob =
+  let sys = Protocols.Tob_direct.system ~n:2 ~f:0 in
+  let config =
+    {
+      (Chaos.Explore.default_config sys) with
+      Chaos.Explore.max_faults = 1;
+      kinds = net_kinds;
+      budget = 64;
+      max_steps = 4_000;
+      degrade = true;
+    }
+  in
+  let monitors = Chaos.Monitor.defaults ~degrade:true () in
+  Test.make ~name:"chaos/monitor-degrade-tob"
+    (Staged.stage (fun () -> ignore (Chaos.Explore.run ~monitors ~config sys)))
+
 (* The abstract-reachability fixpoint itself: the one-shot cost `boost lint`
    pays per protocol, and the amortized cost of the pruning oracle. *)
 let bench_fixpoint sys name =
@@ -385,6 +406,7 @@ let tests =
       bench_chaos_net_fdnet;
       bench_chaos_net_par_tob;
       bench_chaos_net_par_fdnet;
+      bench_chaos_degrade_tob;
       bench_fixpoint_direct;
       bench_fixpoint_tob;
       bench_state_hash;

@@ -204,7 +204,7 @@ let lemmas_cmd =
    lint analyzer flags blank protocols as errors), so the chaos command
    resolves it here and swaps f-termination for the ◇P monitors its spec
    actually promises. *)
-let chaos_resolve name ~n ~f ~groups ~group_size =
+let chaos_resolve name ~degrade ~n ~f ~groups ~group_size =
   match name with
   | "fd-network" | "fd_network" ->
     let sys = Protocols.Fd_network.system ~n:(max n 2) in
@@ -212,15 +212,18 @@ let chaos_resolve name ~n ~f ~groups ~group_size =
     Ok
       ( sys,
         Some
-          (Chaos.Monitor.safety ()
+          (Chaos.Monitor.safety ~degrade ()
           @ [
               Chaos.Monitor.fd_completeness ~output ();
               Chaos.Monitor.fd_accuracy ~output ();
-              Chaos.Monitor.linearizability ();
+              Chaos.Monitor.linearizability ~degrade ();
             ]) )
   | name -> (
     match Registry.find name with
-    | Some e -> Ok (build_system e ~n ~f ~groups ~group_size, None)
+    | Some e ->
+      Ok
+        ( build_system e ~n ~f ~groups ~group_size,
+          if degrade then Some (Chaos.Monitor.defaults ~degrade:true ()) else None )
     | None ->
       Error
         (Printf.sprintf "unknown protocol: %s (expected fd-network | %s)" name
@@ -397,9 +400,22 @@ let chaos_cmd =
              'crash@0:1,silence@4:cons' ('helpful,' prefix for the non-silencing \
              adversary).")
   in
+  let degrade_arg =
+    Arg.(
+      value & flag
+      & info [ "degrade" ]
+          ~doc:
+            "Graceful-degradation monitoring: instead of waiving liveness wholesale \
+             under network damage, monitors check the degraded guarantee the live \
+             vector still supports (per-partition-block agreement, liveness of every \
+             process the damage does not excuse) and fail when even that is breached. \
+             Violations carry the live guarantee vector ('degraded to ...'), and \
+             $(b,--witness-out) appends the vector trajectory as '#' comment lines. \
+             Off by default; crash-only reports are byte-identical without it.")
+  in
   let run protocol_pos protocol_opt n f groups group_size faults max_faults seed runs
       max_steps horizon budget stride jobs dedup shrink static_prune por schedule timeout
-      witness_out =
+      witness_out degrade =
     let name =
       match protocol_pos, protocol_opt with
       | Some p, None | None, Some p -> Ok p
@@ -408,7 +424,7 @@ let chaos_cmd =
       | None, None -> Error "need a PROTOCOL argument (or --protocol)"
     in
     match
-      Result.bind name (fun name -> chaos_resolve name ~n ~f ~groups ~group_size)
+      Result.bind name (fun name -> chaos_resolve name ~degrade ~n ~f ~groups ~group_size)
     with
     | Error e ->
       Format.eprintf "%s@." e;
@@ -431,7 +447,10 @@ let chaos_cmd =
           | Ok () -> (
             let r = Chaos.Runner.run ?monitors ~max_steps ~schedule sys in
             List.iter
-              (fun (m, why) -> Format.printf "monitor %s truncated: %s@." m why)
+              (fun (m, cat, why) ->
+                Format.printf "monitor %s truncated [%s]: %s@." m
+                  (Chaos.Monitor.category_name cat)
+                  why)
               r.Chaos.Runner.monitor_truncations;
             if r.Chaos.Runner.undelivered_crashes > 0 then
               Format.printf "%d scheduled crash(es) fell beyond --max-steps@."
@@ -445,7 +464,11 @@ let chaos_cmd =
             Format.printf "%d steps: %a@." r.Chaos.Runner.steps Chaos.Runner.pp_stop
               r.Chaos.Runner.stop;
             match r.Chaos.Runner.stop with
-            | Chaos.Runner.Violation _ -> 1
+            | Chaos.Runner.Violation _ ->
+              if degrade then
+                Format.printf "degraded to %s@."
+                  (Chaos.Degrade.describe sys r.Chaos.Runner.exec);
+              1
             | Chaos.Runner.Lasso _ | Chaos.Runner.Budget | Chaos.Runner.Pruned -> 0)))
       | None ->
         let max_faults, kinds =
@@ -466,6 +489,7 @@ let chaos_cmd =
                 kinds =
                   Option.value kinds
                     ~default:[ Chaos.Schedule.Crash_k; Chaos.Schedule.Silence_k ];
+                degrade;
               }
           | None ->
             Chaos.Driver.Systematic
@@ -476,8 +500,34 @@ let chaos_cmd =
                 budget;
                 max_steps;
                 kinds = Option.value kinds ~default:[ Chaos.Schedule.Crash_k ];
+                degrade;
               }
         in
+        (* The static oracles only certify crash-only schedules; with network
+           kinds in the mix they silently decline candidate by candidate, so
+           say so once up front. *)
+        (match mode with
+        | Chaos.Driver.Systematic { Chaos.Explore.kinds; _ }
+          when (static_prune || por)
+               && List.exists (fun k -> k <> Chaos.Schedule.Crash_k) kinds ->
+          Format.eprintf
+            "note: %s prune%s crash-only schedules only; candidates with fault kinds \
+             {%s} run unpruned. Use --faults crash to keep the oracle engaged (accepted \
+             kinds: %s).@."
+            (match static_prune, por with
+            | true, true -> "--static-prune and --por"
+            | true, false -> "--static-prune"
+            | _ -> "--por")
+            (if static_prune && por then "" else "s")
+            (String.concat ","
+               (List.filter_map
+                  (fun k ->
+                    if k = Chaos.Schedule.Crash_k then None
+                    else Some (Chaos.Schedule.kind_to_string k))
+                  kinds))
+            (String.concat ", "
+               (List.map Chaos.Schedule.kind_to_string Chaos.Schedule.all_kinds))
+        | _ -> ());
         (* Wall-clock budget: expiry and SIGINT share one graceful path —
            finish the schedule in flight, report partially, exit 2. *)
         let interrupted = ref false in
@@ -501,6 +551,18 @@ let chaos_cmd =
           let oc = open_out file in
           output_string oc (Chaos.Schedule.to_string v.Chaos.Explore.schedule);
           output_char oc '\n';
+          if degrade then begin
+            (* The vector trajectory rides along as comment lines, which
+               Schedule.parse ignores, so the file still replays. *)
+            let baseline, changes = Chaos.Degrade.trajectory sys v.Chaos.Explore.exec in
+            Printf.fprintf oc "# baseline: %s\n" (Analysis.Gvector.to_string baseline);
+            List.iter
+              (fun (step, event, vec) ->
+                Printf.fprintf oc "# step %d %s: %s\n" step
+                  (Model.Event.to_string event)
+                  (Analysis.Gvector.to_string vec))
+              changes
+          end;
           close_out oc;
           Format.printf "witness schedule written to %s@." file
         | _ -> ());
@@ -513,7 +575,8 @@ let chaos_cmd =
       const run $ protocol_pos $ protocol_opt $ n_arg $ f_arg $ groups_arg
       $ group_size_arg $ faults_arg $ max_faults_arg $ seed_arg $ runs_arg $ max_steps_arg
       $ horizon_arg $ budget_arg $ stride_arg $ jobs_arg $ dedup_arg $ shrink_arg
-      $ static_prune_arg $ por_arg $ schedule_arg $ timeout_arg $ witness_out_arg)
+      $ static_prune_arg $ por_arg $ schedule_arg $ timeout_arg $ witness_out_arg
+      $ degrade_arg)
   in
   Cmd.v
     (Cmd.info "chaos"
@@ -523,9 +586,10 @@ let chaos_cmd =
           service silencings and network faults (drop/dup/delay/partition, with --faults \
           KINDS), check agreement/validity/f-termination/linearizability — or, for \
           fd-network, the \xe2\x97\x87P completeness/accuracy monitors — during each run, \
-          and delta-debug any violation to a minimal schedule. Exits 1 with the minimized \
-          schedule on violation, 0 when all monitors pass, 2 when the wall-clock budget \
-          truncated the exploration first.")
+          and delta-debug any violation to a minimal schedule. With --degrade, network \
+          damage degrades the checked guarantee instead of waiving it. Exits 1 with the \
+          minimized schedule on violation, 0 when all monitors pass, 2 when the \
+          wall-clock budget truncated the exploration first, 3 on usage errors.")
     term
 
 (* --- lint --- *)
@@ -558,8 +622,21 @@ let lint_cmd =
              instead of the human report. Exit-code semantics are unchanged.")
   in
   let run all protocol n f groups group_size max_faults json =
-    let lint_one name sys =
-      let r = Analysis.Lint.analyze ~max_faults sys in
+    (* The guarantee-gap pass: the registered claim against the composed
+       vector, plus — for claims quantified over all n — the Thm 10
+       connectivity check at a larger probe size. *)
+    let gaps_for (e : Registry.entry) p sys =
+      let claim = e.Registry.claims p in
+      let base = Analysis.Guarantee.gaps ~claim sys in
+      if claim.Analysis.Guarantee.scales then
+        let probe_n = max 3 (p.Registry.n + 1) in
+        base
+        @ Analysis.Guarantee.scaling_gaps ~claim
+            (e.Registry.build { p with Registry.n = probe_n })
+      else base
+    in
+    let lint_one ~gaps name sys =
+      let r = Analysis.Lint.analyze ~max_faults ~gaps sys in
       if json then
         List.iter
           (fun f -> print_endline (Analysis.Lint.json_of_finding ~protocol:name f))
@@ -571,10 +648,14 @@ let lint_cmd =
     | true, None ->
       List.fold_left
         (fun acc (e : Registry.entry) ->
-          max acc (lint_one e.Registry.name (e.Registry.build Registry.default_params)))
+          let sys = e.Registry.build Registry.default_params in
+          max acc
+            (lint_one ~gaps:(gaps_for e Registry.default_params sys) e.Registry.name sys))
         0 Registry.all
     | false, Some e ->
-      lint_one e.Registry.name (build_system e ~n ~f ~groups ~group_size)
+      let p = params ~n ~f ~groups ~group_size in
+      let sys = build_system e ~n ~f ~groups ~group_size in
+      lint_one ~gaps:(gaps_for e p sys) e.Registry.name sys
     | true, Some _ ->
       Format.eprintf "--all takes no PROTOCOL argument@.";
       3

@@ -1,0 +1,105 @@
+(* The guarantee-vector lattice. Components are ordered strongest-first;
+   [meet] takes the weakest value pointwise, so composing a system is a fold
+   of [meet] over its services' vectors: the end-to-end guarantee is pinned
+   by the weakest service — the typing-level shadow of Theorems 2/9/10. *)
+
+type order = Ord_none | Ord_per_object | Ord_total
+type visibility = Vis_oblivious | Vis_eventual | Vis_failures
+type recency = Rec_none | Rec_eventual | Rec_fresh
+type idem = Dup_unsafe | Dup_safe
+type termination = Term_none | Term_crashes of int | Term_wait_free
+
+type t = {
+  scope : int;
+  order : order;
+  visibility : visibility;
+  recency : recency;
+  idem : idem;
+  termination : termination;
+}
+
+let top =
+  {
+    scope = 1;
+    order = Ord_total;
+    visibility = Vis_failures;
+    recency = Rec_fresh;
+    idem = Dup_safe;
+    termination = Term_wait_free;
+  }
+
+(* Rank within each component chain; higher = stronger. *)
+let order_rank = function Ord_none -> 0 | Ord_per_object -> 1 | Ord_total -> 2
+let visibility_rank = function Vis_oblivious -> 0 | Vis_eventual -> 1 | Vis_failures -> 2
+let recency_rank = function Rec_none -> 0 | Rec_eventual -> 1 | Rec_fresh -> 2
+let idem_rank = function Dup_unsafe -> 0 | Dup_safe -> 1
+
+(* Termination is a chain [Term_none < Term_crashes 0 < Term_crashes 1 < …
+   < Term_wait_free]; [Term_crashes] counts survivable crashes among the
+   participants, wait-freedom tops the chain (§2.1.3: effectively
+   reliable). *)
+let term_leq a b =
+  match a, b with
+  | Term_none, _ -> true
+  | _, Term_none -> false
+  | _, Term_wait_free -> true
+  | Term_wait_free, _ -> false
+  | Term_crashes x, Term_crashes y -> x <= y
+
+let term_meet a b = if term_leq a b then a else b
+
+let min_by rank a b = if rank a <= rank b then a else b
+
+let meet a b =
+  {
+    (* More islands = weaker scope: 1 means globally connected. *)
+    scope = max a.scope b.scope;
+    order = min_by order_rank a.order b.order;
+    visibility = min_by visibility_rank a.visibility b.visibility;
+    recency = min_by recency_rank a.recency b.recency;
+    idem = min_by idem_rank a.idem b.idem;
+    termination = term_meet a.termination b.termination;
+  }
+
+let leq a b =
+  a.scope >= b.scope
+  && order_rank a.order <= order_rank b.order
+  && visibility_rank a.visibility <= visibility_rank b.visibility
+  && recency_rank a.recency <= recency_rank b.recency
+  && idem_rank a.idem <= idem_rank b.idem
+  && term_leq a.termination b.termination
+
+let equal a b = leq a b && leq b a
+
+let order_to_string = function
+  | Ord_none -> "none"
+  | Ord_per_object -> "per-object"
+  | Ord_total -> "total"
+
+let visibility_to_string = function
+  | Vis_oblivious -> "oblivious"
+  | Vis_eventual -> "eventual"
+  | Vis_failures -> "failures"
+
+let recency_to_string = function
+  | Rec_none -> "none"
+  | Rec_eventual -> "eventual"
+  | Rec_fresh -> "fresh"
+
+let idem_to_string = function Dup_unsafe -> "dup-unsafe" | Dup_safe -> "dup-safe"
+
+let termination_to_string = function
+  | Term_none -> "none"
+  | Term_crashes f -> Printf.sprintf "crashes(%d)" f
+  | Term_wait_free -> "wait-free"
+
+let scope_to_string = function 1 -> "global" | k -> Printf.sprintf "%d islands" k
+
+let pp ppf t =
+  Format.fprintf ppf "⟨scope=%s, order=%s, vis=%s, rec=%s, idem=%s, term=%s⟩"
+    (scope_to_string t.scope) (order_to_string t.order)
+    (visibility_to_string t.visibility)
+    (recency_to_string t.recency) (idem_to_string t.idem)
+    (termination_to_string t.termination)
+
+let to_string t = Format.asprintf "%a" pp t

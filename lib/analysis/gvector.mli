@@ -1,0 +1,69 @@
+(** The guarantee-vector lattice.
+
+    A vector ⟨Scope, Order, Visibility, Recency, Idempotence, Termination⟩
+    records what a service — or a composition of services — still promises.
+    Each component is a finite chain ordered strongest-first; {!meet} takes
+    the weakest value pointwise, so the composed guarantee of a system is the
+    meet over its services: one weak component caps the whole vector, which
+    is the typing-level shadow of the paper's Theorems 2/9/10 (no composition
+    strengthens what its weakest service offers).
+
+    Components, weakest → strongest:
+
+    - {b scope} — connectivity: how many disjoint islands the participant
+      coverage splits into; [1] = globally connected (more islands = weaker,
+      so the meet is [max]).
+    - {b order} — ordering of the sequential interface: none → per-object →
+      total.
+    - {b visibility} — failure information exposed: oblivious → eventual
+      (◇P-style) → failures (perfect, §2.1.4 general services).
+    - {b recency} — response freshness: none (responses may be stolen) →
+      eventual (queued delivery) → fresh.
+    - {b idem} — duplication safety: dup-unsafe (a replayed response changes
+      meaning) → dup-safe (idempotent outputs).
+    - {b termination} — liveness resilience: none → crashes([f]) →
+      wait-free (§2.1.3: effectively reliable). *)
+
+type order = Ord_none | Ord_per_object | Ord_total
+type visibility = Vis_oblivious | Vis_eventual | Vis_failures
+type recency = Rec_none | Rec_eventual | Rec_fresh
+type idem = Dup_unsafe | Dup_safe
+type termination = Term_none | Term_crashes of int | Term_wait_free
+
+type t = {
+  scope : int;
+  order : order;
+  visibility : visibility;
+  recency : recency;
+  idem : idem;
+  termination : termination;
+}
+
+val top : t
+(** The identity of {!meet}: global scope, total order, failure visibility,
+    fresh, dup-safe, wait-free. *)
+
+val meet : t -> t -> t
+(** Pointwise weakest. Associative, commutative, idempotent; [meet top v =
+    v]. *)
+
+val leq : t -> t -> bool
+(** Pointwise comparison: [leq a b] iff [a] promises no more than [b] in
+    every component (i.e. [meet a b = a]). *)
+
+val equal : t -> t -> bool
+
+val term_leq : termination -> termination -> bool
+val term_meet : termination -> termination -> termination
+
+val pp : Format.formatter -> t -> unit
+(** [⟨scope=…, order=…, vis=…, rec=…, idem=…, term=…⟩]. *)
+
+val to_string : t -> string
+
+val order_to_string : order -> string
+val visibility_to_string : visibility -> string
+val recency_to_string : recency -> string
+val idem_to_string : idem -> string
+val termination_to_string : termination -> string
+val scope_to_string : int -> string

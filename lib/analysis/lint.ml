@@ -17,11 +17,21 @@ let compare_finding a b =
     let c = String.compare a.code b.code in
     if c <> 0 then c else String.compare a.subject b.subject
 
-let analyze ?max_faults ?inputs (sys : System.t) =
+let analyze ?max_faults ?inputs ?(gaps = []) (sys : System.t) =
   let r = Reach.analyze ?max_faults ?inputs sys in
   let interference = Interfere.analyze ~reach:r ?max_crashes:max_faults sys in
   let fs = ref [] in
   let add code severity subject detail = fs := { code; severity; subject; detail } :: !fs in
+  (* Guarantee-vector typing: the registered claim exceeds the meet of the
+     services' vectors. Info, not a defect — for the boosting protocols the
+     gap is the point (the static face of the Thm 2/9/10 refutation). *)
+  List.iter
+    (fun (g : Guarantee.gap) ->
+      add "guarantee-gap" Info
+        (Printf.sprintf "component %s" g.Guarantee.component)
+        (Printf.sprintf "claimed %s, composition supports %s — %s" g.Guarantee.claimed
+           g.Guarantee.supported g.Guarantee.theorem))
+    gaps;
   (* Write-write/write-read conflicts between tasks that can never share a
      participant: a would-be Lemma 8 violation surfaced statically. *)
   List.iter

@@ -28,7 +28,15 @@ type finding = { code : string; severity : severity; subject : string; detail : 
 
 type report = { findings : finding list; reach : Reach.t; interference : Interfere.t }
 
-val analyze : ?max_faults:int -> ?inputs:Ioa.Value.t list -> Model.System.t -> report
+val analyze :
+  ?max_faults:int ->
+  ?inputs:Ioa.Value.t list ->
+  ?gaps:Guarantee.gap list ->
+  Model.System.t ->
+  report
+(** [gaps] (from {!Guarantee.gaps} against the protocol's registered claim)
+    are folded in as [guarantee-gap] findings at [Info] severity — expected
+    paper-explanations for the boosting protocols, not defects. *)
 
 val pp_severity : Format.formatter -> severity -> unit
 val pp_finding : Format.formatter -> finding -> unit

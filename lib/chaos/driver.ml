@@ -7,6 +7,7 @@ type mode =
       horizon : int;
       max_steps : int;
       kinds : Schedule.kind list;
+      degrade : bool;
     }
 
 type outcome =
@@ -58,6 +59,17 @@ let violated ?monitors ?max_steps ?interleave ?inputs ~shrink sys original =
       Some m, Some st
     else None, None
   in
+  let minimized =
+    (* The shrinker carries the original's damage annotation through [with];
+       recompute it on the minimized prefix, whose damage may be smaller. *)
+    match original.Explore.degraded_to with
+    | None -> minimized
+    | Some _ ->
+      Option.map
+        (fun (m : Explore.violation) ->
+          { m with Explore.degraded_to = Some (Degrade.describe sys m.Explore.exec) })
+        minimized
+  in
   let final = Option.value minimized ~default:original in
   Violated
     { original; minimized; shrink_stats; witness = witness_of_violation final; replayed = None }
@@ -97,7 +109,7 @@ let run ?monitors ?inputs ?(shrink = true) ?(domains = 1) ?(dedup = true)
       por_prunes = r.Explore.por_prunes;
       outcome;
     }
-  | Seeded { seed; runs; max_faults; horizon; max_steps; kinds } ->
+  | Seeded { seed; runs; max_faults; horizon; max_steps; kinds; degrade } ->
     let step_budget_hits = ref 0 and monitor_truncations = ref 0 in
     let undelivered = ref 0 and undelivered_n = ref 0 and vacuous = ref 0 in
     let wall = ref false in
@@ -123,7 +135,10 @@ let run ?monitors ?inputs ?(shrink = true) ?(domains = 1) ?(dedup = true)
               (seed_i,
                Explore.
                  { schedule; monitor; reason; proven; exec = r.Runner.exec;
-                   steps = r.Runner.steps }),
+                   steps = r.Runner.steps;
+                   degraded_to =
+                     (if degrade then Some (Degrade.describe sys r.Runner.exec)
+                      else None) }),
             i + 1 )
         | Runner.Lasso _ | Runner.Pruned -> go (i + 1)
         | Runner.Budget ->
@@ -227,7 +242,10 @@ let pp_report ppf r =
     | Some m, Some st ->
       Format.fprintf ppf "minimized to [%a] after %d candidate(s), %d re-run(s)@,"
         Schedule.pp m.Explore.schedule st.Shrink.candidates st.Shrink.runs;
-      Format.fprintf ppf "minimal schedule: %s@," (Schedule.to_string m.Explore.schedule)
+      Format.fprintf ppf "minimal schedule: %s@," (Schedule.to_string m.Explore.schedule);
+      (match m.Explore.degraded_to with
+      | Some vec -> Format.fprintf ppf "minimal damage degrades to %s@," vec
+      | None -> ())
     | _ -> ());
     (match replayed with
     | Some true -> Format.fprintf ppf "seed replay: identical trace reproduced@,"

@@ -20,6 +20,9 @@ type mode =
       kinds : Schedule.kind list;
           (** Fault kinds the random generator may draw; see
               {!Rand.schedule}. *)
+      degrade : bool;
+          (** Annotate violations with the live guarantee vector, as
+              {!Explore.config.degrade} does for systematic mode. *)
     }
 
 type outcome =

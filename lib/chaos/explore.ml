@@ -5,6 +5,7 @@ type config = {
   budget : int;
   max_steps : int;
   kinds : Schedule.kind list;
+  degrade : bool;
 }
 
 let default_config (sys : Model.System.t) =
@@ -15,6 +16,7 @@ let default_config (sys : Model.System.t) =
     budget = 1_024;
     max_steps = 20_000;
     kinds = [ Schedule.Crash_k ];
+    degrade = false;
   }
 
 type violation = {
@@ -24,12 +26,19 @@ type violation = {
   proven : bool;
   exec : Model.Exec.t;
   steps : int;
+  degraded_to : string option;
 }
+
+let degraded_to_of cfg sys exec =
+  if cfg.degrade then Some (Degrade.describe sys exec) else None
 
 let pp_violation ppf v =
   Format.fprintf ppf "@[<v 2>%s violated (%s) under schedule [%a]:@,%s@]" v.monitor
     (if v.proven then "proven" else "bounded evidence")
-    Schedule.pp v.schedule v.reason
+    Schedule.pp v.schedule v.reason;
+  match v.degraded_to with
+  | None -> ()
+  | Some vec -> Format.fprintf ppf "@,degraded to %s" vec
 
 type report = {
   examined : int;
@@ -164,7 +173,10 @@ let run ?monitors ?interleave ?inputs ?config ?(stop = fun () -> false)
         vacuous := !vacuous + r.Runner.vacuous_net_faults;
         match r.Runner.stop with
         | Runner.Violation { monitor; reason; proven } ->
-          Some { schedule; monitor; reason; proven; exec = r.Runner.exec; steps = r.Runner.steps },
+          Some
+            { schedule; monitor; reason; proven; exec = r.Runner.exec;
+              steps = r.Runner.steps;
+              degraded_to = degraded_to_of cfg sys r.Runner.exec },
           false, false
         | Runner.Lasso _ | Runner.Pruned -> scan rest
         | Runner.Budget ->
@@ -541,7 +553,8 @@ let run_par ?monitors ?interleave ?inputs ?config ?(domains = 1) ?(dedup = true)
             found =
               Some
                 { schedule; monitor; reason; proven; exec = r.Runner.exec;
-                  steps = r.Runner.steps };
+                  steps = r.Runner.steps;
+                  degraded_to = degraded_to_of cfg sys r.Runner.exec };
           }
         | Runner.Lasso _ ->
           (* Only proven-quiescent clean runs seed the visited table: a

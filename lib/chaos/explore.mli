@@ -17,11 +17,16 @@ type config = {
       (** Fault kinds the budget lattice ranges over. [[Crash_k]] reproduces
           the crash-only enumeration of the earlier engine exactly (pinned
           by the differential in test_chaos_net.ml). *)
+  degrade : bool;
+      (** Annotate each violation with the live guarantee vector
+          ({!Degrade.describe}) at the violating prefix's end. Off by
+          default; does not change which schedules violate — pair it with
+          [Monitor.defaults ~degrade:true ()] for degrade-aware verdicts. *)
 }
 
 val default_config : Model.System.t -> config
 (** 1 fault, horizon twice the task count, stride 1, 1024 schedules,
-    20_000 steps, crash faults only. *)
+    20_000 steps, crash faults only, no degrade annotation. *)
 
 type violation = {
   schedule : Schedule.t;
@@ -33,6 +38,10 @@ type violation = {
       (** The violating run's step count (>= the exec length: skipped and
           vacuous turns advance the step clock without appending an event);
           the shrinker clamps fault references to this range. *)
+  degraded_to : string option;
+      (** With [config.degrade]: the live guarantee vector at the end of the
+          violating prefix, pretty-printed. [None] otherwise, keeping
+          crash-only reports byte-identical to the degrade-off runs. *)
 }
 
 val pp_violation : Format.formatter -> violation -> unit

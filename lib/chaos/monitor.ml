@@ -1,4 +1,10 @@
-type verdict = Pass | Fail of string | Truncated of string
+type category = Monitor_budget | Adversary
+
+let category_name = function
+  | Monitor_budget -> "monitor-budget"
+  | Adversary -> "adversary"
+
+type verdict = Pass | Fail of string | Truncated of category * string
 type phase = Step | End
 
 type t = {
@@ -52,7 +58,57 @@ let pp_values ppf vs =
     (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ",") Ioa.Value.pp)
     vs
 
-let agreement ?(k = 1) () =
+(* Degraded-scope agreement: while a partition is in force the composed
+   scope component is more than one island, so only decisions whose deciders
+   were mutually reachable are held to the same value. Two decisions are
+   comparable when, at the later of the two, no active partition separated
+   the deciders; comparability is closed transitively (union-find) and each
+   class must stay within k values. With no partition ever active there is
+   one class and the check coincides with plain agreement. *)
+let degraded_agreement_check k exec =
+  let ds, _ =
+    List.fold_left
+      (fun (acc, d) (st : Model.Exec.step) ->
+        let d = Degrade.absorb d st.Model.Exec.event in
+        match st.Model.Exec.event with
+        | Model.Event.Decide (pid, v) -> (pid, v, d) :: acc, d
+        | _ -> acc, d)
+      ([], Degrade.empty) (Model.Exec.steps exec)
+  in
+  let ds = Array.of_list (List.rev ds) in
+  let m = Array.length ds in
+  let parent = Array.init m Fun.id in
+  let rec find i = if parent.(i) = i then i else find parent.(i) in
+  let union i j =
+    let ri = find i and rj = find j in
+    if ri <> rj then parent.(ri) <- rj
+  in
+  for j = 0 to m - 1 do
+    let pj, _, dj = ds.(j) in
+    for i = 0 to j - 1 do
+      let pi, _, _ = ds.(i) in
+      if not (Degrade.separated dj pi pj) then union i j
+    done
+  done;
+  let worst = ref None in
+  for r = 0 to m - 1 do
+    if find r = r then begin
+      let values = ref [] in
+      for i = 0 to m - 1 do
+        if find i = r then
+          let _, v, _ = ds.(i) in
+          if not (List.exists (Ioa.Value.equal v) !values) then values := v :: !values
+      done;
+      let distinct = List.length !values in
+      if distinct > k then
+        match !worst with
+        | Some (d0, _) when d0 >= distinct -> ()
+        | _ -> worst := Some (distinct, List.rev !values)
+    end
+  done;
+  !worst
+
+let agreement ?(k = 1) ?(degrade = false) () =
   {
     name = (if k = 1 then "agreement" else Printf.sprintf "%d-agreement" k);
     phase = Step;
@@ -61,6 +117,14 @@ let agreement ?(k = 1) () =
       (fun _sys exec ->
         let s = Model.Exec.last_state exec in
         if Model.Properties.agreement ~k s then Pass
+        else if degrade then (
+          match degraded_agreement_check k exec with
+          | None -> Pass
+          | Some (distinct, values) ->
+            Fail
+              (Format.asprintf
+                 "%d distinct decisions %a within one partition scope (allowed: %d)"
+                 distinct pp_values values k))
         else
           Fail
             (Format.asprintf "%d distinct decisions %a (allowed: %d)"
@@ -105,9 +169,9 @@ let f_termination =
              here would charge the protocol for the adversary's theft.
              Duplications, delays and healed partitions give no such excuse —
              degradation must be graceful once the network recovers. *)
-          Truncated "termination waived: message-drop fault(s) in this run"
+          Truncated (Adversary, "termination waived: message-drop fault(s) in this run")
         else if unhealed_partition exec then
-          Truncated "termination waived: partition still unhealed at end of run"
+          Truncated (Adversary, "termination waived: partition still unhealed at end of run")
         else
           let undecided =
             List.filteri
@@ -122,45 +186,115 @@ let f_termination =
             (Printf.sprintf "%d nonfaulty initialized process(es) never decide" undecided));
   }
 
-let linearizability ?(max_history = 240) () =
+(* The degrade-aware variant: instead of waiving liveness wholesale under a
+   stolen response or an unhealed partition, demand termination of every
+   process the live vector still covers — drop victims lose their guarantee
+   (their response is gone for good), a partition waives processes whose
+   packet flow is cut (any separation, where a network service carries the
+   protocol) or that are fully isolated, and a heal restores the full
+   demand. Crash-only verdicts coincide with {!f_termination}. *)
+let f_termination_degraded =
+  {
+    name = "f-termination";
+    phase = End;
+    relevant = (fun _ -> true);
+    check =
+      (fun sys exec ->
+        let s = Model.Exec.last_state exec in
+        if Model.Properties.termination s then Pass
+        else
+          let d = Degrade.of_exec exec in
+          let n = Array.length s.Model.State.procs in
+          let pids = List.init n Fun.id in
+          let victims = Degrade.drop_victims d in
+          let waived i =
+            Spec.Iset.mem i victims
+            || (Degrade.partition_active d
+                && ((n > 1 && List.for_all (fun j -> j = i || Degrade.separated d i j) pids)
+                   || (Degrade.has_network_service sys i
+                      && List.exists (fun j -> j <> i && Degrade.separated d i j) pids)))
+          in
+          let undecided =
+            List.filteri
+              (fun i input ->
+                input <> None
+                && (not (Spec.Iset.mem i s.Model.State.failed))
+                && s.Model.State.decisions.(i) = None
+                && not (waived i))
+              (Array.to_list s.Model.State.inputs)
+            |> List.length
+          in
+          if undecided = 0 then Pass
+          else if d.Degrade.dropped = [] && d.Degrade.mutated = [] && not d.Degrade.was_partitioned
+          then
+            (* No network damage: word-identical to {!f_termination}, so the
+               crash-only differential stays pinned. *)
+            Fail
+              (Printf.sprintf "%d nonfaulty initialized process(es) never decide" undecided)
+          else
+            Fail
+              (Printf.sprintf
+                 "%d process(es) inside the degraded guarantee never decide (live vector %s)"
+                 undecided
+                 (Analysis.Gvector.to_string (Degrade.live_vector sys d))));
+  }
+
+let linearizability ?(max_history = 240) ?(degrade = false) () =
   {
     name = "linearizability";
     phase = End;
     relevant = (fun _ -> true);
     check =
       (fun sys exec ->
-        if has_net_fault exec then
+        if (not degrade) && has_net_fault exec then
           (* Buffer mutations detach responses from the operations that
              earned them (a dropped response orphans its invocation, a
              duplicate answers one invocation twice), so the reconstructed
              history no longer reflects what the service did. *)
           Truncated
-            "linearizability waived: network fault(s) mutated response buffers"
+            (Adversary, "linearizability waived: network fault(s) mutated response buffers")
         else
-        let bad = ref None and trunc = ref [] in
+        (* With [degrade], only the services whose buffers were actually
+           mutated lose the check; mutations do not corrupt another
+           service's reconstructed history. *)
+        let d = if degrade then Degrade.of_exec exec else Degrade.empty in
+        let bad = ref None and trunc = ref [] and skipped = ref [] in
         Array.iter
           (fun (c : Model.Service.t) ->
             match c.Model.Service.seq with
             | None -> ()
             | Some seq ->
               if !bad = None then begin
-                let h = Model.Linearize.history exec ~service:c.Model.Service.id in
-                let len = List.length h in
-                if len > max_history then
-                  trunc :=
-                    Printf.sprintf "service %s: history of %d events > bound %d"
-                      c.Model.Service.id len max_history
-                    :: !trunc
-                else if not (Model.Linearize.check seq h) then
-                  bad :=
-                    Some
-                      (Printf.sprintf "service %s: history of %d events not linearizable"
-                         c.Model.Service.id len)
+                if degrade && Degrade.mutated d ~service:c.Model.Service.id then
+                  skipped :=
+                    Printf.sprintf "service %s: buffers mutated by the adversary, history skipped"
+                      c.Model.Service.id
+                    :: !skipped
+                else begin
+                  let h = Model.Linearize.history exec ~service:c.Model.Service.id in
+                  let len = List.length h in
+                  if len > max_history then
+                    trunc :=
+                      Printf.sprintf "service %s: history of %d events > bound %d"
+                        c.Model.Service.id len max_history
+                      :: !trunc
+                  else if not (Model.Linearize.check seq h) then
+                    bad :=
+                      Some
+                        (Printf.sprintf "service %s: history of %d events not linearizable"
+                           c.Model.Service.id len)
+                end
               end)
           sys.Model.System.services;
         match !bad with
         | Some why -> Fail why
-        | None -> if !trunc = [] then Pass else Truncated (String.concat "; " !trunc));
+        | None ->
+          if !trunc <> [] then
+            (* The monitor, not the adversary, gave up: the history outgrew
+               the exponential search's budget. *)
+            Truncated (Monitor_budget, String.concat "; " (!trunc @ !skipped))
+          else if !skipped <> [] then Truncated (Adversary, String.concat "; " !skipped)
+          else Pass);
   }
 
 let alive_pids s =
@@ -175,7 +309,7 @@ let fd_completeness ~output () =
     check =
       (fun _sys exec ->
         if unhealed_partition exec then
-          Truncated "completeness waived: partition still unhealed at end of run"
+          Truncated (Adversary, "completeness waived: partition still unhealed at end of run")
         else
           let s = Model.Exec.last_state exec in
           let missing =
@@ -206,7 +340,7 @@ let fd_accuracy ~output () =
         if unhealed_partition exec then
           (* ◇P tolerates finitely many false suspicions while a partition
              is in force; only a healed network must converge to accuracy. *)
-          Truncated "accuracy waived: partition still unhealed at end of run"
+          Truncated (Adversary, "accuracy waived: partition still unhealed at end of run")
         else
           let s = Model.Exec.last_state exec in
           let alive = alive_pids s in
@@ -228,8 +362,14 @@ let fd_accuracy ~output () =
                     false_suspicions)));
   }
 
-let safety ?k () = [ agreement ?k (); validity; per_process_agreement ]
-let defaults ?k () = safety ?k () @ [ f_termination; linearizability () ]
+let safety ?k ?(degrade = false) () = [ agreement ?k ~degrade (); validity; per_process_agreement ]
+
+let defaults ?k ?(degrade = false) () =
+  safety ?k ~degrade ()
+  @ [
+      (if degrade then f_termination_degraded else f_termination);
+      linearizability ~degrade ();
+    ]
 
 let check_phase monitors ~phase ?event sys exec =
   let applicable m =
@@ -246,5 +386,5 @@ let check_phase monitors ~phase ?event sys exec =
           match m.check sys exec with
           | Pass -> fail, truncs
           | Fail why -> Some (m.name, why), truncs
-          | Truncated why -> fail, truncs @ [ m.name, why ]))
+          | Truncated (cat, why) -> fail, truncs @ [ m.name, cat, why ]))
     (None, []) monitors

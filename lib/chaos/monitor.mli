@@ -11,10 +11,21 @@
     a history too long for the exponential linearizability search); runs
     surface truncations instead of silently passing. *)
 
+type category =
+  | Monitor_budget  (** The monitor's own budget gave out (e.g. a history too
+                        long for the exponential linearizability search). *)
+  | Adversary  (** The adversary's damage voided the verdict (stolen
+                   responses, unhealed partitions). *)
+
+val category_name : category -> string
+(** ["monitor-budget"] | ["adversary"] — the machine-readable tag. *)
+
 type verdict =
   | Pass
   | Fail of string  (** Why, human-readable. *)
-  | Truncated of string  (** The monitor gave up; the reason is reported. *)
+  | Truncated of category * string
+      (** The monitor declined to decide; the category says whether its own
+          budget or the adversary's damage is to blame. *)
 
 type phase = Step | End
 
@@ -26,8 +37,13 @@ type t = {
   check : Model.System.t -> Model.Exec.t -> verdict;
 }
 
-val agreement : ?k:int -> unit -> t
-(** At most [k] (default 1) distinct decided values, checked per step. *)
+val agreement : ?k:int -> ?degrade:bool -> unit -> t
+(** At most [k] (default 1) distinct decided values, checked per step. With
+    [degrade], decisions made across an active partition are held to the
+    degraded scope instead: only mutually-reachable deciders (transitively,
+    at the later decision) must agree — per-partition-block agreement while
+    unhealed, full agreement among post-heal decisions. Identical to the
+    plain check on executions without partitions. *)
 
 val validity : t
 (** Every decided value is some process's input, checked per step. *)
@@ -44,12 +60,25 @@ val f_termination : t
     be graceful once the network recovers). Crash-only verdicts are
     unchanged. *)
 
-val linearizability : ?max_history:int -> unit -> t
+val f_termination_degraded : t
+(** The degrade-aware variant (same monitor name): consults {!Degrade}
+    instead of waiving liveness wholesale. Drop victims lose their
+    termination guarantee; an unhealed partition waives fully isolated
+    processes and, where a network service carries the protocol, any
+    separated process; a heal restores the full demand. Everyone still
+    covered by the live vector must decide — a stall there is a [Fail]
+    carrying the degraded vector, not a truncation. Crash-only verdicts
+    coincide with {!f_termination}. *)
+
+val linearizability : ?max_history:int -> ?degrade:bool -> unit -> t
 (** Every service retaining a sequential spec ({!Model.Service.t}[.seq])
     has a linearizable history ({!Model.Linearize}). Histories longer than
-    [max_history] (default 240 events) yield {!Truncated}, as do runs with
-    buffer-mutating network faults (drop/dup/delay), whose histories no
-    longer reflect what the service did. *)
+    [max_history] (default 240 events) yield {!Truncated} with category
+    [Monitor_budget]; runs with buffer-mutating network faults
+    (drop/dup/delay) yield {!Truncated} with category [Adversary], their
+    histories no longer reflecting what the service did. With [degrade],
+    only the mutated services are skipped (reported as an [Adversary]
+    truncation) — every untouched service is still checked. *)
 
 val fd_completeness : output:(Model.State.t -> pid:int -> Spec.Iset.t) -> unit -> t
 (** ◇P strong completeness at end of run: every crashed process is suspected
@@ -73,14 +102,16 @@ val has_net_fault : Model.Exec.t -> bool
 val unhealed_partition : Model.Exec.t -> bool
 (** Whether some partition is still in force when the execution ends. *)
 
-val defaults : ?k:int -> unit -> t list
-(** All of the above. *)
+val defaults : ?k:int -> ?degrade:bool -> unit -> t list
+(** All of the above; with [degrade], the degrade-aware variants of
+    agreement, f-termination and linearizability. *)
 
-val safety : ?k:int -> unit -> t list
+val safety : ?k:int -> ?degrade:bool -> unit -> t list
 (** The [Step] subset. *)
 
 val check_phase :
   t list -> phase:phase -> ?event:Model.Event.t -> Model.System.t -> Model.Exec.t ->
-  (string * string) option * (string * string) list
+  (string * string) option * (string * category * string) list
 (** Run the monitors of [phase] (filtered by [event] relevance for [Step]):
-    the first failure as [(name, reason)], plus all truncations. *)
+    the first failure as [(name, reason)], plus all truncations with their
+    categories. *)

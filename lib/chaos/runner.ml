@@ -10,7 +10,7 @@ type result = {
   exec : Model.Exec.t;
   steps : int;
   stop : stop;
-  monitor_truncations : (string * string) list;
+  monitor_truncations : (string * Monitor.category * string) list;
   undelivered_crashes : int;
   undelivered_net : int;
   vacuous_net_faults : int;
@@ -55,13 +55,14 @@ let initialized sys inputs =
    shared stem. Executions are immutable, so the snapshots alias one spine
    and the whole cache is safe to share across domains read-only. *)
 type prefix = {
-  p_snaps : (Model.Exec.t * (string * string) list) array;
+  p_snaps : (Model.Exec.t * (string * Monitor.category * string) list) array;
       (** [p_snaps.(k)]: the execution after [k] fault-free steps, with the
           monitor truncations accumulated so far. *)
   p_filled : int;  (** Snapshots [0..p_filled] are valid. *)
   p_cut :
-    [ `Violation of Model.Exec.t * int * string * string * (string * string) list
-    | `Budget of Model.Exec.t * int * (string * string) list ]
+    [ `Violation of
+      Model.Exec.t * int * string * string * (string * Monitor.category * string) list
+    | `Budget of Model.Exec.t * int * (string * Monitor.category * string) list ]
     option;
       (** Why the walk stopped before the requested depth, if it did: a
           safety violation at the recorded step, or the step budget. A run

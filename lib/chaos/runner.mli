@@ -27,7 +27,7 @@ type result = {
   exec : Model.Exec.t;  (** The violating prefix, or the full bounded run. *)
   steps : int;
   stop : stop;
-  monitor_truncations : (string * string) list;
+  monitor_truncations : (string * Monitor.category * string) list;
       (** Monitors that declined to decide, with reasons — reported, never
           silently dropped. *)
   undelivered_crashes : int;

@@ -46,10 +46,17 @@ let parse_kinds s =
          Result.bind acc (fun ks ->
              match kind_of_string tok with
              | Some k -> Ok (if List.mem k ks then ks else ks @ [ k ])
-             | None -> Error (Printf.sprintf "unknown fault kind %S" tok)))
+             | None ->
+               Error
+                 (Printf.sprintf "unknown fault kind %S; accepted kinds: %s (e.g. --faults crash)"
+                    tok
+                    (String.concat ", " (List.map kind_to_string all_kinds)))))
        (Ok [])
   |> function
-  | Ok [] -> Error "empty fault-kind list"
+  | Ok [] ->
+    Error
+      (Printf.sprintf "empty fault-kind list; accepted kinds: %s (e.g. --faults crash)"
+         (String.concat ", " (List.map kind_to_string all_kinds)))
   | r -> r
 
 type t = {
@@ -208,6 +215,15 @@ let to_string t =
   String.concat "," parts
 
 let parse s =
+  let s =
+    (* Witness files append '#'-prefixed annotation lines (the degradation
+       trajectory) after the schedule; drop them so witnesses round-trip. *)
+    String.split_on_char '\n' s
+    |> List.filter (fun line ->
+           let line = String.trim line in
+           line = "" || line.[0] <> '#')
+    |> String.concat ","
+  in
   let tokens =
     String.split_on_char ',' s
     |> List.concat_map (String.split_on_char ' ')

@@ -49,7 +49,7 @@ val pp_kind : Format.formatter -> kind -> unit
 val parse_kinds : string -> (kind list, string) result
 (** Comma-separated kind names ("crash,drop,partition"; "duplicate" is
     accepted for "dup"), deduplicated, order-preserving. Errors on unknown
-    names and on the empty list. *)
+    names and on the empty list, naming the accepted kinds. *)
 
 type t = {
   faults : fault list;  (** Sorted by step (stable for equal steps). *)
@@ -120,7 +120,8 @@ val parse : string -> (t, string) result
     [dup@STEP:SERVICE:ENDPOINT], [delay@STEP:SERVICE:ENDPOINT:LAG],
     [partition@STEP:BLOCKS:HEAL] with BLOCKS pids joined by ['.'] and blocks
     by ['|'] (e.g. [partition@2:0|1.2:9]), and the adversary markers
-    [helpful] / [silencing]. *)
+    [helpful] / [silencing]. Lines starting with ['#'] are ignored, so
+    [--witness-out] files with trajectory annotations round-trip. *)
 
 val validate : Model.System.t -> t -> (unit, string) result
 (** Check pids are in range, silenced services exist, net-fault endpoints

@@ -7,9 +7,24 @@ type entry = {
   doc : string;
   build : params -> Model.System.t;
   k_of : params -> int;
+  claims : params -> Analysis.Guarantee.claim;
 }
 
 let one _ = 1
+
+(* What each protocol is held to by the chaos battery (`Monitor.defaults`
+   checks full consensus agreement, validity, termination, linearizability),
+   expressed as a guarantee claim for the static gap pass. Honest claims
+   (≤ the composed service vector) leave no gap even where the battery
+   refutes the protocol one crash beyond its claim; the three boosting
+   entries register the over-claim that is their point. *)
+let consensus ?(lin = true) ?termination ?(scales = false) () _p =
+  {
+    Analysis.Guarantee.agreement = Some 1;
+    termination;
+    linearizable = lin;
+    scales;
+  }
 
 let all =
   [
@@ -18,72 +33,101 @@ let all =
       doc = "n clients on one f-resilient atomic consensus service";
       build = (fun p -> Direct.system ~n:p.n ~f:p.f);
       k_of = one;
+      claims = (fun p -> consensus ~termination:(Analysis.Guarantee.Crashes p.f) () p);
     };
     {
       name = "split";
       doc = "per-process 0-resilient consensus services";
       build = (fun p -> Split.system ~n:p.n);
       k_of = one;
+      claims = (fun _ ->
+          (* Per-process services claim nothing across processes: no
+             agreement claim, so the 2-island scope is not a gap. *)
+          { Analysis.Guarantee.no_claim with
+            Analysis.Guarantee.termination = Some (Analysis.Guarantee.Crashes 0);
+            linearizable = true });
     };
     {
       name = "register-vote";
       doc = "2 processes voting through wait-free registers";
       build = (fun _ -> Register_vote.system ());
       k_of = one;
+      claims = consensus ~termination:(Analysis.Guarantee.Crashes 1) ();
     };
     {
       name = "register-wait";
       doc = "2 processes on wait-free registers, flawed resilience claim";
       build = (fun _ -> Register_wait.system ());
       k_of = one;
+      claims = (* The flawed resilience claim is a protocol-logic bug, not a typing
+         gap: wait-free registers do support termination under one crash. *)
+        consensus ~termination:(Analysis.Guarantee.Crashes 1) ();
     };
     {
       name = "tob";
       doc = "n clients on an f-resilient total-order broadcast service";
       build = (fun p -> Tob_direct.system ~n:p.n ~f:p.f);
       k_of = one;
+      claims = (fun p ->
+          (* The Thm 9 boost: f+1-resilient consensus from an f-resilient
+             TO-broadcast service — one more crash than the meet allows. *)
+          consensus ~lin:false
+            ~termination:(Analysis.Guarantee.Crashes (p.f + 1)) () p);
     };
     {
       name = "fd-all";
       doc = "consensus from an all-connected failure detector";
       build = (fun p -> Fd_allconnected.system ~n:p.n ~f:p.f);
       k_of = one;
+      claims = (fun p -> consensus ~termination:(Analysis.Guarantee.Crashes p.f) () p);
     };
     {
       name = "kset";
       doc = "k-set agreement from per-group consensus services";
       build = (fun p -> Kset_boost.system ~groups:p.groups ~group_size:p.group_size);
       k_of = (fun p -> p.groups);
+      claims = (fun p ->
+          (* The chaos battery holds every registry protocol to full
+             consensus (k = 1); §4 warrants only k = groups. The scope gap
+             is exactly that distance (Thm 2). *)
+          consensus ~termination:Analysis.Guarantee.Wait_free () p);
     };
     {
       name = "fd-boost";
       doc = "boosting attempt through a failure-detector service";
       build = (fun p -> Fd_boost.system ~n:p.n);
       k_of = one;
+      claims = (* §6.3's positive result at n = 2, claimed for all n — Thm 10's
+         connectivity hypothesis fails at the n = 3 probe. *)
+        consensus ~termination:Analysis.Guarantee.Wait_free ~scales:true ();
     };
     {
       name = "tas";
       doc = "consensus from f-resilient test-and-set";
       build = (fun p -> Tas_consensus.system ~f:p.f);
       k_of = one;
+      claims = (fun p -> consensus ~termination:(Analysis.Guarantee.Crashes p.f) () p);
     };
     {
       name = "queue";
       doc = "consensus from an f-resilient shared queue";
       build = (fun p -> Queue_consensus.system ~f:p.f);
       k_of = one;
+      claims = (fun p -> consensus ~termination:(Analysis.Guarantee.Crashes p.f) () p);
     };
     {
       name = "mp-all";
       doc = "message-passing consensus, all-to-all delivery";
       build = (fun p -> Mp_consensus.all_system ~n:p.n);
       k_of = one;
+      claims = consensus ~lin:false ~termination:(Analysis.Guarantee.Crashes 0) ();
     };
     {
       name = "mp-quorum";
       doc = "message-passing consensus, quorum delivery";
       build = (fun p -> Mp_consensus.quorum_system ~n:p.n);
       k_of = one;
+      claims = consensus ~lin:false ~termination:(Analysis.Guarantee.Crashes 1) ();
     };
     {
       name = "universal";
@@ -93,6 +137,12 @@ let all =
           Universal.system ~obj:(Spec.Seq_counter.make ())
             ~ops:(List.init p.n (fun _ -> Spec.Seq_counter.increment)));
       k_of = one;
+      claims = (fun _ ->
+          (* Decides counter responses, not proposed inputs: linearizability
+             and wait-freedom are the claims, agreement is not. *)
+          { Analysis.Guarantee.no_claim with
+            Analysis.Guarantee.termination = Some Analysis.Guarantee.Wait_free;
+            linearizable = true });
     };
   ]
 

@@ -21,6 +21,11 @@ type entry = {
   doc : string;
   build : params -> Model.System.t;
   k_of : params -> int;  (** Agreement width (1 except for k-set). *)
+  claims : params -> Analysis.Guarantee.claim;
+      (** What the protocol is held to by the chaos battery, for the static
+          [guarantee-gap] pass. The boosting entries (tob, kset, fd-boost)
+          register their over-claim deliberately; everyone else claims no
+          more than the composed service vector supports. *)
 }
 
 val all : entry list

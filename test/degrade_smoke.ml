@@ -1,0 +1,60 @@
+(* @degrade-smoke: a bounded sweep exercising graceful-degradation
+   monitoring end to end, wired into the default `dune runtest`.
+
+   direct f=1 survives a mixed crash/drop/partition sweep even under the
+   degraded (stricter-than-waived) termination demand; tob f=1 falls to a
+   single stolen response, and the violation must carry the live guarantee
+   vector the theft degraded the system to. *)
+
+let config sys ~kinds =
+  {
+    (Chaos.Explore.default_config sys) with
+    Chaos.Explore.max_faults = 1;
+    budget = 96;
+    max_steps = 4_000;
+    kinds;
+    degrade = true;
+  }
+
+let run name sys ~kinds ~expect_violation =
+  let report =
+    Chaos.Driver.run
+      ~monitors:(Chaos.Monitor.defaults ~degrade:true ())
+      ~shrink:expect_violation
+      (Chaos.Driver.Systematic (config sys ~kinds))
+      sys
+  in
+  Format.printf "--- %s ---@.%a@.@." name Chaos.Driver.pp_report report;
+  (match report.Chaos.Driver.outcome with
+  | Chaos.Driver.Passed when expect_violation ->
+    Format.printf "degrade-smoke FAILED on %s: expected a violation@." name;
+    exit 1
+  | Chaos.Driver.Violated _ when not expect_violation ->
+    Format.printf "degrade-smoke FAILED on %s: expected no violation@." name;
+    exit 1
+  | _ -> ());
+  report
+
+let () =
+  let kinds =
+    [ Chaos.Schedule.Crash_k; Chaos.Schedule.Drop_k; Chaos.Schedule.Partition_k ]
+  in
+  let _ =
+    run "direct n=2 f=1 (resilient, degraded demand)"
+      (Protocols.Direct.system ~n:2 ~f:1)
+      ~kinds ~expect_violation:false
+  in
+  let report =
+    run "tob n=2 f=1 (falls to a stolen response)"
+      (Protocols.Tob_direct.system ~n:2 ~f:1)
+      ~kinds ~expect_violation:true
+  in
+  (match report.Chaos.Driver.outcome with
+  | Chaos.Driver.Violated { original; _ } ->
+    (match original.Chaos.Explore.degraded_to with
+    | Some _ -> ()
+    | None ->
+      Format.printf "degrade-smoke FAILED: violation carries no live vector@.";
+      exit 1)
+  | Chaos.Driver.Passed -> ());
+  Format.printf "degrade-smoke OK@."

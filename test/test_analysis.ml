@@ -170,7 +170,7 @@ let test_golden_flawed_blank () =
 
 let cfg ?(horizon = 12) () =
   { Chaos.Explore.max_faults = 1; horizon; stride = 1; budget = 100_000; max_steps = 2_000;
-    kinds = [ Chaos.Schedule.Crash_k ] }
+    kinds = [ Chaos.Schedule.Crash_k ]; degrade = false }
 
 let report_sig (r : Chaos.Explore.report) =
   (* Everything the pruned run must reproduce byte-identically; static_prunes

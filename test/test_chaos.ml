@@ -155,7 +155,7 @@ let test_seeded_mode_finds_and_replays () =
   let mode =
     Chaos.Driver.Seeded
       { seed = 1; runs = 64; max_faults = 1; horizon = 16; max_steps = 4_000;
-        kinds = [ Chaos.Schedule.Crash_k; Chaos.Schedule.Silence_k ] }
+        kinds = [ Chaos.Schedule.Crash_k; Chaos.Schedule.Silence_k ]; degrade = false }
   in
   let report = Chaos.Driver.run ~shrink:true mode sys in
   match report.Chaos.Driver.outcome with

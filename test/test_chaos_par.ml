@@ -12,7 +12,7 @@ open Helpers
 
 let small_config _sys ~max_faults ~horizon =
   { Chaos.Explore.max_faults; horizon; stride = 1; budget = 100_000; max_steps = 2_000;
-    kinds = [ Chaos.Schedule.Crash_k ] }
+    kinds = [ Chaos.Schedule.Crash_k ]; degrade = false }
 
 (* The violation signature the differential test compares: everything but
    the exec (which the runner reproduces deterministically anyway). *)
@@ -151,6 +151,7 @@ let qcheck_merge_order_insensitive =
                 proven;
                 exec;
                 steps = Model.Exec.length exec;
+                degraded_to = None;
               }
         else None
       in

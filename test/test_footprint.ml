@@ -196,7 +196,7 @@ let test_registry_race_free () =
 
 let cfg ?(max_faults = 1) ?(horizon = 12) () =
   { Chaos.Explore.max_faults; horizon; stride = 1; budget = 100_000; max_steps = 2_000;
-    kinds = [ Chaos.Schedule.Crash_k ] }
+    kinds = [ Chaos.Schedule.Crash_k ]; degrade = false }
 
 let report_sig (r : Chaos.Explore.report) =
   (* Everything the reduced run must reproduce byte-identically; por_prunes
