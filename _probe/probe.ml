@@ -1,0 +1,19 @@
+let () =
+  let sys = Protocols.Direct.system ~n:2 ~f:1 in
+  let blocks = [ [ 1 ] ] in
+  let r =
+    Chaos.Runner.run
+      ~monitors:[]
+      ~max_steps:200
+      ~schedule:(Chaos.Schedule.make [ Chaos.Schedule.partition ~step:0 ~blocks ~heal_at:3 ])
+      sys
+  in
+  let d = Chaos.Degrade.of_exec r.Chaos.Runner.exec in
+  Printf.printf "of_exec partition_active after in-run heal: %b\n"
+    (Chaos.Degrade.partition_active d);
+  let d' =
+    List.fold_left Chaos.Degrade.absorb Chaos.Degrade.empty
+      (Model.Exec.events r.Chaos.Runner.exec)
+  in
+  Printf.printf "forward-fold partition_active:              %b\n"
+    (Chaos.Degrade.partition_active d')
