@@ -312,10 +312,10 @@ let bench_chaos_net_fdnet =
   Test.make ~name:"chaos/explore-net-fdnet"
     (Staged.stage (fun () -> ignore (Chaos.Explore.run ~monitors ~config sys)))
 
-(* The same mixed sweep over the full single-fault space on [jobs] domains.
-   Net-fault schedules are never statically pruned or POR-collapsed (the
-   oracles are crash-only), so this row isolates the raw parallel speedup
-   on the widened space. *)
+(* The same mixed sweep over the full single-fault space on [jobs] domains,
+   with neither static oracle engaged — this row isolates the raw parallel
+   speedup on the widened space (compare explore-net-por-*-j* below for
+   what the footprint oracles buy on top). *)
 let bench_chaos_net_par sys name =
   let d = Chaos.Explore.default_config sys in
   let cfg =
@@ -333,6 +333,47 @@ let bench_chaos_net_par_tob =
 let bench_chaos_net_par_fdnet =
   bench_chaos_net_par (Protocols.Fd_network.system ~n:2)
     (Printf.sprintf "chaos/explore-net-fdnet-j%d" jobs)
+
+(* Net-fault partial-order reduction (ISSUE 7): the mixed single-fault
+   sweep with both footprint oracles on — omission deliveries slide past
+   statically independent task slots and post-quiescence placements are
+   skipped on the empty-buffer certificate. Compare against the matching
+   explore-net-* rows for the prune-rate/wall-time table in
+   EXPERIMENTS.md. *)
+let net_por_config sys =
+  let d = Chaos.Explore.default_config sys in
+  let cfg =
+    { d with Chaos.Explore.max_faults = 1; kinds = net_kinds; max_steps = 4_000 }
+  in
+  { cfg with Chaos.Explore.budget = Chaos.Explore.space_size sys cfg }
+
+let bench_chaos_net_por ~domains sys name =
+  let config = net_por_config sys in
+  Test.make ~name
+    (Staged.stage (fun () ->
+       ignore
+         (Chaos.Explore.run_par ~config ~domains ~dedup:false ~static_prune:true
+            ~por:true sys)))
+
+let bench_chaos_net_por_tob =
+  bench_chaos_net_por ~domains:1
+    (Protocols.Tob_direct.system ~n:2 ~f:1)
+    "chaos/explore-net-por-tob"
+
+let bench_chaos_net_por_rv =
+  bench_chaos_net_por ~domains:1
+    (Protocols.Register_vote.system ())
+    "chaos/explore-net-por-register-vote"
+
+let bench_chaos_net_por_par_tob =
+  bench_chaos_net_por ~domains:jobs
+    (Protocols.Tob_direct.system ~n:2 ~f:1)
+    (Printf.sprintf "chaos/explore-net-por-tob-j%d" jobs)
+
+let bench_chaos_net_por_par_rv =
+  bench_chaos_net_por ~domains:jobs
+    (Protocols.Register_vote.system ())
+    (Printf.sprintf "chaos/explore-net-por-register-vote-j%d" jobs)
 
 (* Degrade-aware monitoring (ISSUE 6): the same mixed sweep as
    chaos/explore-net-tob with the graceful-degradation monitors and the
@@ -406,6 +447,10 @@ let tests =
       bench_chaos_net_fdnet;
       bench_chaos_net_par_tob;
       bench_chaos_net_par_fdnet;
+      bench_chaos_net_por_tob;
+      bench_chaos_net_por_rv;
+      bench_chaos_net_por_par_tob;
+      bench_chaos_net_por_par_rv;
       bench_chaos_degrade_tob;
       bench_fixpoint_direct;
       bench_fixpoint_tob;

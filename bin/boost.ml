@@ -221,9 +221,10 @@ let chaos_resolve name ~degrade ~n ~f ~groups ~group_size =
   | name -> (
     match Registry.find name with
     | Some e ->
-      Ok
-        ( build_system e ~n ~f ~groups ~group_size,
-          if degrade then Some (Chaos.Monitor.defaults ~degrade:true ()) else None )
+      (* No explicit monitors: the explorer resolves the (degrade-aware)
+         default family itself, keeping the static oracles engaged — they
+         key on the caller not overriding the defaults. *)
+      Ok (build_system e ~n ~f ~groups ~group_size, None)
     | None ->
       Error
         (Printf.sprintf "unknown protocol: %s (expected fd-network | %s)" name
@@ -369,9 +370,9 @@ let chaos_cmd =
       & info [ "static-prune" ]
           ~doc:
             "Systematic mode: skip schedules the abstract-interpretation analyzer proves \
-             infeasible as violations (crashes landing after the certified quiescence \
-             step), without executing them. The report is unchanged except for the prune \
-             count.")
+             infeasible as violations (faults landing after the certified quiescence \
+             step; network faults additionally need the empty-buffer certificate), \
+             without executing them. The report is unchanged except for the prune count.")
   in
   let por_arg =
     Arg.(
@@ -381,14 +382,24 @@ let chaos_cmd =
             ( true,
               info [ "por" ]
                 ~doc:
-                  "Systematic mode: partial-order reduction — skip schedules whose crash \
-                   placement is equivalent (by the static interference relation) to a \
-                   lower-ranked schedule's, inheriting its verdict. Violations and \
-                   verdicts match the un-reduced exploration exactly." );
+                  "Systematic mode: partial-order reduction — skip schedules whose fault \
+                   placement (crash, drop/dup/delay, partition) is equivalent by the \
+                   static footprint relation to a lower-ranked schedule's, inheriting \
+                   its verdict. Violations and verdicts match the un-reduced \
+                   exploration exactly." );
             ( false,
               info [ "no-por" ]
-                ~doc:"Run every crash placement, even interference-equivalent ones (default)." );
+                ~doc:"Run every fault placement, even interference-equivalent ones (default)." );
           ])
+  in
+  let prune_stats_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "prune-stats-out" ] ~docv:"FILE"
+          ~doc:
+            "Systematic mode: write the exploration's prune statistics (examined, space, \
+             dedup/static/por prune counts, ...) to FILE as JSON.")
   in
   let schedule_arg =
     Arg.(
@@ -414,8 +425,8 @@ let chaos_cmd =
              Off by default; crash-only reports are byte-identical without it.")
   in
   let run protocol_pos protocol_opt n f groups group_size faults max_faults seed runs
-      max_steps horizon budget stride jobs dedup shrink static_prune por schedule timeout
-      witness_out degrade =
+      max_steps horizon budget stride jobs dedup shrink static_prune por prune_stats_out
+      schedule timeout witness_out degrade =
     let name =
       match protocol_pos, protocol_opt with
       | Some p, None | None, Some p -> Ok p
@@ -445,7 +456,12 @@ let chaos_cmd =
             Format.eprintf "bad --schedule: %s@." e;
             3
           | Ok () -> (
-            let r = Chaos.Runner.run ?monitors ~max_steps ~schedule sys in
+            (* A single explicit run bypasses the explorer's defaulting, so
+               resolve the (degrade-aware) default family here. *)
+            let monitors =
+              Option.value monitors ~default:(Chaos.Monitor.defaults ~degrade ())
+            in
+            let r = Chaos.Runner.run ~monitors ~max_steps ~schedule sys in
             List.iter
               (fun (m, cat, why) ->
                 Format.printf "monitor %s truncated [%s]: %s@." m
@@ -503,31 +519,6 @@ let chaos_cmd =
                 degrade;
               }
         in
-        (* The static oracles only certify crash-only schedules; with network
-           kinds in the mix they silently decline candidate by candidate, so
-           say so once up front. *)
-        (match mode with
-        | Chaos.Driver.Systematic { Chaos.Explore.kinds; _ }
-          when (static_prune || por)
-               && List.exists (fun k -> k <> Chaos.Schedule.Crash_k) kinds ->
-          Format.eprintf
-            "note: %s prune%s crash-only schedules only; candidates with fault kinds \
-             {%s} run unpruned. Use --faults crash to keep the oracle engaged (accepted \
-             kinds: %s).@."
-            (match static_prune, por with
-            | true, true -> "--static-prune and --por"
-            | true, false -> "--static-prune"
-            | _ -> "--por")
-            (if static_prune && por then "" else "s")
-            (String.concat ","
-               (List.filter_map
-                  (fun k ->
-                    if k = Chaos.Schedule.Crash_k then None
-                    else Some (Chaos.Schedule.kind_to_string k))
-                  kinds))
-            (String.concat ", "
-               (List.map Chaos.Schedule.kind_to_string Chaos.Schedule.all_kinds))
-        | _ -> ());
         (* Wall-clock budget: expiry and SIGINT share one graceful path —
            finish the schedule in flight, report partially, exit 2. *)
         let interrupted = ref false in
@@ -545,6 +536,36 @@ let chaos_cmd =
         in
         Sys.set_signal Sys.sigint prev_sigint;
         Format.printf "%a@." Chaos.Driver.pp_report report;
+        (match prune_stats_out with
+        | None -> ()
+        | Some file ->
+          let oc = open_out file in
+          Printf.fprintf oc
+            "{\n\
+            \  \"examined\": %d,\n\
+            \  \"space\": %d,\n\
+            \  \"truncated\": %b,\n\
+            \  \"wall_truncated\": %b,\n\
+            \  \"dedup_hits\": %d,\n\
+            \  \"static_prunes\": %d,\n\
+            \  \"por_prunes\": %d,\n\
+            \  \"step_budget_hits\": %d,\n\
+            \  \"monitor_truncations\": %d,\n\
+            \  \"vacuous_net_faults\": %d,\n\
+            \  \"violation\": %b\n\
+             }\n"
+            report.Chaos.Driver.examined report.Chaos.Driver.space
+            report.Chaos.Driver.truncated report.Chaos.Driver.wall_truncated
+            report.Chaos.Driver.dedup_hits report.Chaos.Driver.static_prunes
+            report.Chaos.Driver.por_prunes report.Chaos.Driver.step_budget_hits
+            report.Chaos.Driver.monitor_truncations
+            report.Chaos.Driver.vacuous_net_faults
+            (match report.Chaos.Driver.outcome with
+            | Chaos.Driver.Violated _ -> true
+            | Chaos.Driver.Passed -> false);
+          close_out oc;
+          (* stderr, so pruned-vs-oracle stdout diffs stay clean *)
+          Format.eprintf "prune statistics written to %s@." file);
         (match report.Chaos.Driver.outcome, witness_out with
         | Chaos.Driver.Violated { original; minimized; _ }, Some file ->
           let v = Option.value minimized ~default:original in
@@ -575,8 +596,8 @@ let chaos_cmd =
       const run $ protocol_pos $ protocol_opt $ n_arg $ f_arg $ groups_arg
       $ group_size_arg $ faults_arg $ max_faults_arg $ seed_arg $ runs_arg $ max_steps_arg
       $ horizon_arg $ budget_arg $ stride_arg $ jobs_arg $ dedup_arg $ shrink_arg
-      $ static_prune_arg $ por_arg $ schedule_arg $ timeout_arg $ witness_out_arg
-      $ degrade_arg)
+      $ static_prune_arg $ por_arg $ prune_stats_out_arg $ schedule_arg $ timeout_arg
+      $ witness_out_arg $ degrade_arg)
   in
   Cmd.v
     (Cmd.info "chaos"

@@ -10,6 +10,7 @@ type component =
   | Svc_value of int
   | Svc_inv of int * int
   | Svc_resp of int * int
+  | Net_topology
 
 module Cset = Set.Make (struct
   type t = component
@@ -130,7 +131,10 @@ let of_task ?reach ?max_crashes (sys : System.t) (tk : Task.t) =
     let c = sys.System.services.(svc) in
     let touched = [ Svc_resp (svc, i); Pstate i ] in
     {
-      reads = Cset.of_list (touched @ io_crash_reads ~max_crashes c i);
+      (* An output turn consults the cross-block delivery state: an active
+         partition can hold the buffered response back (the chaos scheduler's
+         [blocked] gate), so the turn's outcome may observe the topology. *)
+      reads = Cset.of_list ((Net_topology :: touched) @ io_crash_reads ~max_crashes c i);
       writes = Cset.of_list touched;
     }
   | Task.Svc_compute { svc; glob = _ } ->
@@ -149,6 +153,26 @@ let of_system ?reach ?max_crashes (sys : System.t) =
 
 let fail_writes pid = Cset.singleton (Crash_bit pid)
 
+(* --- network-adversary deliveries ---
+
+   Expressed over the same component space, neutrally (no dependency on the
+   chaos layer's schedule grammar): a drop/dup/delay reads and rewrites
+   exactly its target endpoint's response buffer — vacuousness (empty
+   buffer) is a read of the same component — while a partition or heal
+   rewrites only the cross-block delivery state ([Net_topology]), which
+   lives in the compiled schedule, not in {!Model.State.t}; the only tasks
+   observing it are service outputs (their [blocked] gate). *)
+
+type net_op = Omission of { svc : int; endpoint : int } | Topology
+
+let of_net_op = function
+  | Omission { svc; endpoint } ->
+    let c = Cset.singleton (Svc_resp (svc, endpoint)) in
+    { reads = c; writes = c }
+  | Topology ->
+    let c = Cset.singleton Net_topology in
+    { reads = c; writes = c }
+
 let pp_component ppf = function
   | Pstate i -> Format.fprintf ppf "proc[%d]" i
   | Decision i -> Format.fprintf ppf "decision[%d]" i
@@ -156,6 +180,7 @@ let pp_component ppf = function
   | Svc_value k -> Format.fprintf ppf "svc[%d].value" k
   | Svc_inv (k, i) -> Format.fprintf ppf "svc[%d].inv[%d]" k i
   | Svc_resp (k, i) -> Format.fprintf ppf "svc[%d].resp[%d]" k i
+  | Net_topology -> Format.fprintf ppf "net.topology"
 
 let pp_cset ppf s =
   Format.fprintf ppf "{%a}"

@@ -28,6 +28,11 @@ type component =
   | Svc_value of int  (** Object value of the service at position [k]. *)
   | Svc_inv of int * int  (** Invocation buffer of service [k], endpoint [i]. *)
   | Svc_resp of int * int  (** Response buffer of service [k], endpoint [i]. *)
+  | Net_topology
+      (** The cross-block delivery state (active partitions and their
+          heals). Not part of {!Model.State.t} — it lives in the compiled
+          chaos schedule — but service-output turns read it (the [blocked]
+          gate) and partition/heal deliveries write it. *)
 
 module Cset : Set.S with type elt = component
 
@@ -46,6 +51,21 @@ val of_system :
 val fail_writes : int -> Cset.t
 (** The footprint of the adversary's [fail_pid] input: writes the pid's
     crash bit, reads nothing. *)
+
+type net_op =
+  | Omission of { svc : int; endpoint : int }
+      (** A drop/duplicate/delay delivery against service position [svc]'s
+          response buffer at endpoint (pid) [endpoint]. *)
+  | Topology
+      (** A partition or heal delivery: rewrites the cross-block delivery
+          state, touches no buffer. *)
+
+val of_net_op : net_op -> t
+(** The footprint of one network-adversary delivery: an omission reads and
+    writes exactly its target endpoint's response buffer (reading covers the
+    vacuousness test on an empty buffer); a topology change reads and writes
+    only [Net_topology]. DESIGN.md §3.12 connects this to the Lemma 8 /
+    Claim 2 commutation argument lifted to omission faults. *)
 
 val pp_component : Format.formatter -> component -> unit
 val pp_cset : Format.formatter -> Cset.t -> unit

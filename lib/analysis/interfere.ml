@@ -47,6 +47,27 @@ let crash_interferes t ~pid tk =
   Footprint.Cset.mem (Footprint.Crash_bit pid)
     (Footprint.Cset.union fp.Footprint.reads fp.Footprint.writes)
 
+(* --- the network adversary's deliveries against the same relation ---
+
+   A net delivery is one more footprinted event: an omission rewrites one
+   response buffer, a partition/heal rewrites the topology component. The
+   clash test is the very same write-overlap criterion as task⇄task, so
+   independence is again sound for commutation — swapping the delivery with
+   an adjacent independent task (or fault) leaves the reached configuration,
+   the task's outcome, and the omission's vacuousness unchanged. *)
+
+let net_interferes t op tk = clashes (Footprint.of_net_op op) (footprint t tk)
+
+let net_independent t op tk = not (net_interferes t op tk)
+
+let net_net_interferes op op' =
+  clashes (Footprint.of_net_op op) (Footprint.of_net_op op')
+
+let net_crash_interferes op ~pid =
+  let fp = Footprint.of_net_op op in
+  Footprint.Cset.mem (Footprint.Crash_bit pid)
+    (Footprint.Cset.union fp.Footprint.reads fp.Footprint.writes)
+
 (* Static participants: the union of {!System.participants} over every
    action the task can take in any configuration. A process task's next
    action is an internal step, a decide, or an invocation of a may-invoked

@@ -39,6 +39,26 @@ val crash_interferes : t -> pid:int -> Model.Task.t -> bool
 (** Whether the task may observe [pid]'s crash bit (so delivering [fail_pid]
     across it is not a provable no-op swap). *)
 
+val net_interferes : t -> Footprint.net_op -> Model.Task.t -> bool
+(** Whether the task's footprint clashes with the delivery's
+    ({!Footprint.of_net_op}): an omission interferes exactly with the tasks
+    touching its target response buffer, a topology change with the
+    service-output turns whose [blocked] gate reads the partition state.
+    Independence is sound for commutation — the slid-past task neither
+    observes the mutated buffer (including its vacuousness) nor changes it,
+    so both orders reach the same configuration. *)
+
+val net_independent : t -> Footprint.net_op -> Model.Task.t -> bool
+
+val net_net_interferes : Footprint.net_op -> Footprint.net_op -> bool
+(** Two deliveries clash iff they touch a shared component: omissions on the
+    same (service, endpoint) buffer, or two topology changes. Needs no task
+    analysis, hence no [t]. *)
+
+val net_crash_interferes : Footprint.net_op -> pid:int -> bool
+(** Always false — no net delivery touches a crash bit — kept as the third
+    leg of the relation so the soundness battery audits it like the rest. *)
+
 val static_participants : t -> Model.Task.t -> Model.System.participant list
 (** Union of {!Model.System.participants} over every action the task can
     take in any configuration. *)

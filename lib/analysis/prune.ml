@@ -1,6 +1,8 @@
 module System = Model.System
 module State = Model.State
 
+type cert = { quiescent_from : int; buffers_empty : bool }
+
 let clean_from ?(max_faults = 1) ~inputs ~horizon (sys : System.t) =
   if horizon <= 0 then None
   else begin
@@ -39,5 +41,17 @@ let clean_from ?(max_faults = 1) ~inputs ~horizon (sys : System.t) =
          under both preference resolutions, no task can change the state or
          emit a decide event. Proven by the fixpoint, not sampled. *)
       let r = Reach.analyze_from ~max_faults !s sys in
-      if Reach.frozen r then Some q else None
+      if Reach.frozen r then
+        (* Checked concretely on the frozen state: with every response buffer
+           empty, post-Q omission deliveries (drop/dup/delay) are provably
+           vacuous — they mutate nothing and leave no event — and post-Q
+           partitions can never block an output turn ([blocked] is false on
+           an empty buffer), so the frozen lasso absorbs them too. *)
+        let buffers_empty =
+          Array.for_all
+            (fun (svc : State.svc) -> Array.for_all (fun buf -> buf = []) svc.State.resp_bufs)
+            !s.State.svcs
+        in
+        Some { quiescent_from = q; buffers_empty }
+      else None
   end

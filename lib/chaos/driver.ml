@@ -81,17 +81,29 @@ let run ?monitors ?inputs ?(shrink = true) ?(domains = 1) ?(dedup = true)
     let r =
       (* One domain keeps the trusted sequential path, byte-identical to the
          pre-parallel engine; more domains (or either static oracle) go
-         through the deduplicated work-stealing explorer. *)
+         through the deduplicated work-stealing explorer. The explorer gets
+         the caller's monitors verbatim — its static oracles key on the
+         caller not overriding the (degrade-aware) defaults. *)
       if domains <= 1 && not static_prune && not por then
         Explore.run ?monitors ?inputs ~config ~stop sys
       else
         Explore.run_par ?monitors ?inputs ~config ~domains ~dedup ~static_prune ~por
           ~stop sys
     in
+    let shrink_monitors =
+      (* The shrinker must judge candidates by the same family the explorer
+         ran, or a degrade-aware violation could "vanish" while minimizing. *)
+      match monitors with
+      | Some _ -> monitors
+      | None ->
+        if config.Explore.degrade then Some (Monitor.defaults ~degrade:true ()) else None
+    in
     let outcome =
       match r.Explore.violation with
       | None -> Passed
-      | Some v -> violated ?monitors ~max_steps:config.Explore.max_steps ?inputs ~shrink sys v
+      | Some v ->
+        violated ?monitors:shrink_monitors ~max_steps:config.Explore.max_steps ?inputs
+          ~shrink sys v
     in
     {
       mode;
@@ -110,6 +122,13 @@ let run ?monitors ?inputs ?(shrink = true) ?(domains = 1) ?(dedup = true)
       outcome;
     }
   | Seeded { seed; runs; max_faults; horizon; max_steps; kinds; degrade } ->
+    let monitors =
+      (* Same degrade-aware defaulting as the systematic path; the seeded
+         engine never engages the static oracles, so nothing keys on None. *)
+      match monitors with
+      | Some _ -> monitors
+      | None -> if degrade then Some (Monitor.defaults ~degrade:true ()) else None
+    in
     let step_budget_hits = ref 0 and monitor_truncations = ref 0 in
     let undelivered = ref 0 and undelivered_n = ref 0 and vacuous = ref 0 in
     let wall = ref false in
@@ -216,7 +235,7 @@ let pp_report ppf r =
   if r.por_prunes > 0 then
     Format.fprintf ppf
       "%d schedule(s) pruned by partial-order reduction (verdict inherited from the \
-       canonical crash placement)@,"
+       canonical fault placement)@,"
       r.por_prunes;
   if r.step_budget_hits > 0 then
     Format.fprintf ppf

@@ -146,9 +146,19 @@ let space_size sys cfg =
   in
   sum 0 0
 
+(* Callers that pass no monitors get the default family matching the
+   config's degrade flag, so `--degrade` composes with the static oracles:
+   the oracles engage whenever the caller supplied nothing custom, and the
+   degrade-aware verdict sensitivity (partition state at decide events) is
+   encoded in the POR dependence instead of disengaging the reduction. *)
+let effective_monitors cfg = function
+  | Some ms -> ms
+  | None -> Monitor.defaults ~degrade:cfg.degrade ()
+
 let run ?monitors ?interleave ?inputs ?config ?(stop = fun () -> false)
     (sys : Model.System.t) =
   let cfg = match config with Some c -> c | None -> default_config sys in
+  let monitors = effective_monitors cfg monitors in
   let space = space_size sys cfg in
   let examined = ref 0 in
   let step_budget_hits = ref 0 in
@@ -165,7 +175,7 @@ let run ?monitors ?interleave ?inputs ?config ?(stop = fun () -> false)
       else begin
         incr examined;
         let r =
-          Runner.run ?monitors ?interleave ?inputs ~max_steps:cfg.max_steps ~schedule sys
+          Runner.run ~monitors ?interleave ?inputs ~max_steps:cfg.max_steps ~schedule sys
         in
         monitor_truncations := !monitor_truncations + List.length r.Runner.monitor_truncations;
         undelivered_crashes := !undelivered_crashes + r.Runner.undelivered_crashes;
@@ -213,6 +223,7 @@ type run_record = {
   deduped : bool;
   statically_pruned : bool;
   por_pruned : bool;
+  parent : int option;
   found : violation option;
 }
 
@@ -312,65 +323,221 @@ let rec note_best best rank =
   let cur = Atomic.get best in
   if rank < cur && not (Atomic.compare_and_set best cur rank) then note_best best rank
 
-(* --- partial-order reduction over crash placements ---
+(* --- partial-order reduction over fault placements ---
 
    Two schedules are equivalent when one is obtained from the other by
-   sliding a crash delivery one grid notch earlier past task slots that are
-   statically crash-independent ({!Analysis.Interfere.crash_interferes}):
-   the slid-past tasks cannot observe the pid's crash bit, so both runs
-   execute the same task slots with the same outcomes, reach the same
-   configuration once the window closes, and the compiled schedules agree
-   from there on — the verdicts coincide. The enumeration orders schedules
-   lexicographically by crash step, so the earliest-crash form of every
-   equivalence class has the least rank: a schedule from which some crash
-   can still slide earlier is non-canonical and is skipped, its verdict
-   represented by the lower-ranked form. Violating schedules are never the
+   sliding a fault delivery one grid notch earlier past task slots that are
+   statically independent of it: crashes slide past tasks blind to the pid's
+   crash bit ({!Analysis.Interfere.crash_interferes}), omission deliveries
+   (drop/dup/delay) past tasks not touching their target response buffer,
+   and topology changes (a partition's begin and synthesized heal — both
+   slide together) past tasks whose [blocked] gate never consults the
+   partition state ({!Analysis.Interfere.net_interferes}, DESIGN.md §3.12).
+   The slid-past tasks neither observe nor disturb the delivery's footprint,
+   so both runs execute the same task slots with the same outcomes, reach
+   the same configuration once the window closes, and the compiled schedules
+   agree from there on — the verdicts coincide. The enumeration orders
+   schedules lexicographically by fault step, so the earliest-delivery form
+   of every equivalence class has the least rank: a schedule from which some
+   fault can still slide is non-canonical and is skipped, its verdict
+   inherited from the lower-ranked form. Violating schedules are never the
    skipped side (their canonical form violates too, at lower rank), so the
    rank-least merged violation — and with it [examined] and [truncated] —
-   matches the unreduced oracle exactly. *)
+   matches the unreduced oracle exactly; the remaining counters are copied
+   from the parent record after the workers join.
 
-let por_crash_dep cfg (sys : Model.System.t) =
-  (* dep.(pid).(task index): the task may observe pid's crash bit. The
-     footprints are sharpened by the exploration's own fault bound. *)
+   Two refinements keep the sliding sound beyond the crash-only case:
+
+   - When the schedule contains any partition, window tasks additionally
+     must not read the topology component at all: a window task executes
+     one wall step later in the canonical form, and [Schedule.separated]
+     is keyed on nominal wall steps, so a task straddling some OTHER
+     partition's begin/heal boundary could change its blocked status.
+     Topology-blind tasks cannot.
+
+   - Under [degrade], the degraded-agreement monitor grades decide events
+     by the partitions active at their wall step, so in partition-bearing
+     schedules window tasks must also not write a decision. All other
+     default monitors are placement-insensitive across a sound slide. *)
+
+type por_ctx = {
+  crash_dep : bool array array;  (* pid -> task index -> interferes *)
+  omis_dep : ((int * int) * bool array) list;  (* (svc pos, endpoint pid) *)
+  topo_dep : bool array;
+  decide_dep : bool array;
+  svc_pos : (string * int) list;
+}
+
+let por_deps cfg (sys : Model.System.t) =
+  (* All dependence rows, precomputed eagerly (workers share this read-only;
+     the footprints are sharpened by the exploration's own fault bound). *)
   let inter = Analysis.Interfere.analyze ~max_crashes:cfg.max_faults sys in
-  Array.init (Model.System.n_processes sys) (fun pid ->
-      Array.map
-        (fun tk -> Analysis.Interfere.crash_interferes inter ~pid tk)
-        sys.Model.System.tasks)
-
-let por_prunable ~dep ~stride ~n_tasks (s : Schedule.t) =
-  (* Only the enumeration's own shape is eligible (crash-only, silencing
-     default, no overrides) — same convention as the static-prune oracle. *)
-  s.Schedule.overrides = []
-  && s.Schedule.default_pref = Model.System.Prefer_dummy
-  (* Crash-only: the sliding argument covers crash deliveries alone. Every
-     network fault kind is explicitly excluded — a drop/dup/delay mutates a
-     buffer whose content depends on the exact slot, and partitions gate
-     task enabledness, so no independence footprint covers them (tested in
-     test_chaos_net.ml). *)
-  && Schedule.is_crash_only s
-  &&
-  (* Walk the crashes in delivery order (d_k = max(t_k, d_{k-1}+1)); crash k
-     can slide from step t to t - stride iff the window stays clear of other
-     deliveries (prev delivered strictly before t - stride, next scheduled
-     strictly after t) and every task slot in [t - stride, t) — cursor u - k,
-     k deliveries having happened — ignores the pid's crash bit. *)
-  let rec scan k prev_delivery = function
-    | [] -> false
-    | (t, pid) :: rest ->
-      let movable =
-        prev_delivery < t - stride
-        && (match rest with [] -> true | (t', _) :: _ -> t' > t)
-        &&
-        let ok = ref true in
-        for u = t - stride to t - 1 do
-          if dep.(pid).((u - k) mod n_tasks) then ok := false
-        done;
-        !ok
-      in
-      movable || scan (k + 1) (max t (prev_delivery + 1)) rest
+  let tasks = sys.Model.System.tasks in
+  let crash_dep =
+    Array.init (Model.System.n_processes sys) (fun pid ->
+        Array.map (fun tk -> Analysis.Interfere.crash_interferes inter ~pid tk) tasks)
   in
-  scan 0 (-1) (Schedule.crashes s)
+  let svc_pos =
+    Array.to_list sys.Model.System.services
+    |> List.map (fun (c : Model.Service.t) ->
+           c.Model.Service.id, Model.System.service_pos sys c.Model.Service.id)
+  in
+  let omis_dep =
+    Array.to_list sys.Model.System.services
+    |> List.concat_map (fun (c : Model.Service.t) ->
+           let svc = Model.System.service_pos sys c.Model.Service.id in
+           Array.to_list c.Model.Service.endpoints
+           |> List.map (fun endpoint ->
+                  ( (svc, endpoint),
+                    Array.map
+                      (fun tk ->
+                        Analysis.Interfere.net_interferes inter
+                          (Analysis.Footprint.Omission { svc; endpoint })
+                          tk)
+                      tasks )))
+  in
+  let topo_dep =
+    Array.map
+      (fun tk -> Analysis.Interfere.net_interferes inter Analysis.Footprint.Topology tk)
+      tasks
+  in
+  let decide_dep =
+    Array.map
+      (fun tk ->
+        let fp = Analysis.Interfere.footprint inter tk in
+        Analysis.Footprint.Cset.exists
+          (function Analysis.Footprint.Decision _ -> true | _ -> false)
+          fp.Analysis.Footprint.writes)
+      tasks
+  in
+  { crash_dep; omis_dep; topo_dep; decide_dep; svc_pos }
+
+let slide_fault stride = function
+  | Schedule.Crash { step; pid } -> Schedule.crash ~step:(step - stride) ~pid
+  | Schedule.Drop { step; service; endpoint } ->
+    Schedule.drop ~step:(step - stride) ~service ~endpoint
+  | Schedule.Duplicate { step; service; endpoint } ->
+    Schedule.duplicate ~step:(step - stride) ~service ~endpoint
+  | Schedule.Delay { step; service; endpoint; lag } ->
+    Schedule.delay ~step:(step - stride) ~service ~endpoint ~lag
+  | Schedule.Partition { step; blocks; heal_at } ->
+    (* Both deliveries slide, keeping the template's heal offset — the slid
+       form is the same fault site instantiated one grid notch earlier. *)
+    Schedule.partition ~step:(step - stride) ~blocks ~heal_at:(heal_at - stride)
+  | Schedule.Silence _ -> invalid_arg "slide_fault: silence"
+
+let por_slide ~ctx ~stride ~degrade ~max_steps ~n_tasks (s : Schedule.t) =
+  (* Only the enumeration's own shape is eligible (silencing default, no
+     overrides) — same convention as the static-prune oracle. Silences are
+     excluded: a policy flip is keyed to fixed wall steps the slide would
+     cross, and no footprint covers it. *)
+  if
+    s.Schedule.overrides <> []
+    || s.Schedule.default_pref <> Model.System.Prefer_dummy
+    || List.exists (function Schedule.Silence _ -> true | _ -> false) s.Schedule.faults
+  then None
+  else begin
+    let faults = Array.of_list s.Schedule.faults in
+    let has_partition =
+      Array.exists (function Schedule.Partition _ -> true | _ -> false) faults
+    in
+    (* The delivery sequence, mirroring [Schedule.deliveries] exactly: one
+       entry per crash/omission, a begin/heal pair per partition, stably
+       sorted by nominal step. Actual delivery steps then bunch up one per
+       step: d_k = max(nominal_k, d_{k-1}+1). *)
+    let ds =
+      Array.to_list faults
+      |> List.mapi (fun fi f -> fi, f)
+      |> List.concat_map (fun (fi, f) ->
+             match f with
+             | Schedule.Crash { step; _ }
+             | Schedule.Drop { step; _ }
+             | Schedule.Duplicate { step; _ }
+             | Schedule.Delay { step; _ } -> [ step, fi ]
+             | Schedule.Partition { step; heal_at; _ } -> [ step, fi; heal_at, fi ]
+             | Schedule.Silence _ -> [])
+      |> List.stable_sort (fun (a, _) (b, _) -> Int.compare a b)
+      |> Array.of_list
+    in
+    let nd = Array.length ds in
+    if nd = 0 then None
+    else begin
+      let actual = Array.make nd 0 in
+      let prev = ref (-1) in
+      Array.iteri
+        (fun k (at, _) ->
+          let d = max at (!prev + 1) in
+          actual.(k) <- d;
+          prev := d)
+        ds;
+      (* Every delivery — and with it every slide window — must land strictly
+         inside the step budget, or the budget cut could fall between the two
+         runs' windows and their counters diverge. (Implied by the engagement
+         precondition for crash-only schedules; partitions heal half a
+         horizon late, so it bites.) *)
+      if actual.(nd - 1) >= max_steps then None
+      else begin
+        let dep_row fi =
+          match faults.(fi) with
+          | Schedule.Crash { pid; _ } -> ctx.crash_dep.(pid)
+          | Schedule.Drop { service; endpoint; _ }
+          | Schedule.Duplicate { service; endpoint; _ }
+          | Schedule.Delay { service; endpoint; _ } ->
+            List.assoc (List.assoc service ctx.svc_pos, endpoint) ctx.omis_dep
+          | Schedule.Partition _ -> ctx.topo_dep
+          | Schedule.Silence _ -> assert false
+        in
+        (* Delivery k can slide from nominal step [at] to [at - stride] iff
+           the window stays clear of other deliveries (prev delivered
+           strictly before at - stride, next scheduled strictly after at)
+           and every task slot in [at - stride, at) — cursor u - k, k
+           deliveries having happened — is independent of the fault (plus
+           the partition refinements above). *)
+        let window_clear k row =
+          let at, _ = ds.(k) in
+          at - stride >= 0
+          && (k = 0 || actual.(k - 1) < at - stride)
+          && (k + 1 >= nd || fst ds.(k + 1) > at)
+          &&
+          let ok = ref true in
+          for u = at - stride to at - 1 do
+            let i = (u - k) mod n_tasks in
+            if
+              row.(i)
+              || (has_partition
+                 && (ctx.topo_dep.(i) || (degrade && ctx.decide_dep.(i))))
+            then ok := false
+          done;
+          !ok
+        in
+        let movable fi =
+          let row = dep_row fi in
+          let all = ref true and any = ref false in
+          Array.iteri
+            (fun k (_, fi') ->
+              if fi' = fi then begin
+                any := true;
+                if not (window_clear k row) then all := false
+              end)
+            ds;
+          !any && !all
+        in
+        let rec first fi =
+          if fi >= Array.length faults then None
+          else if movable fi then Some fi
+          else first (fi + 1)
+        in
+        match first 0 with
+        | None -> None
+        | Some fi ->
+          Some
+            (Schedule.make
+               (List.mapi
+                  (fun i f -> if i = fi then slide_fault stride f else f)
+                  (Array.to_list faults)))
+      end
+    end
+  end
 
 let run_par ?monitors ?interleave ?inputs ?config ?(domains = 1) ?(dedup = true)
     ?(static_prune = false) ?(por = false) ?(stop = fun () -> false)
@@ -379,19 +546,25 @@ let run_par ?monitors ?interleave ?inputs ?config ?(domains = 1) ?(dedup = true)
   let space = space_size sys cfg in
   let candidates = Array.of_seq (Seq.take (max 0 cfg.budget) (schedules sys cfg)) in
   let scheduled = Array.length candidates in
+  let n_tasks = Array.length sys.Model.System.tasks in
+  (* The static oracles key on the caller NOT overriding the monitor family
+     (their soundness arguments cover the defaults, degrade-aware or not);
+     the runs themselves always get the effective family. *)
+  let eff_monitors = effective_monitors cfg monitors in
   let quiescence =
     (* The abstract-interpretation infeasibility oracle: a certified step Q
-       from which every crash-only silencing schedule provably ends in a
-       clean lasso with all crashes delivered. Engaged only under the exact
-       convention the certificate covers — default monitors, round-robin
-       interleaving — and only when the step budget provably accommodates
-       the longest pruned run (activation + crash deliveries + one full
-       silent cycle), so a concrete twin could never have hit [Budget]. *)
+       from which every silencing schedule whose faults all land at or past
+       Q provably ends in a clean lasso with all faults delivered. Engaged
+       only under the exact convention the certificate covers — default
+       monitors, round-robin interleaving — and only when the step budget
+       provably accommodates the longest pruned crash-only run (activation +
+       crash deliveries + one full silent cycle), so a concrete twin could
+       never have hit [Budget]; net-bearing schedules re-check their own
+       delivery tail against the budget below. *)
     if
       static_prune && monitors = None
       && (match interleave with Some (Runner.Seeded _) -> false | _ -> true)
-      && cfg.horizon + cfg.max_faults + Array.length sys.Model.System.tasks + 2
-         <= cfg.max_steps
+      && cfg.horizon + cfg.max_faults + n_tasks + 2 <= cfg.max_steps
     then
       Analysis.Prune.clean_from ~max_faults:cfg.max_faults
         ~inputs:(match inputs with Some l -> l | None -> Runner.default_inputs sys)
@@ -400,41 +573,82 @@ let run_par ?monitors ?interleave ?inputs ?config ?(domains = 1) ?(dedup = true)
   in
   let por_dep =
     (* Engaged under the same convention as the quiescence oracle: default
-       monitors (the swap argument needs monitors blind to crash events),
-       deterministic round-robin interleaving, and a step budget that
-       provably accommodates the longest pruned run. *)
+       monitors (the swap argument needs monitors whose placement
+       sensitivity the dependence rows encode), deterministic round-robin
+       interleaving, and a step budget that provably accommodates the
+       longest pruned crash-only run ([por_slide] re-checks net-bearing
+       delivery tails per schedule). *)
     if
       por && monitors = None
       && (match interleave with Some (Runner.Seeded _) -> false | _ -> true)
-      && cfg.horizon + cfg.max_faults + Array.length sys.Model.System.tasks + 2
-         <= cfg.max_steps
-    then Some (por_crash_dep cfg sys)
+      && cfg.horizon + cfg.max_faults + n_tasks + 2 <= cfg.max_steps
+    then Some (por_deps cfg sys)
     else None
   in
-  let n_tasks = Array.length sys.Model.System.tasks in
-  let por_prunable_schedule s =
+  let rank_of =
+    (* Enumeration rank by printed schedule, for resolving a slid parent to
+       the record whose counters the pruned twin inherits. Sliding any fault
+       one grid notch earlier strictly lowers the enumeration rank, so every
+       parent of a scheduled candidate is itself scheduled. *)
     match por_dep with
-    | Some dep -> por_prunable ~dep ~stride:cfg.stride ~n_tasks s
-    | None -> false
+    | None -> None
+    | Some _ ->
+      let h = Hashtbl.create (max 16 (2 * scheduled)) in
+      Array.iteri (fun i s -> Hashtbl.replace h (Schedule.to_string s) i) candidates;
+      Some h
+  in
+  let por_parent schedule =
+    match por_dep, rank_of with
+    | Some ctx, Some ranks -> (
+      match
+        por_slide ~ctx ~stride:cfg.stride ~degrade:cfg.degrade ~max_steps:cfg.max_steps
+          ~n_tasks schedule
+      with
+      | None -> None
+      | Some parent -> Hashtbl.find_opt ranks (Schedule.to_string parent))
+    | _ -> None
   in
   let prunable (s : Schedule.t) =
     match quiescence with
     | None -> false
-    | Some q ->
-      (* Crash-only silencing schedules with every crash at or past Q; the
-         empty schedule is never pruned (it has rank 0, and concrete prefix
-         violations must keep dominating the rank-least merge). *)
+    | Some cert ->
+      let q = cert.Analysis.Prune.quiescent_from in
+      (* Silencing schedules with every fault at or past Q; the empty
+         schedule is never pruned (it has rank 0, and concrete prefix
+         violations must keep dominating the rank-least merge). Net faults
+         additionally need the empty-buffer certificate (post-Q omissions
+         provably vacuous, partitions never blocking) and a step budget
+         that provably absorbs their delivery tail plus one silent cycle —
+         a partition heals half a horizon past its begin, beyond what the
+         engagement precondition covers for crashes. *)
       s.Schedule.overrides = []
       && s.Schedule.default_pref = Model.System.Prefer_dummy
       && s.Schedule.faults <> []
       && List.for_all
            (function
              | Schedule.Crash { step; _ } -> step >= q
-             (* The certificate covers crash-only schedules; every other
-                fault kind disqualifies (explicitly, with a test). *)
-             | Schedule.Silence _ | Schedule.Drop _ | Schedule.Duplicate _
-             | Schedule.Delay _ | Schedule.Partition _ -> false)
+             | Schedule.Drop { step; _ } | Schedule.Duplicate { step; _ }
+             | Schedule.Delay { step; _ } | Schedule.Partition { step; _ } ->
+               cert.Analysis.Prune.buffers_empty && step >= q
+             (* A silence flips the adversary's policy, outside what the
+                certificate's frozen-state closure covers. *)
+             | Schedule.Silence _ -> false)
            s.Schedule.faults
+      && (Schedule.is_crash_only s
+         ||
+         let last, count =
+           List.fold_left
+             (fun (last, count) f ->
+               match f with
+               | Schedule.Partition { heal_at; _ } -> max last heal_at, count + 2
+               | Schedule.Crash { step; _ }
+               | Schedule.Drop { step; _ }
+               | Schedule.Duplicate { step; _ }
+               | Schedule.Delay { step; _ }
+               | Schedule.Silence { step; _ } -> max last step, count + 1)
+             (0, 0) s.Schedule.faults
+         in
+         last + count + n_tasks + 2 <= cfg.max_steps)
   in
   (* Clamp the spawned workers to the machine: oversubscribing domains past
      the core count makes every minor-collection barrier pay cross-thread
@@ -449,15 +663,16 @@ let run_par ?monitors ?interleave ?inputs ?config ?(domains = 1) ?(dedup = true)
     dedup && match interleave with Some (Runner.Seeded _) -> false | _ -> true
   in
   let prefix =
-    (* The shared fault-free stem: every enumerated candidate is crash-only
-       under the silencing adversary, so all of them replay this prefix up
-       to their first crash. Built once, read-only across domains. *)
+    (* The shared fault-free stem: every crash-only candidate under the
+       silencing adversary replays this prefix up to its first crash
+       (net-bearing candidates run whole; {!Runner.resumable} gates). Built
+       once, read-only across domains. *)
     match interleave with
     | Some (Runner.Seeded _) -> None
     | _ when scheduled = 0 -> None
     | _ ->
       Some
-        (Runner.prefix ?monitors ?inputs ~max_steps:cfg.max_steps
+        (Runner.prefix ~monitors:eff_monitors ?inputs ~max_steps:cfg.max_steps
            ~steps:(min (max 0 (cfg.horizon - 1)) cfg.max_steps)
            sys)
   in
@@ -475,9 +690,22 @@ let run_par ?monitors ?interleave ?inputs ?config ?(domains = 1) ?(dedup = true)
        report; skipping them is the early-exit that makes the search stop. *)
     if rank < Atomic.get best then begin
       let schedule = candidates.(rank) in
-      if prunable schedule then
-        (* Proven clean lasso: all crashes delivered, no truncations, no
-           violation — exactly what the concrete run would have recorded. *)
+      if prunable schedule then begin
+        (* Proven clean lasso: all faults delivered, no violation — exactly
+           what the concrete run would have recorded. Post-Q omissions land
+           on certified-empty buffers, hence the analytic vacuous count; a
+           net-bearing pruned run's monitor truncations equal the fault-free
+           (rank 0) run's — same histories, no net events — and are copied
+           from that record once the workers join. *)
+        let crash_only = Schedule.is_crash_only schedule in
+        let omissions =
+          List.length
+            (List.filter
+               (function
+                 | Schedule.Drop _ | Schedule.Duplicate _ | Schedule.Delay _ -> true
+                 | _ -> false)
+               schedule.Schedule.faults)
+        in
         records :=
           {
             rank;
@@ -485,34 +713,40 @@ let run_par ?monitors ?interleave ?inputs ?config ?(domains = 1) ?(dedup = true)
             truncations = 0;
             undelivered = 0;
             undelivered_n = 0;
-            vacuous = 0;
+            vacuous = (if crash_only then 0 else omissions);
             deduped = false;
             statically_pruned = true;
             por_pruned = false;
+            parent = (if crash_only then None else Some 0);
             found = None;
           }
           :: !records
-      else if por_prunable_schedule schedule then
-        (* Non-canonical: a crash slides earlier past provably independent
-           task slots, so a lower-ranked equivalent schedule reproduces this
-           run's verdict. Kept records at ranks ≤ the winner are clean (a
-           violating schedule's canonical form wins first), all crashes
-           delivered within the horizon, no truncations. *)
-        records :=
-          {
-            rank;
-            budget_hit = false;
-            truncations = 0;
-            undelivered = 0;
-            undelivered_n = 0;
-            vacuous = 0;
-            deduped = false;
-            statically_pruned = false;
-            por_pruned = true;
-            found = None;
-          }
-          :: !records
-      else begin
+      end
+      else
+        match por_parent schedule with
+        | Some parent ->
+          (* Non-canonical: a fault slides earlier past provably independent
+             task slots, so a lower-ranked equivalent schedule reproduces
+             this run's verdict and per-run counters. Kept records at ranks
+             ≤ the winner are clean (a violating schedule's canonical form
+             wins first); the counters are copied from the parent chain once
+             the workers join. *)
+          records :=
+            {
+              rank;
+              budget_hit = false;
+              truncations = 0;
+              undelivered = 0;
+              undelivered_n = 0;
+              vacuous = 0;
+              deduped = false;
+              statically_pruned = false;
+              por_pruned = true;
+              parent = Some parent;
+              found = None;
+            }
+            :: !records
+        | None -> begin
       let keyed = ref None in
       let on_active =
         if dedup then
@@ -527,8 +761,8 @@ let run_par ?monitors ?interleave ?inputs ?config ?(domains = 1) ?(dedup = true)
         else None
       in
       let r =
-        Runner.run ?monitors ?interleave ?inputs ~max_steps:cfg.max_steps ?on_active
-          ?prefix ~schedule sys
+        Runner.run ~monitors:eff_monitors ?interleave ?inputs ~max_steps:cfg.max_steps
+          ?on_active ?prefix ~schedule sys
       in
       let base =
         {
@@ -541,6 +775,7 @@ let run_par ?monitors ?interleave ?inputs ?config ?(domains = 1) ?(dedup = true)
           deduped = false;
           statically_pruned = false;
           por_pruned = false;
+          parent = None;
           found = None;
         }
       in
@@ -616,6 +851,69 @@ let run_par ?monitors ?interleave ?inputs ?config ?(domains = 1) ?(dedup = true)
   let spawned = Array.init (domains - 1) (fun i -> Domain.spawn (fun () -> worker (i + 1) ())) in
   let mine = worker 0 () in
   let partials = mine :: Array.to_list (Array.map Domain.join spawned) in
+  let partials =
+    (* Resolve inherited counters now that every parent's record exists: a
+       POR-pruned record adopts the counters of its slid parent (following
+       chains of slides to the concrete — or statically pruned, or deduped —
+       source), and a net-bearing statically pruned record adopts the
+       fault-free rank-0 run's monitor truncations. A missing parent can
+       only mean the run was wall-truncated or the parent's rank sat past
+       the best violation — in either case the child record is not part of
+       the merged report's kept set, so the zero claims stand harmlessly. *)
+    if por_dep = None && quiescence = None then partials
+    else begin
+      let records = List.concat partials in
+      let by_rank = Hashtbl.create (max 16 (2 * List.length records)) in
+      List.iter (fun r -> Hashtbl.replace by_rank r.rank r) records;
+      let records =
+        List.map
+          (fun r ->
+            match r.statically_pruned, r.parent with
+            | true, Some p -> (
+              match Hashtbl.find_opt by_rank p with
+              | Some pr when (not pr.statically_pruned) && not pr.por_pruned ->
+                { r with truncations = pr.truncations }
+              | _ -> r)
+            | _ -> r)
+          records
+      in
+      List.iter (fun r -> Hashtbl.replace by_rank r.rank r) records;
+      let memo = Hashtbl.create 16 in
+      let rec source r =
+        if not r.por_pruned then r
+        else
+          match r.parent with
+          | None -> r
+          | Some p -> (
+            match Hashtbl.find_opt memo p with
+            | Some s -> s
+            | None ->
+              let s =
+                match Hashtbl.find_opt by_rank p with Some pr -> source pr | None -> r
+              in
+              Hashtbl.replace memo p s;
+              s)
+      in
+      [
+        List.map
+          (fun r ->
+            if not r.por_pruned then r
+            else
+              let s = source r in
+              if s == r then r
+              else
+                {
+                  r with
+                  budget_hit = s.budget_hit;
+                  truncations = s.truncations;
+                  undelivered = s.undelivered;
+                  undelivered_n = s.undelivered_n;
+                  vacuous = s.vacuous;
+                })
+          records;
+      ]
+    end
+  in
   merge ~wall:(Atomic.get wall_stopped) ~space ~scheduled partials
 
 let pp_report ppf r =
@@ -636,7 +934,7 @@ let pp_report ppf r =
       r.static_prunes;
   if r.por_prunes > 0 then
     Format.fprintf ppf
-      "%d schedule(s) pruned by partial-order reduction (crash placement equivalent to a \
+      "%d schedule(s) pruned by partial-order reduction (fault placement equivalent to a \
        lower-ranked schedule, verdict inherited)@,"
       r.por_prunes;
   if r.step_budget_hits > 0 then

@@ -19,9 +19,10 @@ type config = {
           by the differential in test_chaos_net.ml). *)
   degrade : bool;
       (** Annotate each violation with the live guarantee vector
-          ({!Degrade.describe}) at the violating prefix's end. Off by
-          default; does not change which schedules violate — pair it with
-          [Monitor.defaults ~degrade:true ()] for degrade-aware verdicts. *)
+          ({!Degrade.describe}) at the violating prefix's end, and run the
+          degrade-aware default monitor family
+          ([Monitor.defaults ~degrade:true ()]) whenever the caller passes
+          no explicit [monitors]. Off by default. *)
 }
 
 val default_config : Model.System.t -> config
@@ -68,17 +69,19 @@ type report = {
   static_prunes : int;
       (** Schedules skipped without any concrete execution because the
           abstract-interpretation oracle ({!Analysis.Prune.clean_from})
-          proved them infeasible as violations: every crash lands at or
-          after the certified quiescence step, so the run provably ends in
-          a clean lasso. Counted as examined. Always 0 for {!run} and for
-          {!run_par} without [static_prune]. *)
+          proved them infeasible as violations: every fault lands at or
+          after the certified quiescence step (net faults additionally
+          require the empty-buffer certificate), so the run provably ends
+          in a clean lasso. Counted as examined. Always 0 for {!run} and
+          for {!run_par} without [static_prune]. *)
   por_prunes : int;
       (** Schedules skipped by partial-order reduction ({!run_par} with
-          [por]): their crash placement differs from a lower-ranked
-          schedule's only by sliding crash deliveries past task slots that
-          are statically crash-independent ({!Analysis.Interfere}), so the
-          lower-ranked run provably reaches the same verdict. Counted as
-          examined. Always 0 for {!run}. *)
+          [por]): their fault placement differs from a lower-ranked
+          schedule's only by sliding deliveries (crash, omission, or a
+          partition's begin/heal pair) past task slots that are statically
+          independent of them ({!Analysis.Interfere}), so the lower-ranked
+          run provably reaches the same verdict. Counted as examined.
+          Always 0 for {!run}. *)
   violation : violation option;
 }
 
@@ -142,6 +145,12 @@ type run_record = {
   por_pruned : bool;
       (** Skipped by partial-order reduction: an equivalent lower-ranked
           schedule represents this run's verdict. *)
+  parent : int option;
+      (** The rank whose record this one's counters are inherited from:
+          the slid-earlier equivalent for POR prunes, rank 0 (the
+          fault-free run, for monitor truncations) for net-bearing static
+          prunes, [None] otherwise. Resolved — transitively, for chains of
+          slides — after the workers join, before {!merge}. *)
   found : violation option;
 }
 (** One worker-side run result, the unit {!merge} operates on. *)
@@ -173,31 +182,38 @@ val run_par :
 
     With [static_prune] (default false), the abstract-interpretation oracle
     {!Analysis.Prune.clean_from} certifies a quiescence step Q once per
-    exploration; crash-only silencing candidates whose crashes all land at
-    steps ≥ Q are then skipped without concrete execution, recording exactly
-    the counters their run would have produced (clean lasso, all crashes
-    delivered). The report is byte-identical to the unpruned one except that
-    [monitor_truncations] can undercount (like dedup) and [static_prunes]
-    counts the skips. The oracle only engages under the convention it
-    certifies: default monitors, round-robin interleaving, and a step budget
-    large enough that no pruned run could have hit [Budget]; otherwise every
-    candidate runs concretely.
+    exploration; silencing candidates whose faults all land at steps ≥ Q
+    are then skipped without concrete execution, recording exactly the
+    counters their run would have produced (clean lasso, all faults
+    delivered). Net-bearing candidates additionally require the
+    certificate's [buffers_empty] (post-Q omission deliveries provably
+    vacuous, partitions never blocking) and a per-schedule check that the
+    delivery tail — a partition heals half a horizon past its begin — fits
+    the step budget; silences always disqualify. The report is
+    byte-identical to the unpruned one except that [monitor_truncations]
+    can undercount (like dedup) and [static_prunes] counts the skips. The
+    oracle only engages under the convention it certifies: default
+    monitors (degrade-aware when [config.degrade]), round-robin
+    interleaving, and a step budget large enough that no pruned run could
+    have hit [Budget]; otherwise every candidate runs concretely.
 
-    With [por] (default false), candidates whose crash placement is
-    non-canonical — some crash delivery can slide one grid notch earlier
-    across task slots that provably ignore its crash bit (the static
-    interference relation, {!Analysis.Interfere.crash_interferes},
-    sharpened by the config's fault bound) — are skipped: an equivalent
-    schedule of strictly lower rank runs the same task slots to the same
-    verdict. Violations, [examined], [space] and [truncated] match the
-    un-reduced oracle exactly (a violating schedule's canonical form
-    violates at lower rank, so the rank-least winner is never pruned);
-    [monitor_truncations] can undercount like dedup, and [step_budget_hits]
-    could in principle undercount when a pruned run's lasso would land
-    within one cycle length of the step budget — the same step-budget guard
-    as [static_prune] keeps the shipped configurations far from that edge.
-    Engages under the same convention: default monitors, round-robin
-    interleaving, sufficient step budget. Composes freely with [dedup],
-    [static_prune] and [domains]. *)
+    With [por] (default false), candidates whose fault placement is
+    non-canonical — some delivery (a crash, an omission, or a partition's
+    begin/heal pair sliding together) can slide one grid notch earlier
+    across task slots that provably ignore its footprint (the static
+    interference relation, {!Analysis.Interfere}, sharpened by the
+    config's fault bound; see DESIGN.md §3.12 for the net-fault rows and
+    the partition-boundary and degrade refinements) — are skipped: an
+    equivalent schedule of strictly lower rank runs the same task slots to
+    the same verdict. Violations, [examined], [space] and [truncated]
+    match the un-reduced oracle exactly (a violating schedule's canonical
+    form violates at lower rank, so the rank-least winner is never
+    pruned); the per-run counters are inherited from the slid parent's
+    record, so they too match wherever the parent itself ran concretely.
+    Engages under the same convention: default monitors (degrade-aware
+    when [config.degrade]), round-robin interleaving, sufficient step
+    budget — with a per-schedule delivery-tail check for net-bearing
+    candidates. Composes freely with [dedup], [static_prune], [degrade]
+    and [domains]. *)
 
 val pp_report : Format.formatter -> report -> unit

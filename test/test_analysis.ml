@@ -214,8 +214,11 @@ let test_prune_oracle_direct () =
     A.Prune.clean_from ~inputs:(Chaos.Runner.default_inputs sys) ~horizon:12 sys
   with
   | None -> Alcotest.fail "expected a quiescence certificate for direct f=1"
-  | Some q ->
+  | Some { A.Prune.quiescent_from = q; buffers_empty } ->
     Alcotest.(check bool) "within horizon" true (q < 12);
+    (* Direct's frozen state has drained every response buffer, so the
+       certificate extends to post-Q omission deliveries. *)
+    Alcotest.(check bool) "frozen buffers are empty" true buffers_empty;
     (* The certificate is honest: a crash at q is a clean lasso concretely. *)
     let schedule = Chaos.Schedule.make [ Chaos.Schedule.crash ~step:q ~pid:0 ] in
     let r = Chaos.Runner.run ~max_steps:2_000 ~schedule sys in

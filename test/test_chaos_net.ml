@@ -499,13 +499,13 @@ let test_par_composition_net () =
       Alcotest.(check (pair int (option (triple string string bool))))
         (Printf.sprintf "-j%d verdict matches sequential" j)
         (sig_of seq) (sig_of par);
-      (* The crash-only oracles must never prune a net-fault schedule. *)
-      Alcotest.(check int)
-        (Printf.sprintf "-j%d no static prune of net schedules" j)
-        0 par.Chaos.Explore.static_prunes;
-      Alcotest.(check int)
-        (Printf.sprintf "-j%d no por prune of net schedules" j)
-        0 par.Chaos.Explore.por_prunes)
+      (* The footprint-driven oracles accept mixed-kind schedules: some net
+         placement is provably slidable here, so the reduction must engage
+         (the verdict check above pins it to the sequential oracle). *)
+      Alcotest.(check bool)
+        (Printf.sprintf "-j%d por prunes net schedules" j)
+        true
+        (par.Chaos.Explore.por_prunes > 0))
     [ 1; 2 ];
   (* Contrast: the same flags on a crash-only clean space do prune — the
      gating is per kind, not a global off-switch. *)

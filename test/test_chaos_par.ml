@@ -167,6 +167,7 @@ let qcheck_merge_order_insensitive =
             deduped;
             statically_pruned;
             por_pruned;
+            parent = None;
             found;
           })
   in

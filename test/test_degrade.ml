@@ -225,6 +225,66 @@ let test_truncation_categories () =
        (fun (m, cat, _) -> m = "linearizability" && cat = Chaos.Monitor.Adversary)
        r.Chaos.Runner.monitor_truncations)
 
+(* --- POR x degrade composition (ISSUE 7 satellite) ---
+
+   With [--por --degrade] an inherited verdict must carry the same
+   degraded-vector annotation the unpruned explorer computes: the slide
+   argument excludes decision-writing tasks from partition windows
+   precisely so the graded verdict survives the canonicalization. *)
+
+let test_por_degrade_compose () =
+  let sys = tob ~f:0 () in
+  let cfg =
+    { (Chaos.Explore.default_config sys) with
+      Chaos.Explore.max_faults = 1;
+      kinds = [ Chaos.Schedule.Drop_k; Chaos.Schedule.Partition_k ];
+      budget = 1_000_000;
+      max_steps = 4_000;
+      degrade = true;
+    }
+  in
+  let vsig (v : Chaos.Explore.violation) =
+    ( Chaos.Schedule.to_string v.Chaos.Explore.schedule,
+      v.Chaos.Explore.monitor,
+      v.Chaos.Explore.reason,
+      v.Chaos.Explore.proven,
+      v.Chaos.Explore.steps,
+      v.Chaos.Explore.degraded_to )
+  in
+  let oracle = Chaos.Explore.run ~config:cfg sys in
+  let par =
+    Chaos.Explore.run_par ~config:cfg ~domains:2 ~dedup:false ~static_prune:true
+      ~por:true sys
+  in
+  Alcotest.(check bool) "degrade oracle reaches a verdict" true
+    (oracle.Chaos.Explore.violation <> None);
+  (match oracle.Chaos.Explore.violation with
+  | Some v ->
+    Alcotest.(check bool) "oracle verdict carries a degraded vector" true
+      (v.Chaos.Explore.degraded_to <> None)
+  | None -> ());
+  Alcotest.(check bool) "pruned verdict matches, degraded vector included" true
+    (Option.map vsig oracle.Chaos.Explore.violation
+    = Option.map vsig par.Chaos.Explore.violation);
+  Alcotest.(check int) "examined counts agree" oracle.Chaos.Explore.examined
+    par.Chaos.Explore.examined;
+  Alcotest.(check bool) "the slide argument actually fired" true
+    (par.Chaos.Explore.por_prunes > 0);
+  (* The minimizer must agree too: Driver.run with POR on and off lands on
+     the same minimal schedule with the same minimized damage. *)
+  let driver por =
+    match
+      (Chaos.Driver.run ~dedup:false ~static_prune:por ~por
+         (Chaos.Driver.Systematic cfg) sys)
+        .Chaos.Driver.outcome
+    with
+    | Chaos.Driver.Violated { minimized = Some m; _ } ->
+      (Chaos.Schedule.to_string m.Chaos.Explore.schedule, m.Chaos.Explore.degraded_to)
+    | _ -> Alcotest.fail "expected a minimized degrade-aware violation"
+  in
+  Alcotest.(check (pair string (option string)))
+    "minimized schedule and damage POR-invariant" (driver false) (driver true)
+
 (* --- CLI error satellite: kind parsing names its vocabulary --- *)
 
 let test_parse_kind_errors () =
@@ -270,6 +330,7 @@ let suite =
         test_tob_drop_degrades;
       Alcotest.test_case "crash-only verdicts identical" `Quick test_crash_only_identity;
       Alcotest.test_case "truncation categories" `Quick test_truncation_categories;
+      Alcotest.test_case "por composes with degrade" `Quick test_por_degrade_compose;
       Alcotest.test_case "fault-kind parse errors name the vocabulary" `Quick
         test_parse_kind_errors;
       Alcotest.test_case "witness trajectory comments round-trip" `Quick

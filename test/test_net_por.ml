@@ -1,0 +1,529 @@
+(* Net-fault partial-order reduction (ISSUE 7): the differential-oracle
+   battery for the footprint-driven slide argument.
+
+   Three layers of evidence, cheapest claim to full-report pin:
+
+   1. QCheck soundness — every *independence* claim the static relation
+      makes (net⇄task, net⇄net, net⇄crash) is validated by concretely
+      executing both orders from a random reachable state and comparing
+      the resulting [State.t]s, events, applicability and vacuousness;
+   2. exhaustive small-G(C) order swaps — the same commutation check over
+      every reachable state of a small system (BFS under tasks, crashes
+      and net mutations), every fault kind, every task, both policies;
+   3. differential oracles — `--por`/`--static-prune` reports pinned
+      field-for-field against the unpruned sequential explorer on tob's
+      mixed crash+drop space and a truncated register-vote sweep over all
+      kinds, with a ≥20% prune-rate bar and the seeded-mode invariance
+      pin (POR flags must not perturb `Chaos.Rand` streams). *)
+
+open Helpers
+module Fp = Analysis.Footprint
+module If = Analysis.Interfere
+
+let direct_f1 () = Protocols.Direct.system ~n:2 ~f:1
+let tob2 () = Protocols.Tob_direct.system ~n:2 ~f:0
+let tob3 () = Protocols.Tob_direct.system ~n:3 ~f:1
+
+let sites sys =
+  Array.to_list sys.Model.System.services
+  |> List.concat_map (fun (c : Model.Service.t) ->
+         List.map
+           (fun ep -> c.Model.Service.id, ep)
+           (Array.to_list c.Model.Service.endpoints))
+
+let omission_of sys (service, endpoint) =
+  Fp.Omission { svc = Model.System.service_pos sys service; endpoint }
+
+let net_kinds =
+  [ Model.Event.Drop; Model.Event.Duplicate; Model.Event.Delay 1; Model.Event.Delay 2 ]
+
+(* One analysis context per system, shared across QCheck iterations. *)
+type ctx = {
+  sys : Model.System.t;
+  inter : If.t;
+  ss : (string * int) list;
+  tasks : Model.Task.t array;
+}
+
+let ctx sys =
+  { sys; inter = If.analyze ~max_crashes:1 sys; ss = sites sys; tasks = sys.Model.System.tasks }
+
+let ctxs = lazy [| ctx (direct_f1 ()); ctx (tob2 ()) |]
+let pick_ctx i = (Lazy.force ctxs).((abs i) mod 2)
+
+(* A random reachable state: walk from the initialized state mixing task
+   turns (both policies), net mutations and at most one crash — the states
+   the chaos runner ranges over under its kind lattice with f = 1. *)
+let walk { sys; ss; tasks; _ } moves =
+  let nt = Array.length tasks in
+  let np = Model.System.n_processes sys in
+  let ns = List.length ss in
+  let crashes = ref 0 in
+  List.fold_left
+    (fun s m ->
+      let m = abs m in
+      match m mod 10 with
+      | 0 when !crashes < 1 ->
+        incr crashes;
+        snd (Model.System.apply_fail sys s (m / 10 mod np))
+      | 1 | 2 -> (
+        let service, endpoint = List.nth ss (m / 10 mod ns) in
+        let kind = List.nth net_kinds (m / 100 mod List.length net_kinds) in
+        match Model.System.apply_net sys s ~service ~endpoint ~kind with
+        | Some (_, s') -> s'
+        | None -> s)
+      | _ -> (
+        let policy =
+          if m mod 2 = 0 then Model.System.real_policy else Model.System.dummy_policy
+        in
+        match Model.System.transition ~policy sys s tasks.(m / 10 mod nt) with
+        | Some (_, s') -> s'
+        | None -> s))
+    (Model.System.initialize sys (Chaos.Runner.default_inputs sys))
+    moves
+
+let moves_gen = QCheck2.Gen.(list_size (int_bound 60) (int_range 0 1_000_000))
+
+(* Apply an optional-step action, threading the state through. *)
+let opt_step f s = match f s with Some (e, s') -> Some e, s' | None -> None, s
+
+(* Both orders of (net mutation, task turn): independence must preserve the
+   final state, both events (hence applicability and vacuousness), exactly. *)
+let omission_task_commutes { sys; _ } ~policy s ~site:(service, endpoint) ~kind tk =
+  let net s = Model.System.apply_net sys s ~service ~endpoint ~kind in
+  let task s = Model.System.transition ~policy sys s tk in
+  let n1, s1 = opt_step net s in
+  let t1, s1 = opt_step task s1 in
+  let t2, s2 = opt_step task s in
+  let n2, s2 = opt_step net s2 in
+  Option.equal Model.Event.equal n1 n2
+  && Option.equal Model.Event.equal t1 t2
+  && Model.State.equal s1 s2
+
+(* The first (site, task) pair from a rotating offset the relation claims
+   independent — every QCheck iteration then validates a real claim. *)
+let independent_site_task c off =
+  let combos =
+    List.concat_map (fun site -> Array.to_list (Array.map (fun tk -> site, tk) c.tasks)) c.ss
+  in
+  let n = List.length combos in
+  let rec go i =
+    if i >= n then None
+    else
+      let site, tk = List.nth combos ((off + i) mod n) in
+      if If.net_independent c.inter (omission_of c.sys site) tk then Some (site, tk)
+      else go (i + 1)
+  in
+  go 0
+
+let test_independent_pairs_exist () =
+  Array.iter
+    (fun c ->
+      Alcotest.(check bool)
+        "some omission⇄task independence claimed" true
+        (independent_site_task c 0 <> None))
+    (Lazy.force ctxs)
+
+let qcheck_omission_task_sound name kind =
+  let gen = QCheck2.Gen.(tup4 moves_gen (int_range 0 1_000_000) bool bool) in
+  qtest
+    (Printf.sprintf "independence sound: %s vs task (1000 random states)" name)
+    ~count:1000 gen
+    (fun (moves, off, which, pol) ->
+      let c = pick_ctx (Bool.to_int which) in
+      let s = walk c moves in
+      match independent_site_task c off with
+      | None -> true
+      | Some (site, tk) ->
+        let policy =
+          if pol then Model.System.real_policy else Model.System.dummy_policy
+        in
+        omission_task_commutes c ~policy s ~site ~kind tk)
+
+(* net ⇄ net: claimed-independent deliveries (distinct buffers) commute. *)
+let qcheck_net_net_sound =
+  let gen = QCheck2.Gen.(tup5 moves_gen (int_range 0 1_000_000) (int_range 0 1_000_000) bool bool) in
+  qtest "independence sound: net vs net (1000 random states)" ~count:1000 gen
+    (fun (moves, i, j, which, flip) ->
+      let c = pick_ctx (Bool.to_int which) in
+      let s = walk c moves in
+      let ns = List.length c.ss in
+      let site1 = List.nth c.ss (i mod ns) and site2 = List.nth c.ss (j mod ns) in
+      let k1 = List.nth net_kinds (i / ns mod List.length net_kinds)
+      and k2 = List.nth net_kinds (j / ns mod List.length net_kinds) in
+      let k1, k2 = if flip then k2, k1 else k1, k2 in
+      if If.net_net_interferes (omission_of c.sys site1) (omission_of c.sys site2) then
+        true
+      else begin
+        let app (service, endpoint) kind s =
+          Model.System.apply_net c.sys s ~service ~endpoint ~kind
+        in
+        let a1, s1 = opt_step (app site1 k1) s in
+        let b1, s1 = opt_step (app site2 k2) s1 in
+        let b2, s2 = opt_step (app site2 k2) s in
+        let a2, s2 = opt_step (app site1 k1) s2 in
+        Option.equal Model.Event.equal a1 a2
+        && Option.equal Model.Event.equal b1 b2
+        && Model.State.equal s1 s2
+      end)
+
+(* net ⇄ crash: the relation claims universal independence; validate it
+   concretely — a crash bit and a response buffer never alias. *)
+let qcheck_net_crash_sound =
+  let gen = QCheck2.Gen.(tup4 moves_gen (int_range 0 1_000_000) (int_range 0 1_000_000) bool) in
+  qtest "independence sound: net vs crash (1000 random states)" ~count:1000 gen
+    (fun (moves, i, p, which) ->
+      let c = pick_ctx (Bool.to_int which) in
+      let s = walk c moves in
+      let ns = List.length c.ss in
+      let site = List.nth c.ss (i mod ns) in
+      let kind = List.nth net_kinds (i / ns mod List.length net_kinds) in
+      let pid = p mod Model.System.n_processes c.sys in
+      let op = omission_of c.sys site in
+      If.net_crash_interferes op ~pid = false
+      &&
+      let service, endpoint = site in
+      let net s = Model.System.apply_net c.sys s ~service ~endpoint ~kind in
+      let n1, s1 = opt_step net s in
+      let s1 = snd (Model.System.apply_fail c.sys s1 pid) in
+      let s2 = snd (Model.System.apply_fail c.sys s pid) in
+      let n2, s2 = opt_step net s2 in
+      Option.equal Model.Event.equal n1 n2 && Model.State.equal s1 s2)
+
+(* Topology ⇄ task: the runner's partition gate ([Schedule.blocked]) may
+   only ever hold back tasks the relation flags as topology-interfering —
+   a claimed-independent task runs identically whether or not a partition
+   is active, whatever the buffers hold. *)
+let blocks_variants n =
+  List.init n (fun pid -> [ [ pid ] ]) @ if n = 2 then [ [ [ 0 ]; [ 1 ] ] ] else []
+
+let topology_gate_respects_independence c s =
+  List.for_all
+    (fun blocks ->
+      let sched =
+        Chaos.Schedule.make [ Chaos.Schedule.partition ~step:0 ~blocks ~heal_at:100_000 ]
+      in
+      let comp = Chaos.Schedule.compile sched c.sys in
+      ignore (Chaos.Schedule.due comp ~step:0);
+      Array.for_all
+        (fun tk ->
+          (not (Chaos.Schedule.blocked comp c.sys s tk))
+          || If.net_interferes c.inter Fp.Topology tk)
+        c.tasks)
+    (blocks_variants (Model.System.n_processes c.sys))
+
+let qcheck_topology_task_sound =
+  let gen = QCheck2.Gen.(pair moves_gen bool) in
+  qtest "independence sound: partition gate vs task (1000 random states)" ~count:1000 gen
+    (fun (moves, which) ->
+      let c = pick_ctx (Bool.to_int which) in
+      topology_gate_respects_independence c (walk c moves))
+
+(* --- exhaustive order swaps over a small G(C) --- *)
+
+let reachable c ~cap =
+  let module Tbl = Hashtbl in
+  let seen = Tbl.create 256 in
+  let key s = Model.State.fingerprint s in
+  let mem s =
+    match Tbl.find_opt seen (key s) with
+    | Some states -> List.exists (Model.State.equal s) states
+    | None -> false
+  in
+  let add s = Tbl.replace seen (key s) (s :: Option.value (Tbl.find_opt seen (key s)) ~default:[]) in
+  let out = ref [] in
+  let queue = Queue.create () in
+  let push s =
+    if (not (mem s)) && Tbl.length seen < cap then begin
+      add s;
+      out := s :: !out;
+      Queue.push s queue
+    end
+  in
+  push (Model.System.initialize c.sys (Chaos.Runner.default_inputs c.sys));
+  while not (Queue.is_empty queue) do
+    let s = Queue.pop queue in
+    Array.iter
+      (fun tk ->
+        List.iter
+          (fun policy ->
+            match Model.System.transition ~policy c.sys s tk with
+            | Some (_, s') -> push s'
+            | None -> ())
+          [ Model.System.real_policy; Model.System.dummy_policy ])
+      c.tasks;
+    if Spec.Iset.cardinal s.Model.State.failed < 1 then
+      for pid = 0 to Model.System.n_processes c.sys - 1 do
+        push (snd (Model.System.apply_fail c.sys s pid))
+      done;
+    List.iter
+      (fun site ->
+        List.iter
+          (fun kind ->
+            let service, endpoint = site in
+            match Model.System.apply_net c.sys s ~service ~endpoint ~kind with
+            | Some (_, s') -> push s'
+            | None -> ())
+          net_kinds)
+      c.ss
+  done;
+  !out
+
+let test_exhaustive_small_gc () =
+  let c = ctx (direct_f1 ()) in
+  let states = reachable c ~cap:400 in
+  Alcotest.(check bool) "a nontrivial reachable set" true (List.length states > 10);
+  let checked = ref 0 in
+  List.iter
+    (fun s ->
+      (* Every omission kind vs every task, both policies. *)
+      List.iter
+        (fun site ->
+          Array.iter
+            (fun tk ->
+              if If.net_independent c.inter (omission_of c.sys site) tk then
+                List.iter
+                  (fun kind ->
+                    List.iter
+                      (fun policy ->
+                        incr checked;
+                        if not (omission_task_commutes c ~policy s ~site ~kind tk) then
+                          Alcotest.failf "omission⇄task claim failed at %s"
+                            (Format.asprintf "%a" Model.Task.pp tk))
+                      [ Model.System.real_policy; Model.System.dummy_policy ])
+                  net_kinds)
+            c.tasks)
+        c.ss;
+      (* Every claimed-independent net pair. *)
+      List.iter
+        (fun s1 ->
+          List.iter
+            (fun s2 ->
+              if not (If.net_net_interferes (omission_of c.sys s1) (omission_of c.sys s2))
+              then begin
+                incr checked;
+                let app (service, endpoint) kind st =
+                  Model.System.apply_net c.sys st ~service ~endpoint ~kind
+                in
+                let a1, st1 = opt_step (app s1 Model.Event.Drop) s in
+                let b1, st1 = opt_step (app s2 Model.Event.Duplicate) st1 in
+                let b2, st2 = opt_step (app s2 Model.Event.Duplicate) s in
+                let a2, st2 = opt_step (app s1 Model.Event.Drop) st2 in
+                if
+                  not
+                    (Option.equal Model.Event.equal a1 a2
+                    && Option.equal Model.Event.equal b1 b2
+                    && Model.State.equal st1 st2)
+                then Alcotest.fail "net⇄net claim failed"
+              end)
+            c.ss)
+        c.ss;
+      (* Every net op vs every crash. *)
+      List.iter
+        (fun site ->
+          for pid = 0 to Model.System.n_processes c.sys - 1 do
+            incr checked;
+            let service, endpoint = site in
+            let net st = Model.System.apply_net c.sys st ~service ~endpoint ~kind:Model.Event.Drop in
+            let n1, st1 = opt_step net s in
+            let st1 = snd (Model.System.apply_fail c.sys st1 pid) in
+            let st2 = snd (Model.System.apply_fail c.sys s pid) in
+            let n2, st2 = opt_step net st2 in
+            if not (Option.equal Model.Event.equal n1 n2 && Model.State.equal st1 st2)
+            then Alcotest.fail "net⇄crash claim failed"
+          done)
+        c.ss;
+      (* The partition gate never holds back a claimed-independent task. *)
+      if not (topology_gate_respects_independence c s) then
+        Alcotest.fail "partition gate held back a claimed-independent task")
+    states;
+  Alcotest.(check bool) "exhaustive sweep nonvacuous" true (!checked > 1_000)
+
+(* --- differential oracles: --por/--static-prune vs the sequential run --- *)
+
+let config sys ~kinds ~max_faults ~budget =
+  { (Chaos.Explore.default_config sys) with
+    Chaos.Explore.max_faults;
+    kinds;
+    budget;
+    max_steps = 4_000;
+  }
+
+let violation_sig (v : Chaos.Explore.violation) =
+  ( Chaos.Schedule.to_string v.Chaos.Explore.schedule,
+    v.Chaos.Explore.monitor,
+    v.Chaos.Explore.reason,
+    v.Chaos.Explore.proven,
+    v.Chaos.Explore.steps,
+    v.Chaos.Explore.degraded_to )
+
+(* Every verdict-bearing field of the report; the prune counters themselves
+   (and dedup hits) are the only fields allowed to differ. *)
+let report_sig (r : Chaos.Explore.report) =
+  ( ( r.Chaos.Explore.examined,
+      r.Chaos.Explore.space,
+      r.Chaos.Explore.truncated,
+      r.Chaos.Explore.wall_truncated ),
+    ( r.Chaos.Explore.step_budget_hits,
+      r.Chaos.Explore.monitor_truncations,
+      r.Chaos.Explore.undelivered_crashes,
+      r.Chaos.Explore.undelivered_net,
+      r.Chaos.Explore.vacuous_net_faults ),
+    Option.map violation_sig r.Chaos.Explore.violation )
+
+let sig_testable =
+  Alcotest.testable
+    (fun ppf ((a, b, c, d), (e, f, g, h, i), v) ->
+      Format.fprintf ppf "examined=%d space=%d trunc=%b wall=%b budget=%d mtrunc=%d uc=%d un=%d vac=%d %s"
+        a b c d e f g h i
+        (match v with
+        | None -> "clean"
+        | Some (s, m, _, _, _, _) -> Printf.sprintf "violation %s [%s]" s m))
+    (fun a b -> a = b)
+
+let test_differential_tob_mixed () =
+  let sys = tob3 () in
+  let cfg =
+    config sys ~kinds:[ Chaos.Schedule.Crash_k; Chaos.Schedule.Drop_k ] ~max_faults:1
+      ~budget:1_000_000
+  in
+  let oracle = Chaos.Explore.run ~config:cfg sys in
+  List.iter
+    (fun j ->
+      let par =
+        Chaos.Explore.run_par ~config:cfg ~domains:j ~dedup:false ~static_prune:true
+          ~por:true sys
+      in
+      Alcotest.check sig_testable
+        (Printf.sprintf "-j%d report matches the unpruned oracle" j)
+        (report_sig oracle) (report_sig par);
+      let pruned = par.Chaos.Explore.static_prunes + par.Chaos.Explore.por_prunes in
+      Alcotest.(check bool)
+        (Printf.sprintf "-j%d prune rate >= 20%% (%d/%d)" j pruned
+           par.Chaos.Explore.examined)
+        true
+        (5 * pruned >= par.Chaos.Explore.examined))
+    [ 1; 2 ]
+
+let test_differential_register_vote_truncated () =
+  let sys = Protocols.Register_vote.system () in
+  let cfg =
+    config sys
+      ~kinds:
+        [ Chaos.Schedule.Crash_k; Chaos.Schedule.Drop_k; Chaos.Schedule.Dup_k;
+          Chaos.Schedule.Delay_k; Chaos.Schedule.Partition_k ]
+      ~max_faults:1 ~budget:60
+  in
+  let oracle = Chaos.Explore.run ~config:cfg sys in
+  List.iter
+    (fun j ->
+      let par =
+        Chaos.Explore.run_par ~config:cfg ~domains:j ~dedup:false ~static_prune:true
+          ~por:true sys
+      in
+      Alcotest.check sig_testable
+        (Printf.sprintf "-j%d truncated sweep matches the unpruned oracle" j)
+        (report_sig oracle) (report_sig par))
+    [ 1; 2 ]
+
+(* Mixed-kind spaces compose with dedup too: the fingerprint table and the
+   slide argument prune along different axes, and the verdict-bearing
+   fields still pin to the oracle (counters under dedup are documented to
+   undercount, so only the verdict and examined/space are compared). *)
+let test_mixed_por_dedup_compose () =
+  let sys = tob3 () in
+  let cfg =
+    config sys ~kinds:[ Chaos.Schedule.Crash_k; Chaos.Schedule.Drop_k ] ~max_faults:1
+      ~budget:1_000_000
+  in
+  let oracle = Chaos.Explore.run ~config:cfg sys in
+  let par =
+    Chaos.Explore.run_par ~config:cfg ~domains:2 ~dedup:true ~static_prune:true ~por:true
+      sys
+  in
+  Alcotest.(check (pair int (option (triple string string bool))))
+    "dedup+por verdict matches"
+    ( oracle.Chaos.Explore.examined,
+      Option.map
+        (fun (v : Chaos.Explore.violation) ->
+          ( Chaos.Schedule.to_string v.Chaos.Explore.schedule,
+            v.Chaos.Explore.monitor,
+            v.Chaos.Explore.proven ))
+        oracle.Chaos.Explore.violation )
+    ( par.Chaos.Explore.examined,
+      Option.map
+        (fun (v : Chaos.Explore.violation) ->
+          ( Chaos.Schedule.to_string v.Chaos.Explore.schedule,
+            v.Chaos.Explore.monitor,
+            v.Chaos.Explore.proven ))
+        par.Chaos.Explore.violation )
+
+(* --- satellite 2: seeded-mode RNG streams are POR-invariant --- *)
+
+let driver_sig (r : Chaos.Driver.report) =
+  ( ( r.Chaos.Driver.examined,
+      r.Chaos.Driver.space,
+      r.Chaos.Driver.step_budget_hits,
+      r.Chaos.Driver.monitor_truncations ),
+    ( r.Chaos.Driver.undelivered_crashes,
+      r.Chaos.Driver.undelivered_net,
+      r.Chaos.Driver.vacuous_net_faults,
+      r.Chaos.Driver.static_prunes,
+      r.Chaos.Driver.por_prunes ),
+    match r.Chaos.Driver.outcome with
+    | Chaos.Driver.Passed -> None
+    | Chaos.Driver.Violated { original; minimized; replayed; _ } ->
+      Some
+        ( Chaos.Schedule.to_string original.Chaos.Explore.schedule,
+          original.Chaos.Explore.monitor,
+          Option.map
+            (fun (m : Chaos.Explore.violation) ->
+              Chaos.Schedule.to_string m.Chaos.Explore.schedule)
+            minimized,
+          replayed ) )
+
+let test_seeded_por_invariant () =
+  let sys = tob2 () in
+  let mode =
+    Chaos.Driver.Seeded
+      {
+        seed = 42;
+        runs = 40;
+        max_faults = 2;
+        horizon = 12;
+        max_steps = 2_000;
+        kinds =
+          [ Chaos.Schedule.Crash_k; Chaos.Schedule.Drop_k; Chaos.Schedule.Partition_k ];
+        degrade = false;
+      }
+  in
+  let off = Chaos.Driver.run mode sys in
+  let on = Chaos.Driver.run ~static_prune:true ~por:true mode sys in
+  Alcotest.(check bool) "seeded reports byte-identical with POR on vs off" true
+    (driver_sig off = driver_sig on);
+  Alcotest.(check int) "seeded mode never statically prunes" 0
+    on.Chaos.Driver.static_prunes;
+  Alcotest.(check int) "seeded mode never POR-prunes" 0 on.Chaos.Driver.por_prunes
+
+let suite =
+  ( "net-por",
+    [
+      Alcotest.test_case "independence claims are nonvacuous" `Quick
+        test_independent_pairs_exist;
+      qcheck_omission_task_sound "drop" Model.Event.Drop;
+      qcheck_omission_task_sound "dup" Model.Event.Duplicate;
+      qcheck_omission_task_sound "delay" (Model.Event.Delay 1);
+      qcheck_net_net_sound;
+      qcheck_net_crash_sound;
+      qcheck_topology_task_sound;
+      Alcotest.test_case "exhaustive small-G(C) order swaps" `Quick
+        test_exhaustive_small_gc;
+      Alcotest.test_case "differential: tob mixed crash+drop, >=20% pruned" `Quick
+        test_differential_tob_mixed;
+      Alcotest.test_case "differential: register-vote truncated all-kind sweep" `Quick
+        test_differential_register_vote_truncated;
+      Alcotest.test_case "por composes with dedup on mixed kinds" `Quick
+        test_mixed_por_dedup_compose;
+      Alcotest.test_case "seeded RNG streams POR-invariant" `Quick
+        test_seeded_por_invariant;
+    ] )
