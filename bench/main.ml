@@ -419,6 +419,77 @@ let bench_transition =
   Test.make ~name:"micro/transition"
     (Staged.stage (fun () -> ignore (Model.System.transition sys s (Model.Task.Proc 0))))
 
+(* The incremental-analysis cache: whole-fleet lint cold vs warm, and the
+   cached chaos verdict sweep. The warm kernels replay from a cache
+   populated once at startup; [print_cache_rates] re-runs each of them once
+   instrumented after the timing table, so the hit rates land next to the
+   wall times in EXPERIMENTS.md. *)
+let bench_cache_dir =
+  let f = Filename.temp_file "boost-bench-cache" "" in
+  Sys.remove f;
+  f
+
+let lint_fleet ?cache () =
+  List.iter
+    (fun e ->
+      ignore
+        (Protocols.Registry.lint ?cache ~max_faults:1 e Protocols.Registry.default_params))
+    Protocols.Registry.all
+
+let bench_lint_all_cold =
+  Test.make ~name:"analysis/lint-all-cold" (Staged.stage (fun () -> lint_fleet ()))
+
+let bench_lint_all_warm =
+  lint_fleet ~cache:(Analysis.Cache.open_ ~dir:bench_cache_dir) ();
+  (* Each run opens a fresh handle on the warm directory — the hashing and
+     the envelope reads are part of what a warm `boost lint --all` costs. *)
+  Test.make ~name:"analysis/lint-all-warm"
+    (Staged.stage (fun () ->
+       lint_fleet ~cache:(Analysis.Cache.open_ ~dir:bench_cache_dir) ()))
+
+(* Same sweep as chaos/explore-tob, replayed from the verdict cache: the
+   warm run re-executes only the stored winning/minimized schedules. *)
+let tob_cached_sys = Protocols.Tob_direct.system ~n:2 ~f:0
+
+let tob_cached_config =
+  {
+    (Chaos.Explore.default_config tob_cached_sys) with
+    Chaos.Explore.max_faults = 1;
+    budget = 64;
+    max_steps = 4_000;
+  }
+
+let run_tob_cached () =
+  let cache =
+    Analysis.Cache.open_ ~dir:bench_cache_dir, Analysis.Structhash.system tob_cached_sys
+  in
+  Chaos.Driver.run ~cache (Chaos.Driver.Systematic tob_cached_config) tob_cached_sys
+
+let bench_chaos_tob_cached =
+  ignore (run_tob_cached ());
+  Test.make ~name:"chaos/explore-tob-cached"
+    (Staged.stage (fun () -> ignore (run_tob_cached ())))
+
+let print_cache_rates () =
+  let rate (c : Analysis.Cache.t) =
+    let s = c.Analysis.Cache.stats in
+    let total = s.Analysis.Cache.hits + s.Analysis.Cache.misses in
+    if total = 0 then 0.
+    else 100. *. float_of_int s.Analysis.Cache.hits /. float_of_int total
+  in
+  let c_lint = Analysis.Cache.open_ ~dir:bench_cache_dir in
+  lint_fleet ~cache:c_lint ();
+  let c_chaos = Analysis.Cache.open_ ~dir:bench_cache_dir in
+  ignore
+    (Chaos.Driver.run
+       ~cache:(c_chaos, Analysis.Structhash.system tob_cached_sys)
+       (Chaos.Driver.Systematic tob_cached_config) tob_cached_sys);
+  Format.printf "@.=== Cache hit rates (warm kernels) ===@.@.";
+  Format.printf "%-36s %5.1f%%  %a@." "analysis/lint-all-warm" (rate c_lint)
+    Analysis.Cache.pp_stats c_lint;
+  Format.printf "%-36s %5.1f%%  %a@." "chaos/explore-tob-cached" (rate c_chaos)
+    Analysis.Cache.pp_stats c_chaos
+
 let tests =
   ([
       bench_canonical_ops;
@@ -454,6 +525,9 @@ let tests =
       bench_chaos_degrade_tob;
       bench_fixpoint_direct;
       bench_fixpoint_tob;
+      bench_lint_all_cold;
+      bench_lint_all_warm;
+      bench_chaos_tob_cached;
       bench_state_hash;
       bench_transition;
     ]
@@ -487,4 +561,5 @@ let run_benchmarks () =
 
 let () =
   print_experiments ();
-  run_benchmarks ()
+  run_benchmarks ();
+  print_cache_rates ()

@@ -43,6 +43,54 @@ let group_size_arg =
 
 let seeds_arg = Arg.(value & opt int 20 & info [ "seeds" ] ~docv:"S" ~doc:"Random-run count.")
 
+(* --- the persistent analysis cache: shared flags --- *)
+
+let cache_dir_arg =
+  Arg.(
+    value
+    & opt ~vopt:(Some Analysis.Cache.default_dir) (some string) None
+    & info [ "cache" ] ~docv:"DIR"
+        ~doc:
+          (Printf.sprintf
+             "Consult and populate a persistent analysis cache under DIR (default %s when \
+              the flag is given bare). Entries are keyed by a structural hash of the \
+              protocol's analysis-relevant behavior and self-invalidate when the analyzer \
+              changes; a warm cache replays byte-identical reports. Off unless given."
+             Analysis.Cache.default_dir))
+
+let no_cache_arg =
+  Arg.(
+    value & flag
+    & info [ "no-cache" ]
+        ~doc:
+          "Ignore --cache and analyze cold — the differential baseline a warm cache run \
+           is compared against.")
+
+let cache_stats_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache-stats" ] ~docv:"FILE"
+        ~doc:
+          "Write cache hit/miss/stale/corrupt/renamed/write counters as JSON to FILE. \
+           Counters also go to stderr whenever a cache is active, keeping stdout \
+           byte-identical to the cache-less run.")
+
+let cache_of ~cache_dir ~no_cache =
+  if no_cache then None else Option.map (fun dir -> Analysis.Cache.open_ ~dir) cache_dir
+
+let finish_cache ~stats_out cache =
+  match cache with
+  | None -> ()
+  | Some c ->
+    (match stats_out with
+    | Some file ->
+      let oc = open_out file in
+      output_string oc (Analysis.Cache.stats_json c);
+      close_out oc
+    | None -> ());
+    Format.eprintf "%a@." Analysis.Cache.pp_stats c
+
 let max_states_arg =
   Arg.(value & opt int 200_000 & info [ "max-states" ] ~docv:"B" ~doc:"State-space bound.")
 
@@ -426,7 +474,7 @@ let chaos_cmd =
   in
   let run protocol_pos protocol_opt n f groups group_size faults max_faults seed runs
       max_steps horizon budget stride jobs dedup shrink static_prune por prune_stats_out
-      schedule timeout witness_out degrade =
+      schedule timeout witness_out degrade cache_dir no_cache cache_stats =
     let name =
       match protocol_pos, protocol_opt with
       | Some p, None | None, Some p -> Ok p
@@ -530,9 +578,11 @@ let chaos_cmd =
           !interrupted
           || match deadline with Some d -> Unix.gettimeofday () >= d | None -> false
         in
+        let cache = cache_of ~cache_dir ~no_cache in
+        let dcache = Option.map (fun c -> c, Analysis.Structhash.system sys) cache in
         let report =
           Chaos.Driver.run ?monitors ~shrink ~domains:jobs ~dedup ~static_prune ~por
-            ~stop mode sys
+            ?cache:dcache ~stop mode sys
         in
         Sys.set_signal Sys.sigint prev_sigint;
         Format.printf "%a@." Chaos.Driver.pp_report report;
@@ -587,6 +637,7 @@ let chaos_cmd =
           close_out oc;
           Format.printf "witness schedule written to %s@." file
         | _ -> ());
+        finish_cache ~stats_out:cache_stats cache;
         (match report.Chaos.Driver.outcome with
         | Chaos.Driver.Violated _ -> 1
         | Chaos.Driver.Passed -> if report.Chaos.Driver.wall_truncated then 2 else 0))
@@ -597,7 +648,7 @@ let chaos_cmd =
       $ group_size_arg $ faults_arg $ max_faults_arg $ seed_arg $ runs_arg $ max_steps_arg
       $ horizon_arg $ budget_arg $ stride_arg $ jobs_arg $ dedup_arg $ shrink_arg
       $ static_prune_arg $ por_arg $ prune_stats_out_arg $ schedule_arg $ timeout_arg
-      $ witness_out_arg $ degrade_arg)
+      $ witness_out_arg $ degrade_arg $ cache_dir_arg $ no_cache_arg $ cache_stats_arg)
   in
   Cmd.v
     (Cmd.info "chaos"
@@ -642,52 +693,96 @@ let lint_cmd =
             "Emit one JSON object per finding (severity, protocol, rule, subject, message) \
              instead of the human report. Exit-code semantics are unchanged.")
   in
-  let run all protocol n f groups group_size max_faults json =
-    (* The guarantee-gap pass: the registered claim against the composed
-       vector, plus — for claims quantified over all n — the Thm 10
-       connectivity check at a larger probe size. *)
-    let gaps_for (e : Registry.entry) p sys =
-      let claim = e.Registry.claims p in
-      let base = Analysis.Guarantee.gaps ~claim sys in
-      if claim.Analysis.Guarantee.scales then
-        let probe_n = max 3 (p.Registry.n + 1) in
-        base
-        @ Analysis.Guarantee.scaling_gaps ~claim
-            (e.Registry.build { p with Registry.n = probe_n })
-      else base
+  let jobs_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "With --all: lint with N parallel domains. Output stays in registry order, \
+             byte-identical to the sequential run.")
+  in
+  let run all protocol n f groups group_size max_faults json jobs cache_dir no_cache
+      cache_stats =
+    let cache = cache_of ~cache_dir ~no_cache in
+    let emit_human (r : Registry.lint_result) = print_string r.Registry.human in
+    let code =
+      match all, protocol with
+      | true, None ->
+        let entries = Array.of_list Registry.all in
+        let results = Array.make (Array.length entries) None in
+        let next = Atomic.make 0 in
+        let worker () =
+          let rec loop () =
+            let i = Atomic.fetch_and_add next 1 in
+            if i < Array.length entries then begin
+              results.(i) <-
+                Some (Registry.lint ?cache ~max_faults entries.(i) Registry.default_params);
+              loop ()
+            end
+          in
+          loop ()
+        in
+        (* The Chaos.Driver worker pattern: an atomic next-index counter,
+           jobs-1 spawned domains plus this one, results landing in fixed
+           slots so emission order is the registry order regardless of which
+           domain ran what. *)
+        let jobs = max 1 (min jobs (Domain.recommended_domain_count ())) in
+        if jobs <= 1 then worker ()
+        else begin
+          let spawned = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+          worker ();
+          List.iter Domain.join spawned
+        end;
+        let results = List.filter_map Fun.id (Array.to_list results) in
+        if json then
+          (* Globally sorted (protocol, severity, code, subject): the
+             diff-stable CI artifact ordering. *)
+          List.iter
+            (fun (p, f) -> print_endline (Analysis.Lint.json_of_finding ~protocol:p f))
+            (Analysis.Lint.sort_for_artifact
+               (List.concat_map
+                  (fun (r : Registry.lint_result) ->
+                    List.map (fun f -> r.Registry.name, f) r.Registry.findings)
+                  results))
+        else List.iter emit_human results;
+        (match cache with
+        | Some c ->
+          (* Record the fleet manifest: `boost cache status` diffs the live
+             registry against it to report what changed, was renamed, or
+             needs re-analysis. *)
+          Analysis.Cache.write_manifest c
+            (List.filter_map
+               (fun (r : Registry.lint_result) ->
+                 Option.map (fun h -> r.Registry.name, h) r.Registry.hash)
+               results)
+        | None -> ());
+        List.fold_left (fun acc (r : Registry.lint_result) -> max acc r.Registry.code) 0
+          results
+      | false, Some e ->
+        let p = params ~n ~f ~groups ~group_size in
+        let r = Registry.lint ?cache ~max_faults e p in
+        if json then
+          List.iter
+            (fun f ->
+              print_endline (Analysis.Lint.json_of_finding ~protocol:r.Registry.name f))
+            r.Registry.findings
+        else emit_human r;
+        r.Registry.code
+      | true, Some _ ->
+        Format.eprintf "--all takes no PROTOCOL argument@.";
+        3
+      | false, None ->
+        Format.eprintf "need a PROTOCOL argument or --all@.";
+        3
     in
-    let lint_one ~gaps name sys =
-      let r = Analysis.Lint.analyze ~max_faults ~gaps sys in
-      if json then
-        List.iter
-          (fun f -> print_endline (Analysis.Lint.json_of_finding ~protocol:name f))
-          r.Analysis.Lint.findings
-      else Format.printf "@[<v 2>%s:@,%a@]@." name Analysis.Lint.pp r;
-      Analysis.Lint.exit_code r
-    in
-    match all, protocol with
-    | true, None ->
-      List.fold_left
-        (fun acc (e : Registry.entry) ->
-          let sys = e.Registry.build Registry.default_params in
-          max acc
-            (lint_one ~gaps:(gaps_for e Registry.default_params sys) e.Registry.name sys))
-        0 Registry.all
-    | false, Some e ->
-      let p = params ~n ~f ~groups ~group_size in
-      let sys = build_system e ~n ~f ~groups ~group_size in
-      lint_one ~gaps:(gaps_for e p sys) e.Registry.name sys
-    | true, Some _ ->
-      Format.eprintf "--all takes no PROTOCOL argument@.";
-      3
-    | false, None ->
-      Format.eprintf "need a PROTOCOL argument or --all@.";
-      3
+    finish_cache ~stats_out:cache_stats cache;
+    code
   in
   let term =
     Term.(
       const run $ all_arg $ protocol_opt $ n_arg $ f_arg $ groups_arg $ group_size_arg
-      $ max_faults_arg $ json_arg)
+      $ max_faults_arg $ json_arg $ jobs_arg $ cache_dir_arg $ no_cache_arg
+      $ cache_stats_arg)
   in
   Cmd.v
     (Cmd.info "lint"
@@ -698,6 +793,77 @@ let lint_cmd =
           mismatches. One machine-readable finding per line; exits 0 when no finding is \
           worse than info, 1 otherwise, 3 on usage errors.")
     term
+
+(* --- cache --- *)
+
+let cache_cmd =
+  let dir_arg =
+    Arg.(
+      value
+      & opt string Analysis.Cache.default_dir
+      & info [ "cache" ] ~docv:"DIR" ~doc:"Cache directory (default $(docv)=_boost_cache).")
+  in
+  let status_cmd =
+    let run dir =
+      if not (Sys.file_exists dir && Sys.is_directory dir) then begin
+        Format.printf "%s: no cache@." dir;
+        0
+      end
+      else begin
+        let by_kind = Analysis.Cache.entries ~dir in
+        Format.printf "@[<v 2>%s:@," dir;
+        if by_kind = [] then Format.printf "no entries@,"
+        else
+          List.iter
+            (fun (kind, n, bytes) ->
+              Format.printf "%-8s %d entr%s, %d bytes@," kind n
+                (if n = 1 then "y" else "ies")
+                bytes)
+            by_kind;
+        let corrupt = Analysis.Cache.corrupt_count ~dir in
+        if corrupt > 0 then Format.printf "%d quarantined (.corrupt) file%s@," corrupt
+            (if corrupt = 1 then "" else "s");
+        (* Change-impact report: the recorded fleet manifest against the
+           live registry, protocol by protocol. *)
+        (match Analysis.Cache.read_manifest (Analysis.Cache.open_ ~dir) with
+        | None -> Format.printf "no fleet manifest (run `boost lint --all --cache %s`)@," dir
+        | Some old ->
+          let r = Analysis.Cache.diff old (Registry.manifest ()) in
+          List.iter
+            (fun (name, change) ->
+              Format.printf "%-14s %a@," name Analysis.Cache.pp_change change)
+            r.Analysis.Cache.changes;
+          List.iter
+            (fun name -> Format.printf "%-14s removed from registry@," name)
+            r.Analysis.Cache.removed);
+        Format.printf "@]@.";
+        0
+      end
+    in
+    Cmd.v
+      (Cmd.info "status"
+         ~doc:
+           "Entry counts per kind, quarantined files, and a change-impact diff of the \
+            live protocol fleet against the recorded manifest (unchanged / renamed / \
+            changed / added).")
+      Term.(const run $ dir_arg)
+  in
+  let clear_cmd =
+    let run dir =
+      let n = Analysis.Cache.clear ~dir in
+      Format.printf "%s: removed %d entr%s@." dir n (if n = 1 then "y" else "ies");
+      0
+    in
+    Cmd.v
+      (Cmd.info "clear" ~doc:"Remove every cache entry (and quarantined file) under DIR.")
+      Term.(const run $ dir_arg)
+  in
+  Cmd.group
+    (Cmd.info "cache"
+       ~doc:
+         "Inspect or clear the persistent analysis cache populated by `boost lint \
+          --cache` and `boost chaos --cache`.")
+    [ status_cmd; clear_cmd ]
 
 (* --- experiments --- *)
 
@@ -729,6 +895,7 @@ let main =
       lemmas_cmd;
       chaos_cmd;
       lint_cmd;
+      cache_cmd;
       experiments_cmd;
     ]
 

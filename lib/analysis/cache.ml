@@ -1,0 +1,423 @@
+(* Persistent on-disk analysis cache, keyed by {!Structhash}.
+
+   Layout: one file per entry under the cache directory (default
+   [_boost_cache/]), named [<kind>-<key>.entry]. Every file opens with a
+   one-line versioned envelope header
+
+     boost-cache <envelope version> <analyzer version> <kind> <key>
+
+   so entries self-invalidate when either the envelope format or the
+   analyzer (via {!Structhash.analyzer_version}) changes — a mismatched
+   header counts as [stale] and the entry is dropped. Files that fail the
+   header or payload decode are quarantined: renamed to [*.corrupt], counted,
+   and never consulted again. Writes go through a tempfile in the same
+   directory plus an atomic [Sys.rename], so concurrent readers (parallel
+   lint domains, concurrent CI jobs sharing a directory) never observe a
+   half-written entry. Cache failures of any kind degrade to a miss; the
+   cache can make an analysis faster, never wrong and never crash it. *)
+
+module Iset = Spec.Iset
+
+let envelope_version = 1
+let default_dir = "_boost_cache"
+
+type stats = {
+  mutable hits : int;
+  mutable misses : int;
+  mutable stale : int;
+  mutable corrupt : int;
+  mutable renamed : int;  (* hits that were mapped through a service rename *)
+  mutable writes : int;
+}
+
+type t = { dir : string; lock : Mutex.t; stats : stats }
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir then mkdir_p parent;
+    try Sys.mkdir dir 0o755 with Sys_error _ -> ()
+  end
+
+let open_ ~dir =
+  mkdir_p dir;
+  {
+    dir;
+    lock = Mutex.create ();
+    stats = { hits = 0; misses = 0; stale = 0; corrupt = 0; renamed = 0; writes = 0 };
+  }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let bump t f = locked t (fun () -> f t.stats)
+
+(* Keys land in filenames: keep them to a conservative alphabet. *)
+let sanitize key =
+  String.map
+    (fun c ->
+      match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '.' -> c | _ -> '_')
+    key
+
+let file t ~kind ~key = Filename.concat t.dir (kind ^ "-" ^ sanitize key ^ ".entry")
+let header ~kind ~key =
+  Printf.sprintf "boost-cache %d %d %s %s" envelope_version Structhash.analyzer_version
+    kind (sanitize key)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let quarantine_path path =
+  try Sys.rename path (path ^ ".corrupt") with Sys_error _ -> ()
+
+type raw = Hit of string | Miss | Stale | Bad
+
+let find_raw t ~kind ~key =
+  let path = file t ~kind ~key in
+  if not (Sys.file_exists path) then Miss
+  else
+    match read_file path with
+    | exception Sys_error _ | exception End_of_file ->
+      quarantine_path path;
+      Bad
+    | content -> (
+      match String.index_opt content '\n' with
+      | None ->
+        quarantine_path path;
+        Bad
+      | Some i ->
+        let line = String.sub content 0 i in
+        let payload = String.sub content (i + 1) (String.length content - i - 1) in
+        if String.equal line (header ~kind ~key) then Hit payload
+        else if String.length line >= 11 && String.equal (String.sub line 0 11) "boost-cache"
+        then begin
+          (* A well-formed entry from another envelope or analyzer version:
+             stale, not corrupt — silently dropped, rewritten on next store. *)
+          (try Sys.remove path with Sys_error _ -> ());
+          Stale
+        end
+        else begin
+          quarantine_path path;
+          Bad
+        end)
+
+(* [lookup] is the counting wrapper every typed accessor goes through: a
+   payload that fails its decoder is demoted from hit to corrupt (and the
+   file quarantined), so the statistics always describe usable entries. *)
+let lookup t ~kind ~key ~decode =
+  match find_raw t ~kind ~key with
+  | Miss ->
+    bump t (fun s -> s.misses <- s.misses + 1);
+    None
+  | Stale ->
+    bump t (fun s -> s.stale <- s.stale + 1);
+    None
+  | Bad ->
+    bump t (fun s -> s.corrupt <- s.corrupt + 1);
+    None
+  | Hit payload -> (
+    match decode payload with
+    | Some v ->
+      bump t (fun s -> s.hits <- s.hits + 1);
+      Some v
+    | None | (exception _) ->
+      quarantine_path (file t ~kind ~key);
+      bump t (fun s -> s.corrupt <- s.corrupt + 1);
+      None)
+
+let find t ~kind ~key = lookup t ~kind ~key ~decode:Option.some
+
+let store t ~kind ~key payload =
+  try
+    mkdir_p t.dir;
+    let tmp = Filename.temp_file ~temp_dir:t.dir ".write" ".tmp" in
+    let oc = open_out_bin tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        output_string oc (header ~kind ~key);
+        output_char oc '\n';
+        output_string oc payload);
+    Sys.rename tmp (file t ~kind ~key);
+    bump t (fun s -> s.writes <- s.writes + 1)
+  with Sys_error _ -> ()
+
+(* --- maintenance --- *)
+
+let is_cache_file name =
+  Filename.check_suffix name ".entry"
+  || Filename.check_suffix name ".corrupt"
+  || Filename.check_suffix name ".tmp"
+
+let clear ~dir =
+  if not (Sys.file_exists dir) then 0
+  else
+    Array.fold_left
+      (fun n name ->
+        if is_cache_file name then begin
+          (try Sys.remove (Filename.concat dir name) with Sys_error _ -> ());
+          n + 1
+        end
+        else n)
+      0 (Sys.readdir dir)
+
+(* Entries on disk, grouped by kind: (kind, count, total bytes). *)
+let entries ~dir =
+  if not (Sys.file_exists dir) then []
+  else begin
+    let tally = Hashtbl.create 8 in
+    Array.iter
+      (fun name ->
+        if Filename.check_suffix name ".entry" then begin
+          let kind =
+            match String.index_opt name '-' with
+            | Some i -> String.sub name 0 i
+            | None -> "?"
+          in
+          let size =
+            try
+              let ic = open_in_bin (Filename.concat dir name) in
+              let n = in_channel_length ic in
+              close_in_noerr ic;
+              n
+            with Sys_error _ -> 0
+          in
+          let c, b = Option.value (Hashtbl.find_opt tally kind) ~default:(0, 0) in
+          Hashtbl.replace tally kind (c + 1, b + size)
+        end)
+      (Sys.readdir dir);
+    Hashtbl.fold (fun kind (c, b) acc -> (kind, c, b) :: acc) tally []
+    |> List.sort (fun (k1, _, _) (k2, _, _) -> String.compare k1 k2)
+  end
+
+let corrupt_count ~dir =
+  if not (Sys.file_exists dir) then 0
+  else
+    Array.fold_left
+      (fun n name -> if Filename.check_suffix name ".corrupt" then n + 1 else n)
+      0 (Sys.readdir dir)
+
+(* --- statistics --- *)
+
+let pp_stats ppf t =
+  let s = t.stats in
+  Format.fprintf ppf
+    "cache: %d hit(s) (%d via rename), %d miss(es), %d stale, %d corrupt, %d write(s)"
+    s.hits s.renamed s.misses s.stale s.corrupt s.writes
+
+let stats_json t =
+  let s = t.stats in
+  Printf.sprintf
+    "{\n\
+    \  \"hits\": %d,\n\
+    \  \"misses\": %d,\n\
+    \  \"stale\": %d,\n\
+    \  \"corrupt\": %d,\n\
+    \  \"renamed\": %d,\n\
+    \  \"writes\": %d\n\
+     }\n"
+    s.hits s.misses s.stale s.corrupt s.renamed s.writes
+
+(* --- the fleet manifest --- *)
+
+let encode_structhash b (h : Structhash.t) =
+  Codec.int_out b h.Structhash.full;
+  Codec.int_out b h.Structhash.sem;
+  Codec.array_out b (fun b p -> Codec.int_out b p) h.Structhash.procs;
+  Codec.int_out b (List.length h.Structhash.services);
+  List.iter
+    (fun (id, bh) ->
+      Codec.string_out b id;
+      Codec.int_out b bh)
+    h.Structhash.services
+
+let decode_structhash c =
+  let full = Codec.int_in c in
+  let sem = Codec.int_in c in
+  let procs = Codec.array_in c Codec.int_in in
+  let ns = Codec.int_in c in
+  if ns < 0 then raise (Codec.Corrupt "negative service count");
+  let services =
+    List.init ns (fun _ ->
+        let id = Codec.string_in c in
+        let bh = Codec.int_in c in
+        id, bh)
+  in
+  { Structhash.full; sem; procs; services }
+
+let manifest_key = "fleet"
+
+let write_manifest t manifest =
+  let b = Buffer.create 512 in
+  Codec.int_out b (List.length manifest);
+  List.iter
+    (fun (name, h) ->
+      Codec.string_out b name;
+      encode_structhash b h)
+    manifest;
+  store t ~kind:"manifest" ~key:manifest_key (Buffer.contents b)
+
+(* Manifest reads do not count toward hit/miss statistics: they are
+   bookkeeping around the analyses, not analysis reuse. *)
+let read_manifest t =
+  match find_raw t ~kind:"manifest" ~key:manifest_key with
+  | Miss | Stale | Bad -> None
+  | Hit payload -> (
+    try
+      let c = Codec.cursor payload in
+      let n = Codec.int_in c in
+      if n < 0 then raise (Codec.Corrupt "negative manifest size");
+      Some
+        (List.init n (fun _ ->
+             let name = Codec.string_in c in
+             name, decode_structhash c))
+    with _ ->
+      quarantine_path (file t ~kind:"manifest" ~key:manifest_key);
+      None)
+
+(* --- the Goblint-style diff pass --- *)
+
+type change =
+  | Unchanged
+  | Renamed of (string * string) list  (* (old id, new id); [] = pure permutation *)
+  | Changed
+  | Added
+
+type change_report = { changes : (string * change) list; removed : string list }
+
+let change_of (old : Structhash.t option) (h : Structhash.t) =
+  match old with
+  | None -> Added
+  | Some o ->
+    if o.Structhash.full = h.Structhash.full then Unchanged
+    else if o.Structhash.sem = h.Structhash.sem then
+      match
+        Structhash.permutation ~old_services:o.Structhash.services
+          ~services:h.Structhash.services
+      with
+      | Some perm ->
+        Renamed
+          (Structhash.rename_pairs ~old_services:o.Structhash.services
+             ~services:h.Structhash.services perm)
+      | None -> Changed
+    else Changed
+
+let diff old_manifest manifest =
+  let changes =
+    List.map
+      (fun (name, h) -> name, change_of (List.assoc_opt name old_manifest) h)
+      manifest
+  in
+  let removed =
+    List.filter_map
+      (fun (name, _) ->
+        if List.mem_assoc name manifest then None else Some name)
+      old_manifest
+  in
+  { changes; removed }
+
+(* The single-system form the tentpole names: where does [sys] stand
+   relative to the recorded manifest entry for [name]? *)
+let diff_system old_manifest ~name sys =
+  change_of (List.assoc_opt name old_manifest) (Structhash.system sys)
+
+let pp_change ppf = function
+  | Unchanged -> Format.pp_print_string ppf "unchanged"
+  | Renamed [] -> Format.pp_print_string ppf "services permuted (solutions reusable)"
+  | Renamed pairs ->
+    Format.fprintf ppf "renamed (%a)"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+         (fun ppf (o, n) -> Format.fprintf ppf "%s -> %s" o n))
+      pairs
+  | Changed -> Format.pp_print_string ppf "changed (re-analysis required)"
+  | Added -> Format.pp_print_string ppf "new (no cache entry)"
+
+(* --- typed accessors: Reach solutions --- *)
+
+(* Reach solutions are keyed by the *semantic* hash: the abstract state is
+   positional (no service identifiers inside), so a solution computed for a
+   renamed or permuted-service twin is mapped onto the current system by a
+   pure array permutation and re-harvested — the Goblint-style reuse path.
+   The stored service hash list (donor order) supplies the permutation. *)
+
+let reach_key (h : Structhash.t) ~max_faults ~inputs_key =
+  Printf.sprintf "%s-mf%d-%s" (Structhash.sem_key h) max_faults inputs_key
+
+let reach_store t (h : Structhash.t) ~max_faults ~inputs_key r =
+  let b = Buffer.create 1024 in
+  Codec.int_out b (List.length h.Structhash.services);
+  List.iter
+    (fun (id, bh) ->
+      Codec.string_out b id;
+      Codec.int_out b bh)
+    h.Structhash.services;
+  Reach.encode_solution b (Reach.solution_of r);
+  store t ~kind:"reach" ~key:(reach_key h ~max_faults ~inputs_key) (Buffer.contents b)
+
+let reach_find t (h : Structhash.t) ~max_faults ~inputs_key sys =
+  lookup t ~kind:"reach"
+    ~key:(reach_key h ~max_faults ~inputs_key)
+    ~decode:(fun payload ->
+      let c = Codec.cursor payload in
+      let ns = Codec.int_in c in
+      if ns < 0 then raise (Codec.Corrupt "negative service count");
+      let stored =
+        List.init ns (fun _ ->
+            let id = Codec.string_in c in
+            let bh = Codec.int_in c in
+            id, bh)
+      in
+      let sol = Reach.decode_solution c in
+      if sol.Reach.s_max_faults <> max_faults then
+        raise (Codec.Corrupt "max_faults mismatch");
+      match Structhash.permutation ~old_services:stored ~services:h.Structhash.services with
+      | None -> raise (Codec.Corrupt "service hash mismatch")
+      | Some perm ->
+        let sol =
+          if Structhash.is_identity perm then sol
+          else begin
+            bump t (fun s -> s.renamed <- s.renamed + 1);
+            {
+              sol with
+              Reach.s_astates = Array.map (Astate.permute_svcs perm) sol.Reach.s_astates;
+            }
+          end
+        in
+        Some (Reach.of_solution sys sol))
+
+(* --- typed accessors: rendered lint reports --- *)
+
+type lint_entry = { human : string; findings : Lint.finding list; code : int }
+
+let lint_store t ~key e =
+  let b = Buffer.create 512 in
+  Codec.int_out b e.code;
+  Codec.string_out b e.human;
+  Lint.encode_findings b e.findings;
+  store t ~kind:"lint" ~key (Buffer.contents b)
+
+let lint_find t ~key =
+  lookup t ~kind:"lint" ~key ~decode:(fun payload ->
+      let c = Codec.cursor payload in
+      let code = Codec.int_in c in
+      let human = Codec.string_in c in
+      let findings = Lint.decode_findings c in
+      Some { human; findings; code })
+
+(* --- typed accessors: quiescence certificates --- *)
+
+let cert_store t ~key cert =
+  let b = Buffer.create 16 in
+  Prune.encode_cert b cert;
+  store t ~kind:"cert" ~key (Buffer.contents b)
+
+(* [Some c] = a stored verdict (itself [None] when the system has no
+   certificate — negative results are cached too); [None] = cache miss. *)
+let cert_find t ~key =
+  lookup t ~kind:"cert" ~key ~decode:(fun payload ->
+      Some (Prune.decode_cert (Codec.cursor payload)))

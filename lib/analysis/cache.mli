@@ -1,0 +1,125 @@
+(** Persistent on-disk analysis cache, keyed by {!Structhash}.
+
+    Layout: one file per entry under the cache directory (default
+    [_boost_cache/]), named [<kind>-<key>.entry]. Every file opens with a
+    one-line versioned envelope header
+
+    {v boost-cache <envelope version> <analyzer version> <kind> <key> v}
+
+    so entries self-invalidate when either the envelope format or the
+    analyzer (via {!Structhash.analyzer_version}) changes — a mismatched
+    header counts as [stale] and the entry is dropped. Files that fail the
+    header or payload decode are quarantined: renamed to [*.corrupt],
+    counted, and never consulted again. Writes go through a tempfile in the
+    same directory plus an atomic rename, so concurrent readers (parallel
+    lint domains, concurrent CI jobs sharing a directory) never observe a
+    half-written entry. Cache failures of any kind degrade to a miss; the
+    cache can make an analysis faster, never wrong and never crash it. *)
+
+val envelope_version : int
+val default_dir : string
+
+type stats = {
+  mutable hits : int;
+  mutable misses : int;
+  mutable stale : int;
+  mutable corrupt : int;
+  mutable renamed : int;  (** Hits mapped through a service rename/permutation. *)
+  mutable writes : int;
+}
+
+type t = { dir : string; lock : Mutex.t; stats : stats }
+
+val open_ : dir:string -> t
+(** Creates the directory (and parents) if absent. All operations on the
+    returned handle are thread-safe. *)
+
+val find : t -> kind:string -> key:string -> string option
+(** Raw payload lookup; counts a hit, miss, stale or corrupt. *)
+
+val lookup : t -> kind:string -> key:string -> decode:(string -> 'a option) -> 'a option
+(** The counting wrapper every typed accessor goes through: a payload whose
+    [decode] returns [None] or raises (e.g. {!Codec.Corrupt}) is demoted
+    from hit to corrupt and the file quarantined, so the statistics always
+    describe usable entries. *)
+
+val store : t -> kind:string -> key:string -> string -> unit
+(** Atomic write; failures are swallowed (the entry is simply not cached). *)
+
+(** {1 Maintenance} *)
+
+val clear : dir:string -> int
+(** Remove every cache file ([.entry], [.corrupt], [.tmp]); returns the
+    count removed. *)
+
+val entries : dir:string -> (string * int * int) list
+(** Entries on disk grouped by kind: (kind, count, total bytes), sorted. *)
+
+val corrupt_count : dir:string -> int
+
+(** {1 Statistics} *)
+
+val pp_stats : Format.formatter -> t -> unit
+val stats_json : t -> string
+
+(** {1 The fleet manifest} *)
+
+val write_manifest : t -> (string * Structhash.t) list -> unit
+
+val read_manifest : t -> (string * Structhash.t) list option
+(** Manifest reads do not count toward hit/miss statistics: they are
+    bookkeeping around the analyses, not analysis reuse. *)
+
+(** {1 The Goblint-style diff pass} *)
+
+type change =
+  | Unchanged  (** Same [full] hash — every cache entry replays. *)
+  | Renamed of (string * string) list
+      (** Same [sem] hash, matched service tables; the (old, new) id pairs
+          that changed, [[]] for a pure permutation. Semantic entries
+          (fixpoint solutions) replay through the permutation map. *)
+  | Changed  (** Re-analysis required. *)
+  | Added  (** No recorded entry. *)
+
+type change_report = { changes : (string * change) list; removed : string list }
+
+val diff : (string * Structhash.t) list -> (string * Structhash.t) list -> change_report
+(** [diff old_manifest manifest] — per-protocol change classification plus
+    the names present before and gone now. *)
+
+val diff_system : (string * Structhash.t) list -> name:string -> Model.System.t -> change
+(** Where does one system stand relative to the recorded manifest entry for
+    [name]? *)
+
+val pp_change : Format.formatter -> change -> unit
+
+(** {1 Typed accessors} *)
+
+val reach_key : Structhash.t -> max_faults:int -> inputs_key:string -> string
+(** Reach solutions are keyed by the {e semantic} hash: the abstract state
+    is positional, so a solution computed for a renamed or permuted-service
+    twin maps onto the current system by a pure array permutation
+    ({!Astate.permute_svcs}) and a re-harvest. *)
+
+val reach_store :
+  t -> Structhash.t -> max_faults:int -> inputs_key:string -> Reach.t -> unit
+
+val reach_find :
+  t -> Structhash.t -> max_faults:int -> inputs_key:string -> Model.System.t -> Reach.t option
+(** A hit that crossed a rename/permutation also bumps [renamed]. *)
+
+type lint_entry = { human : string; findings : Lint.finding list; code : int }
+(** A rendered lint report: the exact human text (margin 78), the findings
+    for JSON re-emission, and the exit code. Keyed by the caller-built
+    presentation key ([full] hash + parameters + claim digest). *)
+
+val lint_store : t -> key:string -> lint_entry -> unit
+val lint_find : t -> key:string -> lint_entry option
+
+val cert_store : t -> key:string -> Prune.cert option -> unit
+(** Quiescence certificates; negative results ([None]) are cached too —
+    recomputing "nothing to prune" costs a full fixpoint. *)
+
+val cert_find : t -> key:string -> Prune.cert option option
+(** [Some c] = a stored verdict (itself [None] when the system has no
+    certificate); [None] = cache miss. *)

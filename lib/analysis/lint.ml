@@ -17,8 +17,11 @@ let compare_finding a b =
     let c = String.compare a.code b.code in
     if c <> 0 then c else String.compare a.subject b.subject
 
-let analyze ?max_faults ?inputs ?(gaps = []) (sys : System.t) =
-  let r = Reach.analyze ?max_faults ?inputs sys in
+let analyze ?max_faults ?inputs ?(gaps = []) ?reach (sys : System.t) =
+  (* [?reach] lets the cache substitute a restored fixpoint solution for the
+     solve; the caller owes a solution computed for this system (or one
+     behaviorally identical under its key) at the same [max_faults]. *)
+  let r = match reach with Some r -> r | None -> Reach.analyze ?max_faults ?inputs sys in
   let interference = Interfere.analyze ~reach:r ?max_crashes:max_faults sys in
   let fs = ref [] in
   let add code severity subject detail = fs := { code; severity; subject; detail } :: !fs in
@@ -155,3 +158,43 @@ let json_of_finding ~protocol f =
 
 let exit_code r =
   if List.exists (fun f -> f.severity <> Info) r.findings then 1 else 0
+
+(* Artifact ordering: (protocol, severity, code, subject) — a total, input-
+   order-independent sort, so the `lint --all --json` artifact is diff-stable
+   across parallel runs and cache replays. *)
+let sort_for_artifact pairs =
+  List.stable_sort
+    (fun (p1, f1) (p2, f2) ->
+      let c = String.compare p1 p2 in
+      if c <> 0 then c else compare_finding f1 f2)
+    pairs
+
+(* --- cache serialization --- *)
+
+let severity_tag = function Error -> 0 | Warning -> 1 | Info -> 2
+
+let severity_of_tag = function
+  | 0 -> Error
+  | 1 -> Warning
+  | 2 -> Info
+  | n -> raise (Codec.Corrupt (Printf.sprintf "bad severity tag %d" n))
+
+let encode_findings b findings =
+  Codec.int_out b (List.length findings);
+  List.iter
+    (fun f ->
+      Codec.int_out b (severity_tag f.severity);
+      Codec.string_out b f.code;
+      Codec.string_out b f.subject;
+      Codec.string_out b f.detail)
+    findings
+
+let decode_findings c =
+  let n = Codec.int_in c in
+  if n < 0 then raise (Codec.Corrupt "negative finding count");
+  List.init n (fun _ ->
+      let severity = severity_of_tag (Codec.int_in c) in
+      let code = Codec.string_in c in
+      let subject = Codec.string_in c in
+      let detail = Codec.string_in c in
+      { code; severity; subject; detail })

@@ -32,11 +32,15 @@ val analyze :
   ?max_faults:int ->
   ?inputs:Ioa.Value.t list ->
   ?gaps:Guarantee.gap list ->
+  ?reach:Reach.t ->
   Model.System.t ->
   report
 (** [gaps] (from {!Guarantee.gaps} against the protocol's registered claim)
     are folded in as [guarantee-gap] findings at [Info] severity — expected
-    paper-explanations for the boosting protocols, not defects. *)
+    paper-explanations for the boosting protocols, not defects. [reach]
+    substitutes a (cache-restored) fixpoint solution for the solve; the
+    caller owes a solution computed for this system, or one behaviorally
+    identical under its cache key, at the same [max_faults]. *)
 
 val pp_severity : Format.formatter -> severity -> unit
 val pp_finding : Format.formatter -> finding -> unit
@@ -54,3 +58,13 @@ val json_of_finding : protocol:string -> finding -> string
 
 val exit_code : report -> int
 (** 0 when no finding is worse than [Info]; 1 otherwise. *)
+
+val sort_for_artifact : (string * finding) list -> (string * finding) list
+(** Artifact ordering: (protocol, severity, code, subject) — a total,
+    input-order-independent sort, so the [lint --all --json] artifact is
+    diff-stable across parallel runs and cache replays. *)
+
+val encode_findings : Buffer.t -> finding list -> unit
+
+val decode_findings : Codec.cursor -> finding list
+(** Raises {!Codec.Corrupt} on malformed input. *)

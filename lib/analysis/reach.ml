@@ -36,47 +36,12 @@ let subsets ~n ~seed ~extra =
     (fun k -> List.map (fun s -> List.fold_left (fun f i -> Iset.add i f) seed s) (choose k free))
     (List.init (extra + 1) Fun.id)
 
-let solve ~max_faults ~seed_failed ~seed_astate (sys : System.t) =
-  let n = Array.length sys.System.processes in
-  let fsets = Array.of_list (subsets ~n ~seed:seed_failed ~extra:max_faults) in
-  let index = Array.to_seq fsets |> Seq.mapi (fun i f -> f, i) |> IMap.of_seq in
-  let nu = Array.length fsets in
+(* Post-fixpoint fact pass: rerun each transfer once against a solution to
+   harvest firing, decide and incident facts. Factored out of [solve] so a
+   cached solution can be rehydrated into a full [t] without re-running the
+   fixpoint — the facts are one transfer sweep, the fixpoint is many. *)
+let harvest ~max_faults ~fsets ~values ~stats (sys : System.t) =
   let tasks = sys.System.tasks in
-  let crash_preds =
-    Array.map
-      (fun f ->
-        Iset.elements (Iset.diff f seed_failed)
-        |> List.map (fun i -> IMap.find (Iset.remove i f) index))
-      fsets
-  in
-  let dependents =
-    Array.mapi
-      (fun u f ->
-        let supers =
-          if Iset.cardinal (Iset.diff f seed_failed) >= max_faults then []
-          else
-            List.filter_map
-              (fun i -> if Iset.mem i f then None else IMap.find_opt (Iset.add i f) index)
-              (List.init n Fun.id)
-        in
-        u :: supers)
-      fsets
-  in
-  let rhs ~get u =
-    let contrib = if u = 0 then seed_astate else Astate.Bot in
-    let contrib =
-      List.fold_left (fun a p -> Astate.join a (get p)) contrib crash_preds.(u)
-    in
-    let here = get u in
-    Array.fold_left
-      (fun a tk -> Astate.join a (Transfer.task sys ~failed:fsets.(u) here tk).Transfer.post)
-      contrib tasks
-  in
-  let values, stats =
-    FP.solve ~n:nu ~bot:Astate.Bot ~rhs ~dependents:(fun u -> dependents.(u)) ()
-  in
-  (* Post-fixpoint fact pass: rerun each transfer once against the solution
-     to harvest firing, decide and incident facts. *)
   let incidents = ref [] in
   let note inc =
     if
@@ -116,6 +81,47 @@ let solve ~max_faults ~seed_failed ~seed_astate (sys : System.t) =
       fsets
   in
   { sys; max_faults; infos; incidents = List.rev !incidents; stats }
+
+let solve ~max_faults ~seed_failed ~seed_astate (sys : System.t) =
+  let n = Array.length sys.System.processes in
+  let fsets = Array.of_list (subsets ~n ~seed:seed_failed ~extra:max_faults) in
+  let index = Array.to_seq fsets |> Seq.mapi (fun i f -> f, i) |> IMap.of_seq in
+  let nu = Array.length fsets in
+  let tasks = sys.System.tasks in
+  let crash_preds =
+    Array.map
+      (fun f ->
+        Iset.elements (Iset.diff f seed_failed)
+        |> List.map (fun i -> IMap.find (Iset.remove i f) index))
+      fsets
+  in
+  let dependents =
+    Array.mapi
+      (fun u f ->
+        let supers =
+          if Iset.cardinal (Iset.diff f seed_failed) >= max_faults then []
+          else
+            List.filter_map
+              (fun i -> if Iset.mem i f then None else IMap.find_opt (Iset.add i f) index)
+              (List.init n Fun.id)
+        in
+        u :: supers)
+      fsets
+  in
+  let rhs ~get u =
+    let contrib = if u = 0 then seed_astate else Astate.Bot in
+    let contrib =
+      List.fold_left (fun a p -> Astate.join a (get p)) contrib crash_preds.(u)
+    in
+    let here = get u in
+    Array.fold_left
+      (fun a tk -> Astate.join a (Transfer.task sys ~failed:fsets.(u) here tk).Transfer.post)
+      contrib tasks
+  in
+  let values, stats =
+    FP.solve ~n:nu ~bot:Astate.Bot ~rhs ~dependents:(fun u -> dependents.(u)) ()
+  in
+  harvest ~max_faults ~fsets ~values ~stats sys
 
 let default_inputs (sys : System.t) =
   List.init (Array.length sys.System.processes) (fun i -> Value.int (i mod 2))
@@ -170,3 +176,47 @@ let frozen t =
   Array.for_all
     (fun inf -> Astate.leq inf.astate a0 && inf.decides = [] && not inf.decide_havoc)
     t.infos
+
+(* --- cache serialization ---
+
+   Only the fixpoint *solution* is persisted — the per-unknown failed sets
+   and abstract states plus the solver statistics. Decides, incidents and
+   firing facts are rebuilt by the (cheap) [harvest] sweep against the
+   current system, so a solution restored through a service permutation
+   renders facts in the new system's own task order and positions. *)
+
+type solution = {
+  s_max_faults : int;
+  s_failed : Iset.t array;
+  s_astates : Astate.t array;
+  s_stats : Fixpoint.stats;
+}
+
+let solution_of t =
+  {
+    s_max_faults = t.max_faults;
+    s_failed = Array.map (fun inf -> inf.failed) t.infos;
+    s_astates = Array.map (fun inf -> inf.astate) t.infos;
+    s_stats = t.stats;
+  }
+
+let of_solution (sys : System.t) sol =
+  harvest ~max_faults:sol.s_max_faults ~fsets:sol.s_failed ~values:sol.s_astates
+    ~stats:sol.s_stats sys
+
+let encode_solution b sol =
+  Codec.int_out b sol.s_max_faults;
+  Codec.int_out b sol.s_stats.Fixpoint.iterations;
+  Codec.int_out b sol.s_stats.Fixpoint.widenings;
+  Codec.array_out b Codec.iset_out sol.s_failed;
+  Codec.array_out b Codec.astate_out sol.s_astates
+
+let decode_solution c =
+  let s_max_faults = Codec.int_in c in
+  let iterations = Codec.int_in c in
+  let widenings = Codec.int_in c in
+  let s_failed = Codec.array_in c Codec.iset_in in
+  let s_astates = Codec.array_in c Codec.astate_in in
+  if Array.length s_failed <> Array.length s_astates then
+    raise (Codec.Corrupt "solution arity mismatch");
+  { s_max_faults; s_failed; s_astates; s_stats = { Fixpoint.iterations; widenings } }

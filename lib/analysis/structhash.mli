@@ -1,0 +1,81 @@
+(** Canonical structural hash of a system's analysis-relevant identity.
+
+    Two hashes are computed per system:
+
+    - [full] — the presentation hash: everything the analyses and their
+      rendered reports can depend on, including service identifiers, the
+      service-array order and the declared type names. Cache entries that
+      store rendered output are keyed by it.
+
+    - [sem] — the semantic hash: service identifiers and the service-array
+      order are canonicalized away (a service is named by its own behavioral
+      hash; processes refer to services by canonical index, not id string).
+      Renaming a service — consistently in its definition and in every
+      process that invokes it — or permuting the service array leaves [sem]
+      unchanged while [full] moves, which is exactly the Goblint-style
+      rename/permutation detection the cache's diff pass keys on.
+
+    Behavior is hashed by {e probing}, not by inspecting closures: a bounded
+    breadth-first walk over each process's reachable local states (driven by
+    [step], [on_init] over the seed input alphabet, and [on_response] over
+    each connected service's declared response alphabet) and over each
+    service's reachable type values (driven by [delta_inv] across every
+    invocation × endpoint × a bounded family of failed-sets, and
+    [delta_glob] across the declared global tasks). Every transition's
+    observable outcome is folded into the hash, so any behavioral change a
+    bounded analysis could see moves the hash; hash-equal units may still
+    differ beyond the probe bound, which costs at most a spurious cache hit
+    on behavior no analysis in this repository reaches. Probe caps are
+    folded into the hash themselves, so a capped walk never collides with an
+    uncapped one. *)
+
+val analyzer_version : int
+(** Salts every hash and every cache envelope: bump it whenever the
+    transfer functions, the abstract domains or the probing scheme change,
+    and every existing cache entry self-invalidates. *)
+
+type t = {
+  full : int;  (** Presentation hash. *)
+  sem : int;  (** Semantic hash (service ids and order canonicalized). *)
+  procs : int array;  (** Per-process semantic behavioral hash, pid order. *)
+  services : (string * int) list;
+      (** (id, semantic behavioral hash), service-array order. *)
+}
+
+val system : Model.System.t -> t
+
+val key : t -> string
+(** The [full] hash as a 16-hex-digit string — filename-safe. *)
+
+val sem_key : t -> string
+(** The [sem] hash, same rendering. *)
+
+val equal_sem : t -> t -> bool
+
+val hex : int -> string
+
+val probe_inputs : Ioa.Value.t list
+(** The seed input alphabet the process probe drives [on_init] over — the
+    binary staircase convention {!Reach.analyze} defaults to. *)
+
+val mix_tokens : string list -> int
+(** FNV-1a fold of a token list — for callers composing cache keys that
+    include non-system inputs (claims, parameter tuples). *)
+
+val permutation :
+  old_services:(string * int) list -> services:(string * int) list -> int array option
+(** Match two service tables by behavioral hash: [Some perm] with
+    [perm.(j)] = the old index whose service the new index [j] corresponds
+    to, [None] when the hash multisets differ. Hash ties pair in order —
+    tied services are behaviorally identical, so any pairing is
+    semantically interchangeable. *)
+
+val is_identity : int array -> bool
+
+val rename_pairs :
+  old_services:(string * int) list ->
+  services:(string * int) list ->
+  int array ->
+  (string * string) list
+(** The id mapping a permutation induces: (old id, new id) pairs where the
+    name actually changed — the substance of a rename report. *)

@@ -540,8 +540,8 @@ let por_slide ~ctx ~stride ~degrade ~max_steps ~n_tasks (s : Schedule.t) =
   end
 
 let run_par ?monitors ?interleave ?inputs ?config ?(domains = 1) ?(dedup = true)
-    ?(static_prune = false) ?(por = false) ?(stop = fun () -> false)
-    (sys : Model.System.t) =
+    ?(static_prune = false) ?(por = false) ?cache ?record_sink
+    ?(stop = fun () -> false) (sys : Model.System.t) =
   let cfg = match config with Some c -> c | None -> default_config sys in
   let space = space_size sys cfg in
   let candidates = Array.of_seq (Seq.take (max 0 cfg.budget) (schedules sys cfg)) in
@@ -565,10 +565,26 @@ let run_par ?monitors ?interleave ?inputs ?config ?(domains = 1) ?(dedup = true)
       static_prune && monitors = None
       && (match interleave with Some (Runner.Seeded _) -> false | _ -> true)
       && cfg.horizon + cfg.max_faults + n_tasks + 2 <= cfg.max_steps
-    then
-      Analysis.Prune.clean_from ~max_faults:cfg.max_faults
-        ~inputs:(match inputs with Some l -> l | None -> Runner.default_inputs sys)
-        ~horizon:cfg.horizon sys
+    then begin
+      let compute () =
+        Analysis.Prune.clean_from ~max_faults:cfg.max_faults
+          ~inputs:(match inputs with Some l -> l | None -> Runner.default_inputs sys)
+          ~horizon:cfg.horizon sys
+      in
+      (* The certificate is one full Reach fixpoint; consult the persistent
+         cache when the caller supplied one. Only default inputs are keyed
+         (the CLI never overrides them); negative verdicts are cached too. *)
+      match cache with
+      | Some (c, prefix) when inputs = None -> (
+        let key = Printf.sprintf "%s-mf%d-h%d-idef" prefix cfg.max_faults cfg.horizon in
+        match Analysis.Cache.cert_find c ~key with
+        | Some verdict -> verdict
+        | None ->
+          let v = compute () in
+          Analysis.Cache.cert_store c ~key v;
+          v)
+      | _ -> compute ()
+    end
     else None
   in
   let por_dep =
@@ -914,6 +930,9 @@ let run_par ?monitors ?interleave ?inputs ?config ?(domains = 1) ?(dedup = true)
       ]
     end
   in
+  (match record_sink with
+  | Some sink -> sink (List.concat partials)
+  | None -> ());
   merge ~wall:(Atomic.get wall_stopped) ~space ~scheduled partials
 
 let pp_report ppf r =

@@ -37,3 +37,40 @@ val sorted_names : string list
 (** [names] in alphabetical order — for error messages and stable listings. *)
 
 val find : string -> entry option
+
+val gaps : entry -> params -> Model.System.t -> Analysis.Guarantee.gap list
+(** The guarantee-gap pass behind [boost lint]: the registered claim against
+    the composed vector, plus — for claims quantified over all n — the
+    Thm 10 connectivity check at a larger probe size. *)
+
+val lint_key : Analysis.Structhash.t -> max_faults:int -> string -> string
+(** The presentation cache key for a rendered lint report: full structural
+    hash, analysis parameters, and the claim digest. *)
+
+val claim_digest : entry -> params -> string
+(** Digest of everything a lint result depends on beyond the system itself:
+    the registered claim and, when it scales, the identity of the probe
+    system the scaling gaps run against. *)
+
+val inputs_key_default : string
+(** The default-inputs marker used in reach cache keys. *)
+
+type lint_result = {
+  name : string;
+  human : string;  (** The rendered report, margin 78, trailing newline. *)
+  findings : Analysis.Lint.finding list;
+  code : int;  (** {!Analysis.Lint.exit_code} of the report. *)
+  hash : Analysis.Structhash.t option;  (** Computed iff a cache was given. *)
+}
+
+val lint : ?cache:Analysis.Cache.t -> ?max_faults:int -> entry -> params -> lint_result
+(** The single lint pipeline behind every CLI path (sequential, parallel,
+    cached, cold): build, hash (when caching), consult the cache — an exact
+    presentation hit replays the rendered report; a semantic hit restores
+    the fixpoint solution (mapping service renames/permutations) and only
+    re-harvests and re-renders — else analyze cold and store both entries.
+    [max_faults] defaults to 1. Thread-safe under a shared [cache]. *)
+
+val manifest : unit -> (string * Analysis.Structhash.t) list
+(** Structural hashes of the whole fleet at {!default_params} — the
+    recorded side of {!Analysis.Cache.diff}. *)
