@@ -407,6 +407,27 @@ let bench_fixpoint_direct =
 let bench_fixpoint_tob =
   bench_fixpoint (Protocols.Tob_direct.system ~n:2 ~f:1) "analysis/fixpoint-tob"
 
+(* The symbolic (n, f) fixpoint against the concrete powerset one, on the
+   largest grid point the certificates cover: direct at n=4 under two
+   faults solves 6 signature unknowns where the full system solves 11
+   failed-set unknowns. The -n4f2 row is the like-for-like comparator. *)
+let bench_param_fixpoint_direct =
+  let sys = Protocols.Direct.system ~n:4 ~f:2 in
+  let classes = Analysis.Param.classes sys in
+  Test.make ~name:"analysis/param-fixpoint-direct"
+    (Staged.stage (fun () -> ignore (Analysis.Reach.analyze_sym ~max_faults:2 ~classes sys)))
+
+let bench_fixpoint_direct_n4f2 =
+  let sys = Protocols.Direct.system ~n:4 ~f:2 in
+  Test.make ~name:"analysis/fixpoint-direct-n4f2"
+    (Staged.stage (fun () -> ignore (Analysis.Reach.analyze ~max_faults:2 sys)))
+
+let bench_param_fixpoint_tob =
+  let sys = Protocols.Tob_direct.system ~n:3 ~f:1 in
+  let classes = Analysis.Param.classes sys in
+  Test.make ~name:"analysis/param-fixpoint-tob"
+    (Staged.stage (fun () -> ignore (Analysis.Reach.analyze_sym ~max_faults:1 ~classes sys)))
+
 (* Substrate micro-benchmarks. *)
 let bench_state_hash =
   let sys = Protocols.Fd_boost.system ~n:4 in
@@ -470,6 +491,25 @@ let bench_chaos_tob_cached =
   Test.make ~name:"chaos/explore-tob-cached"
     (Staged.stage (fun () -> ignore (run_tob_cached ())))
 
+(* The parameterized (n, f) sweep: certify direct and tob over the default
+   3×3 window. Cold pays 9 concrete lints per protocol; warm replays the
+   whole window from one pcert entry per protocol (hit rates printed by
+   [print_cache_rates]). *)
+let certify_grid ?cache () =
+  List.iter
+    (fun name ->
+      ignore (Protocols.Registry.certify ?cache (Option.get (Protocols.Registry.find name))))
+    [ "direct"; "tob" ]
+
+let bench_sweep_grid_cold =
+  Test.make ~name:"analysis/sweep-grid-cold" (Staged.stage (fun () -> certify_grid ()))
+
+let bench_sweep_grid_warm =
+  certify_grid ~cache:(Analysis.Cache.open_ ~dir:bench_cache_dir) ();
+  Test.make ~name:"analysis/sweep-grid-warm"
+    (Staged.stage (fun () ->
+       certify_grid ~cache:(Analysis.Cache.open_ ~dir:bench_cache_dir) ()))
+
 let print_cache_rates () =
   let rate (c : Analysis.Cache.t) =
     let s = c.Analysis.Cache.stats in
@@ -484,11 +524,15 @@ let print_cache_rates () =
     (Chaos.Driver.run
        ~cache:(c_chaos, Analysis.Structhash.system tob_cached_sys)
        (Chaos.Driver.Systematic tob_cached_config) tob_cached_sys);
+  let c_sweep = Analysis.Cache.open_ ~dir:bench_cache_dir in
+  certify_grid ~cache:c_sweep ();
   Format.printf "@.=== Cache hit rates (warm kernels) ===@.@.";
   Format.printf "%-36s %5.1f%%  %a@." "analysis/lint-all-warm" (rate c_lint)
     Analysis.Cache.pp_stats c_lint;
   Format.printf "%-36s %5.1f%%  %a@." "chaos/explore-tob-cached" (rate c_chaos)
-    Analysis.Cache.pp_stats c_chaos
+    Analysis.Cache.pp_stats c_chaos;
+  Format.printf "%-36s %5.1f%%  %a@." "analysis/sweep-grid-warm" (rate c_sweep)
+    Analysis.Cache.pp_stats c_sweep
 
 let tests =
   ([
@@ -525,9 +569,14 @@ let tests =
       bench_chaos_degrade_tob;
       bench_fixpoint_direct;
       bench_fixpoint_tob;
+      bench_param_fixpoint_direct;
+      bench_fixpoint_direct_n4f2;
+      bench_param_fixpoint_tob;
       bench_lint_all_cold;
       bench_lint_all_warm;
       bench_chaos_tob_cached;
+      bench_sweep_grid_cold;
+      bench_sweep_grid_warm;
       bench_state_hash;
       bench_transition;
     ]

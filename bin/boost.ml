@@ -701,11 +701,98 @@ let lint_cmd =
             "With --all: lint with N parallel domains. Output stays in registry order, \
              byte-identical to the sequential run.")
   in
-  let run all protocol n f groups group_size max_faults json jobs cache_dir no_cache
-      cache_stats =
+  let param_arg =
+    Arg.(
+      value & flag
+      & info [ "param" ]
+          ~doc:
+            "Certify over the (n, f) parameter window n in {2,3,4} x f in {0,1,2} \
+             instead of linting one instantiation: emit each protocol's resilience \
+             certificate (findings universally quantified over the window where they \
+             hold everywhere, per-point verdicts otherwise). -n/-f are ignored. Exits 0 \
+             on successful certification — per-point warning exits are recorded \
+             verdicts, not failures.")
+  in
+  let validate_arg =
+    Arg.(
+      value & flag
+      & info [ "validate" ]
+          ~doc:
+            "With --param: re-lint every certified point fresh (cache-less, concrete) \
+             and compare byte-for-byte; exit 1 listing any disagreeing points.")
+  in
+  let run all protocol n f groups group_size max_faults json jobs param validate
+      cache_dir no_cache cache_stats =
     let cache = cache_of ~cache_dir ~no_cache in
     let emit_human (r : Registry.lint_result) = print_string r.Registry.human in
+    let selected_for_param () =
+      match all, protocol with
+      | true, None -> Ok (Array.of_list Registry.all)
+      | false, Some e -> Ok [| e |]
+      | true, Some _ ->
+        Format.eprintf "--all takes no PROTOCOL argument@.";
+        Error 3
+      | false, None ->
+        Format.eprintf "need a PROTOCOL argument or --all@.";
+        Error 3
+    in
+    let run_param () =
+      match selected_for_param () with
+      | Error c -> c
+      | Ok entries ->
+        let certs = Array.make (Array.length entries) None in
+        let next = Atomic.make 0 in
+        let worker () =
+          let rec loop () =
+            let i = Atomic.fetch_and_add next 1 in
+            if i < Array.length entries then begin
+              certs.(i) <- Some (entries.(i), Registry.certify ?cache ~max_faults entries.(i));
+              loop ()
+            end
+          in
+          loop ()
+        in
+        let jobs = max 1 (min jobs (Domain.recommended_domain_count ())) in
+        if jobs <= 1 then worker ()
+        else begin
+          let spawned = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+          worker ();
+          List.iter Domain.join spawned
+        end;
+        let certs = List.filter_map Fun.id (Array.to_list certs) in
+        List.iter
+          (fun (_, cert) ->
+            if json then print_endline (Analysis.Cert.json cert)
+            else Format.printf "%a@." Analysis.Cert.pp cert)
+          certs;
+        if not validate then 0
+        else begin
+          (* The concrete gate: every stored point re-linted fresh and
+             compared byte-for-byte — a certificate may claim nothing a
+             concrete instantiation would not reproduce. *)
+          let bad =
+            List.concat_map
+              (fun ((e : Registry.entry), cert) ->
+                List.map
+                  (fun pt -> e.Registry.name, pt)
+                  (Registry.cert_disagreements ~max_faults e cert))
+              certs
+          in
+          if bad = [] then 0
+          else begin
+            List.iter
+              (fun (name, (pn, pf)) ->
+                Format.eprintf
+                  "%s: certificate disagrees with the concrete lint at (n=%d, f=%d)@."
+                  name pn pf)
+              bad;
+            1
+          end
+        end
+    in
     let code =
+      if param then run_param ()
+      else
       match all, protocol with
       | true, None ->
         let entries = Array.of_list Registry.all in
@@ -781,8 +868,8 @@ let lint_cmd =
   let term =
     Term.(
       const run $ all_arg $ protocol_opt $ n_arg $ f_arg $ groups_arg $ group_size_arg
-      $ max_faults_arg $ json_arg $ jobs_arg $ cache_dir_arg $ no_cache_arg
-      $ cache_stats_arg)
+      $ max_faults_arg $ json_arg $ jobs_arg $ param_arg $ validate_arg $ cache_dir_arg
+      $ no_cache_arg $ cache_stats_arg)
   in
   Cmd.v
     (Cmd.info "lint"
@@ -791,7 +878,9 @@ let lint_cmd =
           transitions, non-total/non-deterministic task functions (the §3.1 assumptions), \
           statically-blank protocols (no reachable decide), and resilience-interface \
           mismatches. One machine-readable finding per line; exits 0 when no finding is \
-          worse than info, 1 otherwise, 3 on usage errors.")
+          worse than info, 1 otherwise, 3 on usage errors. With --param, certify over \
+          the whole (n, f) window instead (resilience certificates, validated concretely \
+          under --validate).")
     term
 
 (* --- cache --- *)

@@ -115,6 +115,30 @@ let permute_svcs perm = function
       invalid_arg "Astate.permute_svcs: arity mismatch";
     St { a with svcs = Array.map (fun j -> a.svcs.(j)) perm }
 
+(* Re-index the per-process slots onto a permuted pid space: [perm.(i)]
+   names the old pid of the process now at [i]. Service inv/resp buffer
+   rows are pid-indexed too, but only when the service connects to every
+   process (row length = perm length); partially-connected rows are
+   positional over the service's own endpoint list and left alone — the
+   caller owes class-respecting permutations for those (the symmetry-class
+   tests only permute within fully-connected systems). *)
+let permute_procs perm = function
+  | Bot -> Bot
+  | St a ->
+    if Array.length perm <> Array.length a.procs then
+      invalid_arg "Astate.permute_procs: arity mismatch";
+    let row arr =
+      if Array.length arr = Array.length perm then Array.map (fun j -> arr.(j)) perm
+      else arr
+    in
+    St
+      {
+        procs = Array.map (fun j -> a.procs.(j)) perm;
+        svcs = Array.map (fun s -> { s with inv = row s.inv; resp = row s.resp }) a.svcs;
+        decisions = Array.map (fun j -> a.decisions.(j)) perm;
+        inputs = Array.map (fun j -> a.inputs.(j)) perm;
+      }
+
 let pp_dopt ppf d =
   Format.fprintf ppf "%s%a" (if d.may_none then "·|" else "") Vset.pp d.values
 

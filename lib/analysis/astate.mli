@@ -58,3 +58,11 @@ val permute_svcs : int array -> t -> t
     names the old position of the service now at [j]. The abstract state is
     positional (no identifiers inside), so this is the entire rename
     mapping the cache needs for stored fixpoint solutions. *)
+
+val permute_procs : int array -> t -> t
+(** Re-index the per-process slots onto a permuted pid space: [perm.(i)]
+    names the old pid of the process now at [i]. Service inv/resp rows are
+    permuted only when pid-indexed (length = process count); the caller
+    owes class-respecting permutations otherwise. Used by the symmetry
+    tests to transport facts between a canonical crash set and its
+    permuted twins. *)

@@ -211,6 +211,13 @@ let pp_stats ppf t =
 
 let stats_json t =
   let s = t.stats in
+  (* The on-disk census, grouped by envelope kind in sorted order — the
+     same grouping `boost cache status` prints. *)
+  let kinds =
+    entries ~dir:t.dir
+    |> List.map (fun (kind, count, _bytes) -> Printf.sprintf "    \"%s\": %d" kind count)
+    |> String.concat ",\n"
+  in
   Printf.sprintf
     "{\n\
     \  \"hits\": %d,\n\
@@ -218,9 +225,10 @@ let stats_json t =
     \  \"stale\": %d,\n\
     \  \"corrupt\": %d,\n\
     \  \"renamed\": %d,\n\
-    \  \"writes\": %d\n\
+    \  \"writes\": %d,\n\
+    \  \"kinds\": {\n%s\n  }\n\
      }\n"
-    s.hits s.misses s.stale s.corrupt s.renamed s.writes
+    s.hits s.misses s.stale s.corrupt s.renamed s.writes kinds
 
 (* --- the fleet manifest --- *)
 
@@ -421,3 +429,41 @@ let cert_store t ~key cert =
 let cert_find t ~key =
   lookup t ~kind:"cert" ~key ~decode:(fun payload ->
       Some (Prune.decode_cert (Codec.cursor payload)))
+
+(* --- typed accessors: footprint summaries --- *)
+
+(* Footprints are positional over the concrete task/service arrays, so the
+   key is the *full* hash (no rename transport — a renamed twin recomputes,
+   which is cheap; the win is the per-run recomputation on POR/static-prune
+   and warm lint paths). [refined] distinguishes reach-refined footprints
+   (the lint pipeline) from structural-only ones (the chaos explorer's POR
+   setup): the two disagree by construction and must not alias. *)
+
+let fp_key ~full_key ~max_crashes ~refined =
+  Printf.sprintf "%s-mc%d-%s" full_key max_crashes (if refined then "r" else "s")
+
+let fp_store t ~key fps =
+  let b = Buffer.create 1024 in
+  Codec.array_out b Footprint.encode fps;
+  store t ~kind:"fp" ~key (Buffer.contents b)
+
+let fp_find t ~key ~n_tasks =
+  lookup t ~kind:"fp" ~key ~decode:(fun payload ->
+      let fps = Codec.array_in (Codec.cursor payload) Footprint.decode in
+      if Array.length fps <> n_tasks then raise (Codec.Corrupt "footprint arity mismatch");
+      Some fps)
+
+(* --- typed accessors: resilience certificates --- *)
+
+(* Keyed by {!Structhash.family} over the whole (n, f) window, so one entry
+   replays the verdicts of an entire parameter sweep — the cross-parameter
+   reuse the parameterized hashing buys. *)
+
+let pcert_store t ~key cert =
+  let b = Buffer.create 2048 in
+  Cert.encode b cert;
+  store t ~kind:"pcert" ~key (Buffer.contents b)
+
+let pcert_find t ~key =
+  lookup t ~kind:"pcert" ~key ~decode:(fun payload ->
+      Some (Cert.decode (Codec.cursor payload)))

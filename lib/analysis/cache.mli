@@ -60,7 +60,11 @@ val corrupt_count : dir:string -> int
 (** {1 Statistics} *)
 
 val pp_stats : Format.formatter -> t -> unit
+
 val stats_json : t -> string
+(** Counters plus a ["kinds"] object — the on-disk census grouped by
+    envelope kind in sorted order, the same grouping [boost cache status]
+    prints. *)
 
 (** {1 The fleet manifest} *)
 
@@ -123,3 +127,23 @@ val cert_store : t -> key:string -> Prune.cert option -> unit
 val cert_find : t -> key:string -> Prune.cert option option
 (** [Some c] = a stored verdict (itself [None] when the system has no
     certificate); [None] = cache miss. *)
+
+val fp_key : full_key:string -> max_crashes:int -> refined:bool -> string
+(** Footprint summaries are positional over the task/service arrays, so the
+    key is the {e full} hash (renamed twins recompute — cheap). [refined]
+    distinguishes reach-refined footprints (the lint pipeline) from
+    structural-only ones (the chaos explorer's POR setup); the two disagree
+    by construction and must not alias. *)
+
+val fp_store : t -> key:string -> Footprint.t array -> unit
+(** One footprint per entry of [sys.tasks], task order. *)
+
+val fp_find : t -> key:string -> n_tasks:int -> Footprint.t array option
+(** Arity-checked against the consuming system's task count; a mismatch
+    quarantines the entry. *)
+
+val pcert_store : t -> key:string -> Cert.t -> unit
+(** Resilience certificates, keyed by {!Structhash.family} over the whole
+    (n, f) window — one entry replays an entire parameter sweep. *)
+
+val pcert_find : t -> key:string -> Cert.t option

@@ -17,12 +17,18 @@ let compare_finding a b =
     let c = String.compare a.code b.code in
     if c <> 0 then c else String.compare a.subject b.subject
 
-let analyze ?max_faults ?inputs ?(gaps = []) ?reach (sys : System.t) =
+let analyze ?max_faults ?inputs ?(gaps = []) ?reach ?interference (sys : System.t) =
   (* [?reach] lets the cache substitute a restored fixpoint solution for the
      solve; the caller owes a solution computed for this system (or one
-     behaviorally identical under its key) at the same [max_faults]. *)
+     behaviorally identical under its key) at the same [max_faults]. Same
+     contract for [?interference] (cached footprints rehydrated through
+     {!Interfere.of_footprints}). *)
   let r = match reach with Some r -> r | None -> Reach.analyze ?max_faults ?inputs sys in
-  let interference = Interfere.analyze ~reach:r ?max_crashes:max_faults sys in
+  let interference =
+    match interference with
+    | Some itf -> itf
+    | None -> Interfere.analyze ~reach:r ?max_crashes:max_faults sys
+  in
   let fs = ref [] in
   let add code severity subject detail = fs := { code; severity; subject; detail } :: !fs in
   (* Guarantee-vector typing: the registered claim exceeds the meet of the
@@ -118,9 +124,9 @@ let analyze ?max_faults ?inputs ?(gaps = []) ?reach (sys : System.t) =
     | _ -> ());
   { findings = List.sort_uniq compare_finding !fs; reach = r; interference }
 
-let pp_severity ppf s =
-  Format.pp_print_string ppf
-    (match s with Error -> "error" | Warning -> "warning" | Info -> "info")
+let severity_name = function Error -> "error" | Warning -> "warning" | Info -> "info"
+
+let pp_severity ppf s = Format.pp_print_string ppf (severity_name s)
 
 let pp_finding ppf f =
   Format.fprintf ppf "%a[%s] %s: %s" pp_severity f.severity f.code f.subject f.detail
@@ -152,9 +158,8 @@ let json_escape s =
 let json_of_finding ~protocol f =
   Printf.sprintf
     {|{"protocol":"%s","severity":"%s","rule":"%s","subject":"%s","message":"%s"}|}
-    (json_escape protocol)
-    (match f.severity with Error -> "error" | Warning -> "warning" | Info -> "info")
-    (json_escape f.code) (json_escape f.subject) (json_escape f.detail)
+    (json_escape protocol) (severity_name f.severity) (json_escape f.code)
+    (json_escape f.subject) (json_escape f.detail)
 
 let exit_code r =
   if List.exists (fun f -> f.severity <> Info) r.findings then 1 else 0

@@ -33,6 +33,7 @@ val analyze :
   ?inputs:Ioa.Value.t list ->
   ?gaps:Guarantee.gap list ->
   ?reach:Reach.t ->
+  ?interference:Interfere.t ->
   Model.System.t ->
   report
 (** [gaps] (from {!Guarantee.gaps} against the protocol's registered claim)
@@ -40,7 +41,15 @@ val analyze :
     paper-explanations for the boosting protocols, not defects. [reach]
     substitutes a (cache-restored) fixpoint solution for the solve; the
     caller owes a solution computed for this system, or one behaviorally
-    identical under its cache key, at the same [max_faults]. *)
+    identical under its cache key, at the same [max_faults]. Same contract
+    for [interference] (cached footprints via
+    {!Interfere.of_footprints}). *)
+
+val severity_name : severity -> string
+(** ["error"] / ["warning"] / ["info"] — the JSON rendering. *)
+
+val json_escape : string -> string
+(** JSON string-body escaping shared by every JSON emitter in the repo. *)
 
 val pp_severity : Format.formatter -> severity -> unit
 val pp_finding : Format.formatter -> finding -> unit

@@ -1,0 +1,129 @@
+(* The symbolic face of the (n, f) parameter space.
+
+   Every analyzer in this library runs at one concrete instantiation; this
+   module supplies the two reductions that make a parameter sweep tractable
+   and the fixpoint parameter-generic:
+
+   - Process symmetry classes: processes are grouped by their probed
+     behavioral hash ({!Structhash} — one bounded probe per process, so the
+     classes are discovered by probing one representative behavior, not by
+     trusting construction-site symmetry) refined by the seed input each
+     process is initialized with. Members of one class are behaviorally
+     interchangeable under the analysis' probe bound.
+
+   - Canonical crash signatures: the f-capped crash powerset
+     {F : |F| ≤ f} is quotiented by the classes. A signature is the vector
+     (c_1, ..., c_k) of per-class crash counts under the linear constraints
+     0 ≤ c_j ≤ |class_j| and Σ c_j ≤ f — the symbolic index set — and each
+     signature is represented by its canonical failed set (the first c_j
+     members of each class). [C(4,0)+C(4,1)+C(4,2) = 11] concrete sets
+     collapse to 6 signatures for two classes of two at f = 2, and the gap
+     widens binomially with n.
+
+   The quotient is exact for class-respecting facts (a crash pattern and
+   its class-preserving permutation drive behaviorally identical process
+   sets); facts that embed process identities beyond the class relation
+   (e.g. values carrying sender pids) may lose precision, never soundness,
+   which is why the certificate layer ({!Cert}) always validates against
+   concrete instantiation before anything is reported. *)
+
+module System = Model.System
+module Iset = Spec.Iset
+module Value = Ioa.Value
+
+type cls = { repr : int; members : int list }
+
+(* The binary staircase convention every analysis defaults to
+   ({!Reach.analyze}); classes must be refined by it because two
+   behaviorally identical processes seeded with different inputs are not
+   interchangeable. *)
+let staircase_inputs n = List.init n (fun i -> Value.int (i mod 2))
+
+let classes ?inputs (sys : System.t) =
+  let n = Array.length sys.System.processes in
+  let inputs =
+    Array.of_list (match inputs with Some l -> l | None -> staircase_inputs n)
+  in
+  let h = Structhash.system sys in
+  let tbl = Hashtbl.create 8 in
+  for i = n - 1 downto 0 do
+    let key =
+      ( h.Structhash.procs.(i),
+        if i < Array.length inputs then Some inputs.(i) else None )
+    in
+    let prev = Option.value (Hashtbl.find_opt tbl key) ~default:[] in
+    Hashtbl.replace tbl key (i :: prev)
+  done;
+  Hashtbl.fold (fun _ members acc -> { repr = List.hd members; members } :: acc) tbl []
+  |> List.sort (fun a b -> compare a.repr b.repr)
+
+let signature classes failed =
+  List.map
+    (fun c -> List.length (List.filter (fun i -> Iset.mem i failed) c.members))
+    classes
+
+let rec take k = function
+  | x :: rest when k > 0 -> x :: take (k - 1) rest
+  | _ -> []
+
+let of_signature classes sg =
+  List.fold_left2
+    (fun acc c k -> List.fold_left (fun f i -> Iset.add i f) acc (take k c.members))
+    Iset.empty classes sg
+
+let canon classes failed = of_signature classes (signature classes failed)
+
+(* All signatures under the linear constraints, ordered by total crash count
+   then lexicographically — mirroring {!Reach.subsets}' deterministic
+   unknown order, with the all-zero (failure-free) signature first. *)
+let signatures classes ~max_faults =
+  let sizes = List.map (fun c -> List.length c.members) classes in
+  let rec vectors budget = function
+    | [] -> [ [] ]
+    | size :: rest ->
+      List.concat_map
+        (fun c -> List.map (fun v -> c :: v) (vectors (budget - c) rest))
+        (List.init (min size budget + 1) Fun.id)
+  in
+  vectors (max 0 max_faults) sizes
+  |> List.map (fun v -> List.fold_left ( + ) 0 v, v)
+  |> List.sort compare
+  |> List.map snd
+
+let class_sets classes ~max_faults =
+  List.map (of_signature classes) (signatures classes ~max_faults)
+
+(* How many concrete failed sets each run of the symbolic system covers:
+   a signature stands for Π_j C(|class_j|, c_j) concrete sets. *)
+let binomial n k =
+  let k = min k (n - k) in
+  if k < 0 then 0
+  else begin
+    let r = ref 1 in
+    for i = 0 to k - 1 do
+      r := !r * (n - i) / (i + 1)
+    done;
+    !r
+  end
+
+let covered classes ~max_faults =
+  let sizes = List.map (fun c -> List.length c.members) classes in
+  let sgs = signatures classes ~max_faults in
+  let full =
+    List.fold_left
+      (fun acc sg -> acc + List.fold_left2 (fun p n k -> p * binomial n k) 1 sizes sg)
+      0 sgs
+  in
+  List.length sgs, full
+
+let pp_cls ppf c =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ",")
+       Format.pp_print_int)
+    c.members
+
+let pp_classes ppf cs =
+  Format.fprintf ppf "@[<h>%a@]"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf "@ ") pp_cls)
+    cs

@@ -1,0 +1,49 @@
+(** Symbolic (n, f) parameter structure: process symmetry classes and
+    canonical crash signatures.
+
+    The crash adversary's index set — failed sets [F] with [|F| ≤ f] — is
+    quotiented by behavioral symmetry classes discovered by probing
+    ({!Structhash}'s per-process semantic hash, refined by each process's
+    seed input). A {e signature} is the per-class crash-count vector under
+    the linear constraints [0 ≤ c_j ≤ |class_j|] and [Σ c_j ≤ f]; each
+    signature's canonical representative failed set crashes the first [c_j]
+    members of each class. {!Reach.analyze_sym} solves one unknown per
+    signature instead of one per concrete subset.
+
+    The quotient is exact for class-respecting facts; analyses whose values
+    embed raw process identities (e.g. sender pids) may lose precision at
+    the quotient, never soundness — certificates ({!Cert}) are therefore
+    always validated against concrete instantiation. *)
+
+type cls = {
+  repr : int;  (** Least member: the representative probed for the class. *)
+  members : int list;  (** Ascending pids. *)
+}
+
+val staircase_inputs : int -> Ioa.Value.t list
+(** The binary staircase seed convention ([i mod 2]) every analysis
+    defaults to. *)
+
+val classes : ?inputs:Ioa.Value.t list -> Model.System.t -> cls list
+(** Symmetry classes of [sys]'s processes: grouped by per-process semantic
+    behavioral hash × seed input, sorted by representative. [inputs]
+    defaults to the staircase convention. *)
+
+val signature : cls list -> Spec.Iset.t -> int list
+(** Per-class crash counts of a failed set. *)
+
+val canon : cls list -> Spec.Iset.t -> Spec.Iset.t
+(** The canonical failed set sharing [failed]'s signature: the first
+    [c_j] members of each class. *)
+
+val class_sets : cls list -> max_faults:int -> Spec.Iset.t list
+(** Canonical failed sets of every signature within the fault budget,
+    ordered by total crash count then lexicographically — the empty set
+    first. *)
+
+val covered : cls list -> max_faults:int -> int * int
+(** [(canonical, full)]: how many signatures the symbolic system solves
+    versus how many concrete failed sets they stand for
+    (Π_j C(|class_j|, c_j) summed over signatures). *)
+
+val pp_classes : Format.formatter -> cls list -> unit

@@ -82,12 +82,31 @@ let harvest ~max_faults ~fsets ~values ~stats (sys : System.t) =
   in
   { sys; max_faults; infos; incidents = List.rev !incidents; stats }
 
+(* The solver core shared by the concrete and symbolic index sets: the
+   caller owes the unknown array (seed at index 0) plus its crash-edge
+   predecessors and dependents; the rhs and harvest are identical. *)
+let solve_over ~max_faults ~seed_astate ~fsets ~crash_preds ~dependents (sys : System.t) =
+  let nu = Array.length fsets in
+  let tasks = sys.System.tasks in
+  let rhs ~get u =
+    let contrib = if u = 0 then seed_astate else Astate.Bot in
+    let contrib =
+      List.fold_left (fun a p -> Astate.join a (get p)) contrib crash_preds.(u)
+    in
+    let here = get u in
+    Array.fold_left
+      (fun a tk -> Astate.join a (Transfer.task sys ~failed:fsets.(u) here tk).Transfer.post)
+      contrib tasks
+  in
+  let values, stats =
+    FP.solve ~n:nu ~bot:Astate.Bot ~rhs ~dependents:(fun u -> dependents.(u)) ()
+  in
+  harvest ~max_faults ~fsets ~values ~stats sys
+
 let solve ~max_faults ~seed_failed ~seed_astate (sys : System.t) =
   let n = Array.length sys.System.processes in
   let fsets = Array.of_list (subsets ~n ~seed:seed_failed ~extra:max_faults) in
   let index = Array.to_seq fsets |> Seq.mapi (fun i f -> f, i) |> IMap.of_seq in
-  let nu = Array.length fsets in
-  let tasks = sys.System.tasks in
   let crash_preds =
     Array.map
       (fun f ->
@@ -108,20 +127,7 @@ let solve ~max_faults ~seed_failed ~seed_astate (sys : System.t) =
         u :: supers)
       fsets
   in
-  let rhs ~get u =
-    let contrib = if u = 0 then seed_astate else Astate.Bot in
-    let contrib =
-      List.fold_left (fun a p -> Astate.join a (get p)) contrib crash_preds.(u)
-    in
-    let here = get u in
-    Array.fold_left
-      (fun a tk -> Astate.join a (Transfer.task sys ~failed:fsets.(u) here tk).Transfer.post)
-      contrib tasks
-  in
-  let values, stats =
-    FP.solve ~n:nu ~bot:Astate.Bot ~rhs ~dependents:(fun u -> dependents.(u)) ()
-  in
-  harvest ~max_faults ~fsets ~values ~stats sys
+  solve_over ~max_faults ~seed_astate ~fsets ~crash_preds ~dependents sys
 
 let default_inputs (sys : System.t) =
   List.init (Array.length sys.System.processes) (fun i -> Value.int (i mod 2))
@@ -130,6 +136,52 @@ let analyze ?(max_faults = 1) ?inputs (sys : System.t) =
   let inputs = match inputs with Some l -> l | None -> default_inputs sys in
   let start = System.initialize sys inputs in
   solve ~max_faults ~seed_failed:Iset.empty ~seed_astate:(Astate.of_state start) sys
+
+(* Symbolic mode: one unknown per crash signature ({!Param}), represented
+   by its canonical prefix-crashed failed set. Crash edges remove one
+   prefix member per class and land on the canonical set of the reduced
+   signature (non-canonical removals fold onto it via [Param.canon]); the
+   signature lattice is closed under both directions, so every predecessor
+   and dependent lookup resolves inside the index. The quotient may lose
+   precision on pid-embedding values, never soundness — see param.ml; the
+   certificate layer validates concretely. *)
+let analyze_sym ?(max_faults = 1) ?inputs ?classes (sys : System.t) =
+  let inputs = match inputs with Some l -> l | None -> default_inputs sys in
+  let classes =
+    match classes with Some c -> c | None -> Param.classes ~inputs sys
+  in
+  let start = System.initialize sys inputs in
+  let fsets = Array.of_list (Param.class_sets classes ~max_faults) in
+  let index = Array.to_seq fsets |> Seq.mapi (fun i f -> f, i) |> IMap.of_seq in
+  let crash_preds =
+    Array.map
+      (fun f ->
+        Iset.elements f
+        |> List.filter_map (fun i ->
+               IMap.find_opt (Param.canon classes (Iset.remove i f)) index)
+        |> List.sort_uniq compare)
+      fsets
+  in
+  let dependents =
+    Array.mapi
+      (fun u f ->
+        let supers =
+          if Iset.cardinal f >= max_faults then []
+          else
+            List.filter_map
+              (fun (c : Param.cls) ->
+                match
+                  List.find_opt (fun i -> not (Iset.mem i f)) c.Param.members
+                with
+                | Some i -> IMap.find_opt (Iset.add i f) index
+                | None -> None)
+              classes
+        in
+        u :: supers)
+      fsets
+  in
+  solve_over ~max_faults ~seed_astate:(Astate.of_state start) ~fsets ~crash_preds
+    ~dependents sys
 
 let analyze_from ?(max_faults = 1) (state : Model.State.t) (sys : System.t) =
   solve ~max_faults ~seed_failed:state.Model.State.failed

@@ -40,6 +40,25 @@ val analyze_from : ?max_faults:int -> Model.State.t -> Model.System.t -> t
 (** From an arbitrary concrete state; the seed failed-set is the state's
     own. *)
 
+val analyze_sym :
+  ?max_faults:int ->
+  ?inputs:Ioa.Value.t list ->
+  ?classes:Param.cls list ->
+  Model.System.t ->
+  t
+(** Symbolic parameter mode: one unknown per crash {e signature} — the
+    per-symmetry-class crash-count vector of {!Param} — instead of one per
+    concrete failed set, so the transfer functions are probed on one
+    canonical prefix-crashed representative per class pattern. The unknown
+    count grows with the number of classes (typically O(f^k) for k classes),
+    not with [C(n, ≤f)]. [classes] defaults to [Param.classes ~inputs sys].
+
+    Facts are reported at canonical failed sets only. The quotient is exact
+    for class-respecting facts and may lose (never gain) reachable behavior
+    for pid-embedding values, which is why resilience certificates
+    ({!Cert}) are validated against concrete per-point runs, not against
+    this mode. *)
+
 val seed_info : t -> info
 
 val may_decisions : t -> i:int -> Astate.dopt

@@ -65,6 +65,12 @@ let mix_tokens tokens = List.fold_left mix_str seed tokens
 
 let hex h = Printf.sprintf "%016x" h
 
+(* Parameterized hashing: a family key folds the per-instantiation keys of
+   a whole (n, f) window into one filename-safe digest, so a single cache
+   entry (kind "pcert") replays verdicts across the entire sweep. Any
+   behavioral change at any grid point moves the family key. *)
+let family tokens = hex (mix_tokens ("family" :: tokens))
+
 (* --- probe bounds (folded into the hash when they bite) --- *)
 
 let state_cap = 96

@@ -62,6 +62,12 @@ val mix_tokens : string list -> int
 (** FNV-1a fold of a token list — for callers composing cache keys that
     include non-system inputs (claims, parameter tuples). *)
 
+val family : string list -> string
+(** Parameterized hashing: fold a whole (n, f) window's per-instantiation
+    keys (plus any parameter tokens) into one filename-safe digest — the
+    key a cross-parameter cache entry (resilience certificate) lives
+    under. Any behavioral change at any grid point moves it. *)
+
 val permutation :
   old_services:(string * int) list -> services:(string * int) list -> int array option
 (** Match two service tables by behavioral hash: [Some perm] with

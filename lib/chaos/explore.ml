@@ -368,10 +368,32 @@ type por_ctx = {
   svc_pos : (string * int) list;
 }
 
-let por_deps cfg (sys : Model.System.t) =
+let por_deps ?cache cfg (sys : Model.System.t) =
   (* All dependence rows, precomputed eagerly (workers share this read-only;
-     the footprints are sharpened by the exploration's own fault bound). *)
-  let inter = Analysis.Interfere.analyze ~max_crashes:cfg.max_faults sys in
+     the footprints are sharpened by the exploration's own fault bound).
+     Footprints are first-class cache entries (kind "fp", structural —
+     no reach refinement here), so a warm --por run skips the whole
+     derivation; the dependence rows are cheap bit tests over them. *)
+  let inter =
+    let compute () = Analysis.Interfere.analyze ~max_crashes:cfg.max_faults sys in
+    match cache with
+    | None -> compute ()
+    | Some (c, prefix) -> (
+      let key =
+        Analysis.Cache.fp_key ~full_key:prefix ~max_crashes:cfg.max_faults
+          ~refined:false
+      in
+      match
+        Analysis.Cache.fp_find c ~key
+          ~n_tasks:(Array.length sys.Model.System.tasks)
+      with
+      | Some fps -> Analysis.Interfere.of_footprints sys ~max_crashes:cfg.max_faults fps
+      | None ->
+        let itf = compute () in
+        Analysis.Cache.fp_store c ~key
+          (Array.map snd (Analysis.Interfere.footprints itf));
+        itf)
+  in
   let tasks = sys.Model.System.tasks in
   let crash_dep =
     Array.init (Model.System.n_processes sys) (fun pid ->
@@ -598,7 +620,7 @@ let run_par ?monitors ?interleave ?inputs ?config ?(domains = 1) ?(dedup = true)
       por && monitors = None
       && (match interleave with Some (Runner.Seeded _) -> false | _ -> true)
       && cfg.horizon + cfg.max_faults + n_tasks + 2 <= cfg.max_steps
-    then Some (por_deps cfg sys)
+    then Some (por_deps ?cache cfg sys)
     else None
   in
   let rank_of =

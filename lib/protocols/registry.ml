@@ -218,8 +218,10 @@ let render_lint name r =
 
 let lint ?cache ?(max_faults = 1) (e : entry) (p : params) =
   let sys = e.build p in
-  let fresh ?reach ?hash ~store () =
-    let r = Analysis.Lint.analyze ~max_faults ~gaps:(gaps e p sys) ?reach sys in
+  let fresh ?reach ?interference ?hash ~store () =
+    let r =
+      Analysis.Lint.analyze ~max_faults ~gaps:(gaps e p sys) ?reach ?interference sys
+    in
     let res =
       {
         name = e.name;
@@ -252,15 +254,32 @@ let lint ?cache ?(max_faults = 1) (e : entry) (p : params) =
     | None ->
       (* Semantic fallback: a fixpoint solution stored under the semantic
          key — possibly by a renamed or service-permuted twin — skips the
-         solve; only the cheap harvest and rendering re-run. *)
+         solve; only the cheap harvest and rendering re-run. Footprint
+         summaries are their own first-class entry (full-hash keyed, reach-
+         refined), so a presentation miss that still has them skips the
+         whole refinement pass. *)
       let reach =
         Analysis.Cache.reach_find c h ~max_faults ~inputs_key:inputs_key_default sys
       in
-      fresh ?reach ~hash:h
+      let fkey =
+        Analysis.Cache.fp_key ~full_key:(Analysis.Structhash.key h)
+          ~max_crashes:max_faults ~refined:true
+      in
+      let fps =
+        Analysis.Cache.fp_find c ~key:fkey
+          ~n_tasks:(Array.length sys.Model.System.tasks)
+      in
+      let interference =
+        Option.map (Analysis.Interfere.of_footprints sys ~max_crashes:max_faults) fps
+      in
+      fresh ?reach ?interference ~hash:h
         ~store:(fun r res ->
           if Option.is_none reach then
             Analysis.Cache.reach_store c h ~max_faults ~inputs_key:inputs_key_default
               r.Analysis.Lint.reach;
+          if Option.is_none fps then
+            Analysis.Cache.fp_store c ~key:fkey
+              (Array.map snd (Analysis.Interfere.footprints r.Analysis.Lint.interference));
           Analysis.Cache.lint_store c ~key
             {
               Analysis.Cache.human = res.human;
@@ -273,3 +292,62 @@ let manifest () =
   List.map
     (fun (e : entry) -> e.name, Analysis.Structhash.system (e.build default_params))
     all
+
+(* --- parameterized certification (`boost lint --param`) --- *)
+
+(* The default window: n ∈ {2,3,4} × f ∈ {0,1,2} — every resilient registry
+   protocol's full (n, f ≤ resilience) range, plus the over-budget points
+   whose degraded verdicts the certificate records rather than hides. *)
+let param_window = [ 2, 0; 2, 1; 2, 2; 3, 0; 3, 1; 3, 2; 4, 0; 4, 1; 4, 2 ]
+
+let param_of (n, f) = { default_params with n; f }
+
+(* Parameterized hashing: the family key folds every window point's
+   presentation lint key (full structural hash × analysis parameters ×
+   claim digest) into one digest. A behavioral or claim change at any grid
+   point moves it, so a pcert entry can never replay across an edit. *)
+let family_key ?(window = param_window) ?(max_faults = 1) (e : entry) =
+  let tokens =
+    List.map
+      (fun (n, f) ->
+        let p = param_of (n, f) in
+        let h = Analysis.Structhash.system (e.build p) in
+        Printf.sprintf "(%d,%d)%s" n f (lint_key h ~max_faults (claim_digest e p)))
+      window
+  in
+  Analysis.Structhash.family (("pcert-mf" ^ string_of_int max_faults) :: tokens)
+
+(* Certification is concrete by construction: every point's findings come
+   from the ordinary lint pipeline at that instantiation, so the stored
+   certificate is byte-for-byte what per-point runs produce — the symbolic
+   layer ({!Analysis.Param}, {!Analysis.Reach.analyze_sym}) accelerates
+   exploration and the cache, never the authority. A warm sweep is one
+   pcert hit replaying all |window| verdicts. *)
+let certify ?cache ?(window = param_window) ?(max_faults = 1) (e : entry) =
+  let fam = family_key ~window ~max_faults e in
+  let fresh () =
+    let points =
+      List.map
+        (fun (n, f) ->
+          let r = lint ?cache ~max_faults e (param_of (n, f)) in
+          { Analysis.Cert.pn = n; pf = f; findings = r.findings; code = r.code })
+        window
+    in
+    Analysis.Cert.make ~protocol:e.name ~family:fam ~max_faults points
+  in
+  match cache with
+  | None -> fresh ()
+  | Some c -> (
+    match Analysis.Cache.pcert_find c ~key:fam with
+    | Some cert -> cert
+    | None ->
+      let cert = fresh () in
+      Analysis.Cache.pcert_store c ~key:fam cert;
+      cert)
+
+let cert_disagreements ?(max_faults = 1) (e : entry) cert =
+  (* Validation is always cache-less: fresh concrete lints at every stored
+     point, compared byte-for-byte. *)
+  Analysis.Cert.disagreements cert ~fresh:(fun ~n ~f ->
+      let r = lint ~max_faults e (param_of (n, f)) in
+      r.findings, r.code)

@@ -74,3 +74,34 @@ val lint : ?cache:Analysis.Cache.t -> ?max_faults:int -> entry -> params -> lint
 val manifest : unit -> (string * Analysis.Structhash.t) list
 (** Structural hashes of the whole fleet at {!default_params} — the
     recorded side of {!Analysis.Cache.diff}. *)
+
+(** {1 Parameterized certification ([boost lint --param])} *)
+
+val param_window : (int * int) list
+(** The default (n, f) window: n ∈ \{2,3,4\} × f ∈ \{0,1,2\} — every
+    resilient registry protocol's full f ≤ resilience range plus the
+    over-budget points, whose degraded verdicts certificates record rather
+    than hide. *)
+
+val family_key : ?window:(int * int) list -> ?max_faults:int -> entry -> string
+(** The parameterized cache key ({!Analysis.Structhash.family}): every
+    window point's presentation lint key folded into one digest. Any
+    behavioral or claim change at any grid point moves it. *)
+
+val certify :
+  ?cache:Analysis.Cache.t ->
+  ?window:(int * int) list ->
+  ?max_faults:int ->
+  entry ->
+  Analysis.Cert.t
+(** Build (or replay — one pcert hit covers the whole window) the
+    protocol's resilience certificate. Certification is concrete by
+    construction: every point's findings come from the ordinary lint
+    pipeline at that instantiation; with a cache, the per-point lint
+    entries populate too. [max_faults] defaults to 1. *)
+
+val cert_disagreements :
+  ?max_faults:int -> entry -> Analysis.Cert.t -> (int * int) list
+(** Validate against fresh cache-less concrete lints at every stored
+    point, byte-for-byte ({!Analysis.Cert.disagreements}); empty means
+    validated. *)
