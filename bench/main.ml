@@ -3,20 +3,28 @@
    EXPERIMENTS.md) and then times the core computations with Bechamel, one
    Test.make per experiment.
 
-   Run with: dune exec bench/main.exe -- [-j N]
-   -j N sizes the parallel chaos kernels (default 4 domains). *)
+   Run with: dune exec bench/main.exe -- [-j N] [--json FILE] [--only SUBSTR]
+   -j N sizes the parallel chaos kernels (default 4 domains);
+   --json FILE additionally writes every kernel as machine-readable JSON
+   (name, mean ms, derived ops/sec, plus the serve engine's simulated
+   latency percentiles) — the CI artifact;
+   --only SUBSTR times only the kernels whose name contains SUBSTR. *)
 
 open Bechamel
 open Toolkit
 
-let jobs =
+let argv_value flag =
   let rec find i =
     if i >= Array.length Sys.argv then None
-    else if Sys.argv.(i) = "-j" && i + 1 < Array.length Sys.argv then
-      int_of_string_opt Sys.argv.(i + 1)
+    else if Sys.argv.(i) = flag && i + 1 < Array.length Sys.argv then
+      Some Sys.argv.(i + 1)
     else find (i + 1)
   in
-  max 1 (Option.value (find 1) ~default:4)
+  find 1
+
+let jobs = max 1 (Option.value (Option.bind (argv_value "-j") int_of_string_opt) ~default:4)
+let json_out = argv_value "--json"
+let only = argv_value "--only"
 
 (* --- Part 1: the reproduction tables (paper-vs-measured) --- *)
 
@@ -534,6 +542,42 @@ let print_cache_rates () =
   Format.printf "%-36s %5.1f%%  %a@." "analysis/sweep-grid-warm" (rate c_sweep)
     Analysis.Cache.pp_stats c_sweep
 
+(* The multi-shot RSM workload engine (ISSUE 10): one clean serve run and one
+   with the mixed crash+partition timeline of @workload-smoke. The derived
+   ops/sec in the JSON artifact divides the run's completed operations by the
+   kernel's mean wall time; the simulated latency percentiles come from the
+   deterministic report of one untimed run (identical every time by the
+   seeded-replay contract). *)
+let serve_schedule spec =
+  match Chaos.Schedule.parse spec with
+  | Ok s -> Some s
+  | Error e -> invalid_arg e
+
+let serve_cfg ~faults =
+  {
+    (Workload.Engine.default_config ~proto:"direct" ()) with
+    Workload.Engine.clients = 8;
+    ops = 400;
+    rate = 8;
+    batch = 8;
+    pipeline = 2;
+    rejoin_after = 12;
+    seed = 7;
+    schedule = (if faults then serve_schedule "crash@6:1,partition@20:0|1.2:32" else None);
+  }
+
+let serve_report = Workload.Engine.run (serve_cfg ~faults:true)
+
+let bench_serve_clean =
+  let cfg = serve_cfg ~faults:false in
+  Test.make ~name:"serve/direct-clean"
+    (Staged.stage (fun () -> ignore (Workload.Engine.run cfg)))
+
+let bench_serve_faults =
+  let cfg = serve_cfg ~faults:true in
+  Test.make ~name:"serve/direct-mixed-faults"
+    (Staged.stage (fun () -> ignore (Workload.Engine.run cfg)))
+
 let tests =
   ([
       bench_canonical_ops;
@@ -579,8 +623,25 @@ let tests =
       bench_sweep_grid_warm;
       bench_state_hash;
       bench_transition;
+      bench_serve_clean;
+      bench_serve_faults;
     ]
     @ valence_benches)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec at i = i + nn <= nh && (String.sub hay i nn = needle || at (i + 1)) in
+  at 0
+
+let tests =
+  match only with
+  | None -> tests
+  | Some substr -> (
+    match List.filter (fun t -> contains (Test.name t) substr) tests with
+    | [] ->
+      Format.eprintf "--only %s matches no kernel@." substr;
+      exit 3
+    | kept -> kept)
 
 let tests = Test.make_grouped ~name:"boosting" tests
 
@@ -606,9 +667,45 @@ let run_benchmarks () =
       if Float.is_nan ns then Format.printf "%-36s  (no estimate)@." name
       else if ns > 1e6 then Format.printf "%-36s %10.3f ms/run@." name (ns /. 1e6)
       else Format.printf "%-36s %10.1f ns/run@." name ns)
-    rows
+    rows;
+  rows
+
+(* The machine-readable artifact: every kernel with its mean wall time and a
+   derived throughput — serve kernels divide the run's completed operations
+   by the mean (true ops/sec of the engine), everything else reports
+   runs/sec. The serve engine's deterministic latency percentiles ride
+   along. *)
+let write_json file rows =
+  let oc = open_out file in
+  let ops_of name ns =
+    if contains name "serve/" then float_of_int serve_report.Workload.Report.completed /. (ns /. 1e9)
+    else 1e9 /. ns
+  in
+  let p50, p95, p99, pmax = Workload.Report.latency_summary serve_report in
+  let rows = List.filter (fun (_, ns) -> not (Float.is_nan ns)) rows in
+  Printf.fprintf oc "{\n  \"benchmarks\": [\n";
+  List.iteri
+    (fun i (name, ns) ->
+      Printf.fprintf oc "    {\"name\": %S, \"mean_ms\": %.6f, \"ops_per_sec\": %.1f}%s\n"
+        name (ns /. 1e6) (ops_of name ns)
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "  ],\n";
+  Printf.fprintf oc
+    "  \"serve\": {\"proto\": %S, \"completed_ops\": %d, \"ticks\": %d, \
+     \"sim_ops_per_tick\": %.3f, \"latency_ticks\": {\"p50\": %d, \"p95\": %d, \"p99\": \
+     %d, \"max\": %d}}\n"
+    serve_report.Workload.Report.proto serve_report.Workload.Report.completed
+    serve_report.Workload.Report.ticks
+    (float_of_int serve_report.Workload.Report.completed
+    /. float_of_int (max 1 serve_report.Workload.Report.ticks))
+    p50 p95 p99 pmax;
+  Printf.fprintf oc "}\n";
+  close_out oc;
+  Format.eprintf "benchmark JSON written to %s@." file
 
 let () =
   print_experiments ();
-  run_benchmarks ();
+  let rows = run_benchmarks () in
+  Option.iter (fun file -> write_json file rows) json_out;
   print_cache_rates ()

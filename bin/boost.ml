@@ -664,6 +664,262 @@ let chaos_cmd =
           wall-clock budget truncated the exploration first, 3 on usage errors.")
     term
 
+(* --- serve --- *)
+
+let serve_cmd =
+  let protocol_pos =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"PROTOCOL"
+          ~doc:
+            ("Protocol to serve on: any registry protocol claiming single-value agreement \
+              (" ^ String.concat " | " Registry.names ^ ")."))
+  in
+  let obj_arg =
+    Arg.(
+      value
+      & opt string "counter"
+      & info [ "obj" ] ~docv:"OBJ"
+          ~doc:"Replicated object: counter (increment/read) or register (read/write).")
+  in
+  let clients_arg =
+    Arg.(value & opt int 12 & info [ "clients" ] ~docv:"N" ~doc:"Concurrent client sessions.")
+  in
+  let ops_arg =
+    Arg.(value & opt int 200 & info [ "ops" ] ~docv:"M" ~doc:"Total operations to serve.")
+  in
+  let rate_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "rate" ] ~docv:"R" ~doc:"Open-loop arrivals admitted per tick (at most).")
+  in
+  let batch_arg =
+    Arg.(
+      value & opt int 16
+      & info [ "batch" ] ~docv:"B" ~doc:"Maximum commands committed per consensus shot.")
+  in
+  let pipeline_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "pipeline" ] ~docv:"P" ~doc:"Consensus shots launched per tick (at most).")
+  in
+  let retry_timeout_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "retry-timeout" ] ~docv:"T"
+          ~doc:
+            "Ticks a client waits before resubmitting an operation (exponential backoff, \
+             idempotent at the replicas).")
+  in
+  let rejoin_after_arg =
+    Arg.(
+      value & opt int 25
+      & info [ "rejoin-after" ] ~docv:"T"
+          ~doc:"Ticks a crashed replica stays down before starting catch-up.")
+  in
+  let catch_up_rate_arg =
+    Arg.(
+      value & opt int 32
+      & info [ "catch-up-rate" ] ~docv:"K"
+          ~doc:"Commit-log entries a recovering replica replays per tick.")
+  in
+  let faults_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "faults" ] ~docv:"KINDS"
+          ~doc:
+            "Draw a random fault timeline from the seed, restricted to these kinds \
+             (comma-separated from crash, silence, drop, dup, delay, partition); the \
+             budget is $(b,--max-faults). Without this (and without \
+             $(b,--schedule)) the run is fault-free.")
+  in
+  let max_faults_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "max-faults" ] ~docv:"K" ~doc:"Fault budget for the seeded timeline.")
+  in
+  let schedule_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "schedule" ] ~docv:"SPEC"
+          ~doc:
+            "Explicit fault timeline, same grammar as $(b,boost chaos --schedule) with \
+             steps read as engine ticks, e.g. 'crash@6:1,partition@20:0|1.2:32'. \
+             Network faults are rebased into the next consensus shot's step space.")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "seed" ] ~docv:"S"
+          ~doc:
+            "Determinism root: the op stream and any $(b,--faults) draws derive from S, \
+             and the same invocation replays the identical report byte-for-byte.")
+  in
+  let max_ticks_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-ticks" ] ~docv:"T"
+          ~doc:"Engine tick bound (default: scaled from --ops, --rate and --rejoin-after).")
+  in
+  let shot_max_steps_arg =
+    Arg.(
+      value & opt int 4_000
+      & info [ "shot-max-steps" ] ~docv:"M" ~doc:"Per-consensus-shot step bound.")
+  in
+  let lin_max_nodes_arg =
+    Arg.(
+      value & opt int 200_000
+      & info [ "lin-max-nodes" ] ~docv:"B"
+          ~doc:
+            "Per-window search budget of the incremental linearizability monitor; \
+             exhaustion is an explicit truncation, never a silent pass.")
+  in
+  let pin_oracle_arg =
+    Arg.(
+      value & flag
+      & info [ "pin-oracle" ]
+          ~doc:
+            "After the run, re-check the full client history with the monolithic \
+             Model.Linearize oracle and report agreement (small runs only: the oracle \
+             re-searches the entire history).")
+  in
+  let shrink_arg =
+    Arg.(
+      value
+      & vflag true
+          [
+            ( true,
+              info [ "shrink" ]
+                ~doc:"Delta-debug a violating shot schedule to a minimal one (default)." );
+            (false, info [ "no-shrink" ] ~doc:"Report the violating shot schedule as found.");
+          ])
+  in
+  let witness_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "witness-out" ] ~docv:"FILE"
+          ~doc:
+            "On a shot violation, write the minimized (or, without shrinking, the \
+             original) shot schedule to FILE in $(b,--schedule) syntax.")
+  in
+  let run protocol obj clients ops rate batch pipeline retry_timeout rejoin_after
+      catch_up_rate faults max_faults schedule seed max_ticks shot_max_steps lin_max_nodes
+      pin_oracle shrink witness_out n f groups group_size =
+    let ( let* ) = Result.bind in
+    let checked =
+      let* proto =
+        Option.to_result ~none:"need a PROTOCOL argument (e.g. `boost serve direct`)"
+          protocol
+      in
+      let* entry =
+        Option.to_result
+          ~none:
+            (Printf.sprintf "unknown protocol: %s (expected one of %s)" proto
+               (String.concat " | " Registry.sorted_names))
+          (Registry.find proto)
+      in
+      let params = params ~n ~f ~groups ~group_size in
+      let* () =
+        if Workload.Engine.eligible entry params then Ok ()
+        else
+          Error
+            (Printf.sprintf
+               "%s at n=%d f=%d does not claim single-value agreement; the engine \
+                commits batches on the decided bit, so it cannot serve on it"
+               proto n f)
+      in
+      let* _obj = Workload.Engine.obj_of_name obj in
+      let* schedule =
+        match schedule with
+        | None -> Ok None
+        | Some spec -> (
+          match Chaos.Schedule.parse spec with
+          | Ok s -> Ok (Some s)
+          | Error e -> Error (Printf.sprintf "bad --schedule: %s" e))
+      in
+      let* kinds =
+        match faults with
+        | None -> Ok []
+        | Some spec -> (
+          match Chaos.Schedule.parse_kinds spec with
+          | Ok ks -> Ok ks
+          | Error e -> Error (Printf.sprintf "bad --faults: %s" e))
+      in
+      Ok (proto, params, schedule, kinds)
+    in
+    match checked with
+    | Error e ->
+      Format.eprintf "%s@." e;
+      3
+    | Ok (proto, params, schedule, kinds) ->
+      let cfg =
+        {
+          (Workload.Engine.default_config ~proto ()) with
+          Workload.Engine.params;
+          obj_name = obj;
+          clients;
+          ops;
+          rate;
+          batch;
+          pipeline;
+          timeout = retry_timeout;
+          rejoin_after;
+          catch_up_rate;
+          seed;
+          schedule;
+          kinds;
+          max_faults = (if kinds = [] then 0 else max_faults);
+          max_ticks;
+          shot_max_steps;
+          lin_max_nodes;
+          pin_oracle;
+          shrink;
+        }
+      in
+      let t0 = Unix.gettimeofday () in
+      let report = Workload.Engine.run cfg in
+      let wall = Unix.gettimeofday () -. t0 in
+      print_string (Workload.Report.render report);
+      (* Wall-clock goes to stderr only: stdout is the seeded-replay surface. *)
+      Format.eprintf "wall: %.3fs (%.0f simulated ops/sec)@." wall
+        (float_of_int report.Workload.Report.completed /. Float.max wall 1e-9);
+      (match report.Workload.Report.outcome, witness_out with
+      | Workload.Report.Shot_violation { minimized; _ }, Some file ->
+        let oc = open_out file in
+        output_string oc minimized;
+        output_char oc '\n';
+        close_out oc;
+        Format.printf "witness schedule written to %s@." file
+      | _ -> ());
+      Workload.Report.exit_code report
+  in
+  let term =
+    Term.(
+      const run $ protocol_pos $ obj_arg $ clients_arg $ ops_arg $ rate_arg $ batch_arg
+      $ pipeline_arg $ retry_timeout_arg $ rejoin_after_arg $ catch_up_rate_arg
+      $ faults_arg $ max_faults_arg $ schedule_arg $ seed_arg $ max_ticks_arg
+      $ shot_max_steps_arg $ lin_max_nodes_arg $ pin_oracle_arg $ shrink_arg
+      $ witness_out_arg $ n_arg $ f_arg $ groups_arg $ group_size_arg)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Multi-shot RSM workload engine: serve an open-loop client stream on a \
+          long-lived replicated object over the protocol's consensus shots, with online \
+          fault injection (explicit --schedule or seeded --faults), crash-recovery via \
+          commit-log catch-up, retrying clients with idempotent resubmission, and an \
+          incremental linearizability monitor on the client-visible history. Fully \
+          deterministic per seed. Exits 0 when the run is served (possibly degraded \
+          under standing damage), 1 on any violation — shot safety (minimized through \
+          the shrinker), linearizability, replica divergence or duplicate application — \
+          and 3 on usage errors.")
+    term
+
 (* --- lint --- *)
 
 let lint_cmd =
@@ -983,6 +1239,7 @@ let main =
       run_cmd;
       lemmas_cmd;
       chaos_cmd;
+      serve_cmd;
       lint_cmd;
       cache_cmd;
       experiments_cmd;

@@ -39,6 +39,18 @@ let absorb d = function
     { d with active = remove d.active }
   | _ -> d
 
+(* ---- direct builders (workload engine) ----------------------------------- *)
+
+let crash d pid = absorb d (Event.Fail pid)
+let partition d blocks = absorb d (Event.Partition blocks)
+let heal d blocks = absorb d (Event.Heal blocks)
+let mutate d ~service ~endpoint ~kind = absorb d (Event.Net { service; endpoint; kind })
+
+(* Crash-recovery: the inverse of [crash]. No adversary event maps to it —
+   rejoining is a protocol-layer act (the workload engine's catch-up), not a
+   model transition — so it exists only as a builder. *)
+let uncrash d pid = { d with crashed = Spec.Iset.remove pid d.crashed }
+
 let of_exec exec =
   List.fold_left (fun d s -> absorb d s.Exec.event) empty exec.Exec.rev_steps
 (* rev_steps is newest-first, but [absorb] is order-insensitive except for

@@ -22,6 +22,20 @@ val empty : t
 val absorb : t -> Model.Event.t -> t
 val of_exec : Model.Exec.t -> t
 
+(** {2 Direct builders}
+
+    The workload engine maintains a damage summary across consensus shots
+    without a single backing execution; these build it event by event.
+    [uncrash] is the one with no adversary-event counterpart: crash-recovery
+    (a crashed replica catching up and rejoining) is a protocol-layer act,
+    and restores the live vector the crash had knocked down. *)
+
+val crash : t -> int -> t
+val uncrash : t -> int -> t
+val partition : t -> int list list -> t
+val heal : t -> int list list -> t
+val mutate : t -> service:string -> endpoint:int -> kind:Model.Event.net_kind -> t
+
 val separated : t -> int -> int -> bool
 (** Whether an active (unhealed) partition puts the two pids in different
     blocks — same residual-block semantics as the schedule compiler: pids in

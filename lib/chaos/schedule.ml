@@ -160,6 +160,24 @@ let compare a b =
           if c <> 0 then c else Int.compare (pref_rank p1) (pref_rank p2))
         a.overrides b.overrides
 
+let map_steps f t =
+  let faults =
+    List.map
+      (function
+        | Crash { step; pid } -> Crash { step = f step; pid }
+        | Silence { step; service } -> Silence { step = f step; service }
+        | Drop { step; service; endpoint } -> Drop { step = f step; service; endpoint }
+        | Duplicate { step; service; endpoint } -> Duplicate { step = f step; service; endpoint }
+        | Delay { step; service; endpoint; lag } -> Delay { step = f step; service; endpoint; lag }
+        | Partition { step; blocks; heal_at } ->
+          (* Rebase both edges; keep heal strictly after onset so the result
+             still validates. *)
+          let step' = f step in
+          Partition { step = step'; blocks; heal_at = max (f heal_at) (step' + 1) })
+      t.faults
+  in
+  make ~default_pref:t.default_pref ~overrides:t.overrides faults
+
 let crashes t =
   List.filter_map (function Crash { step; pid } -> Some (step, pid) | _ -> None) t.faults
 

@@ -91,6 +91,12 @@ val compare : t -> t -> int
     merge to break ties deterministically, so reports are run-to-run
     stable. *)
 
+val map_steps : (int -> int) -> t -> t
+(** Rebase every fault's step (and partition heal edge) through the given
+    monotone map, re-sorting. Heal edges are kept strictly after their
+    onset, so a valid schedule stays valid. The workload engine uses this to
+    translate engine-tick fault times into shot-local scheduler steps. *)
+
 val crashes : t -> (int * int) list
 (** The [(step, pid)] crash placements, in schedule order. *)
 

@@ -40,6 +40,72 @@ let endpoints_with_pending m =
     (fun (k, q) -> if Value.queue_is_empty q then None else Some (Value.to_int k))
     (Value.map_bindings m)
 
+(* --- incremental frontier --- *)
+
+(* A configuration of the search between windows: the per-endpoint pending
+   queues (invoked, not yet linearized), the per-endpoint inflight queues
+   (linearized, response not yet returned) and the object value. The
+   windowed checker is the subset construction over these: a history is
+   linearizable iff some configuration survives every window. *)
+type config = { pending : Value.t; inflight : Value.t; value : Value.t }
+
+let config_value c = c.value
+
+let config_key c = Value.list [ c.pending; c.inflight; c.value ]
+
+let init_configs (t : Spec.Seq_type.t) =
+  List.map
+    (fun v0 -> { pending = Value.map_empty; inflight = Value.map_empty; value = v0 })
+    t.Spec.Seq_type.initials
+
+let advance ?(max_nodes = 200_000) (t : Spec.Seq_type.t) configs events =
+  let events = Array.of_list events in
+  let n = Array.length events in
+  let nodes = ref 0 in
+  let out = Value.Tbl.create 64 in
+  let visited = Value.Tbl.create 1024 in
+  let overflow = ref false in
+  (* Exhaustive DFS (no short-circuit: every accepting end configuration is
+     collected — dropping one would make a later window's failure
+     unsound). *)
+  let rec go idx pending inflight value =
+    incr nodes;
+    if !nodes > max_nodes then overflow := true
+    else begin
+      let key = encode_key idx pending inflight value in
+      if not (Value.Tbl.mem visited key) then begin
+        Value.Tbl.replace visited key ();
+        consume idx pending inflight value;
+        linearize_now idx pending inflight value
+      end
+    end
+  and consume idx pending inflight value =
+    if idx >= n then begin
+      let c = { pending; inflight; value } in
+      Value.Tbl.replace out (config_key c) c
+    end
+    else
+      match events.(idx) with
+      | Call { endpoint; op } -> go (idx + 1) (push_q pending endpoint op) inflight value
+      | Return { endpoint; resp } -> (
+        match pop_q inflight endpoint with
+        | Some (r, inflight') when Value.equal r resp -> go (idx + 1) pending inflight' value
+        | _ -> ())
+  and linearize_now idx pending inflight value =
+    List.iter
+      (fun endpoint ->
+        match pop_q pending endpoint with
+        | None -> ()
+        | Some (op, pending') ->
+          List.iter
+            (fun (resp, value') -> go idx pending' (push_q inflight endpoint resp) value')
+            (t.Spec.Seq_type.delta op value))
+      (endpoints_with_pending pending)
+  in
+  List.iter (fun c -> go 0 c.pending c.inflight c.value) configs;
+  if !overflow then None
+  else Some (Value.Tbl.fold (fun _ c acc -> c :: acc) out [])
+
 let check (t : Spec.Seq_type.t) events =
   let events = Array.of_list events in
   let n = Array.length events in

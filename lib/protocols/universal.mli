@@ -25,6 +25,16 @@ val system : obj:Spec.Seq_type.t -> ops:Value.t list -> Model.System.t
     op, keeping the harness uniform). The response each process records via
     [decide] is [obj]'s response to its own operation at its commit point. *)
 
+val apply_log : Spec.Seq_type.t -> init:Value.t -> Value.t list -> Value.t * Value.t list
+(** Fold a commit log (operations in commit order) over a replica value:
+    the final value and the per-operation responses in order. The multi-shot
+    workload engine's replicas advance by [apply_log] of each decided batch. *)
+
+val replay : Spec.Seq_type.t -> Value.t list -> Value.t * Value.t list
+(** [apply_log] from the type's first initial value — the crash-recovery
+    catch-up path: a rejoining replica replays the full commit log and lands
+    byte-equal to a replica that never crashed. *)
+
 val replica_of : Model.State.t -> pid:int -> Value.t option
 (** The local replica value of a running or finished process. *)
 

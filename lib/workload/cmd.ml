@@ -1,0 +1,7 @@
+open Ioa
+
+type t = { client : int; seq : int; op : Value.t }
+
+let key c = c.client, c.seq
+
+let pp ppf c = Format.fprintf ppf "%d.%d:%a" c.client c.seq Value.pp c.op

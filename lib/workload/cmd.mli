@@ -1,0 +1,11 @@
+(** A client command: one operation of the replicated object, identified by
+    the (client, sequence-number) pair. The pair is the idempotency key —
+    retransmissions carry the same pair, and replicas apply each pair at most
+    once no matter how many log entries carry it. *)
+
+open Ioa
+
+type t = { client : int; seq : int; op : Value.t }
+
+val key : t -> int * int
+val pp : Format.formatter -> t -> unit

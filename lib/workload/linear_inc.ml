@@ -1,0 +1,96 @@
+module L = Model.Linearize
+
+type verdict = Ok | Violation of string | Truncated of string
+
+type t = {
+  obj : Spec.Seq_type.t;
+  max_nodes : int;
+  soft_outstanding : int;
+  hard_buffer : int;
+  mutable frontier : L.config list;
+  mutable buffer : L.event list;  (* newest first *)
+  mutable buffered : int;
+  mutable outstanding : int;
+  mutable windows : int;
+  mutable events : int;
+  mutable max_window : int;
+  mutable max_frontier : int;
+  mutable verdict : verdict;
+}
+
+let create ?(max_nodes = 200_000) ?(soft_outstanding = 4) ?(hard_buffer = 2048) obj =
+  {
+    obj;
+    max_nodes;
+    soft_outstanding;
+    hard_buffer;
+    frontier = L.init_configs obj;
+    buffer = [];
+    buffered = 0;
+    outstanding = 0;
+    windows = 0;
+    events = 0;
+    max_window = 0;
+    max_frontier = List.length (L.init_configs obj);
+    verdict = Ok;
+  }
+
+let verdict t = t.verdict
+let windows t = t.windows
+let events t = t.events
+let max_window t = t.max_window
+let max_frontier t = t.max_frontier
+let outstanding t = t.outstanding
+
+let record t ev =
+  if t.verdict = Ok then begin
+    t.buffer <- ev :: t.buffer;
+    t.buffered <- t.buffered + 1;
+    t.events <- t.events + 1;
+    (match ev with
+    | L.Call _ -> t.outstanding <- t.outstanding + 1
+    | L.Return _ -> t.outstanding <- t.outstanding - 1)
+  end
+
+let flush t =
+  (match t.verdict with
+  | Violation _ | Truncated _ -> ()
+  | Ok ->
+    if t.buffered > 0 then begin
+      let window = List.rev t.buffer in
+      t.buffer <- [];
+      let size = t.buffered in
+      t.buffered <- 0;
+      t.windows <- t.windows + 1;
+      t.max_window <- max t.max_window size;
+      match L.advance ~max_nodes:t.max_nodes t.obj t.frontier window with
+      | None ->
+        t.verdict <-
+          Truncated
+            (Printf.sprintf "window %d (%d events) exhausted the %d-node search budget"
+               t.windows size t.max_nodes)
+      | Some [] ->
+        t.verdict <-
+          Violation
+            (Printf.sprintf
+               "window %d (%d events, through event %d) admits no linearization" t.windows
+               size t.events)
+      | Some frontier ->
+        t.frontier <- frontier;
+        t.max_frontier <- max t.max_frontier (List.length frontier)
+    end);
+  t.verdict
+
+(* The flush policy: the frontier stays small when few operations straddle
+   the window boundary (each called-but-unreturned op multiplies the
+   reachable configurations), so defer flushing until the history is nearly
+   quiescent — but never let the buffer grow past [hard_buffer], accepting a
+   possible truncation instead of unbounded memory. *)
+let tick t =
+  if
+    t.verdict = Ok && t.buffered > 0
+    && (t.outstanding <= t.soft_outstanding || t.buffered >= t.hard_buffer)
+  then flush t
+  else t.verdict
+
+let finish t = flush t

@@ -1,0 +1,52 @@
+(** Incremental (windowed) linearizability checking for long histories.
+
+    The full {!Model.Linearize.check} oracle re-searches the entire history;
+    at workload scale (millions of events) that is unusable. This monitor
+    consumes the history one event at a time and checks it window by window
+    through {!Model.Linearize.advance}: the state carried between windows is
+    the {e frontier} — every search configuration (pending ops, linearized
+    ops awaiting their returns, object value) some linearization of the
+    events so far can be in. The window invariant: a history is linearizable
+    iff no flush ever empties the frontier, for {e any} partition into
+    windows — the boundary is a memo boundary, not an approximation — so the
+    incremental verdict is pinned equal to the oracle (modulo an explicit
+    node-budget truncation, never a silent pass). The engine flushes at
+    near-quiescent ticks, where few ops straddle the boundary and the
+    frontier stays small. *)
+
+type verdict =
+  | Ok
+  | Violation of string  (** Non-linearizable; names the failing window. *)
+  | Truncated of string  (** Node budget exhausted; verdict unknown. *)
+
+type t
+
+val create : ?max_nodes:int -> ?soft_outstanding:int -> ?hard_buffer:int -> Spec.Seq_type.t -> t
+(** [max_nodes] (default 200k) bounds each window's search; [soft_outstanding]
+    (default 4) is the flush policy's near-quiescence threshold — the frontier
+    carried across a boundary grows roughly factorially in the calls that
+    straddle it, so this must stay small; [hard_buffer] (default 2048) forces
+    a flush regardless. *)
+
+val record : t -> Model.Linearize.event -> unit
+(** Append one history event (in real-time order). No-op after a verdict. *)
+
+val tick : t -> verdict
+(** Flush the buffered window if the policy allows (few outstanding calls, or
+    the buffer hit its hard cap); otherwise keep buffering. *)
+
+val flush : t -> verdict
+(** Force a flush of whatever is buffered. *)
+
+val finish : t -> verdict
+(** Final flush at end of run; the returned verdict is the history's. *)
+
+val verdict : t -> verdict
+
+val windows : t -> int
+val events : t -> int
+val max_window : t -> int
+val max_frontier : t -> int
+val outstanding : t -> int
+(** Calls without a matching return so far — the concurrency the next flush
+    will carry across the boundary. *)

@@ -1,0 +1,64 @@
+open Ioa
+
+type status =
+  | Think
+  | Outstanding of {
+      op : Value.t;
+      seq : int;
+      first_submit : int;
+      attempts : int;
+      deadline : int;
+      via : int;  (** Replica the live attempt was sent to; -1 = unreachable. *)
+    }
+
+type t = {
+  id : int;
+  home : int;
+  mutable seq : int;
+  mutable status : status;
+  mutable issued : int;
+  mutable completed : int;
+}
+
+let create ~id ~home = { id; home; seq = 0; status = Think; issued = 0; completed = 0 }
+
+let is_free s = s.status = Think
+
+let submit s ~op ~tick ~via ~timeout =
+  (match s.status with
+  | Think -> ()
+  | Outstanding _ -> invalid_arg "Workload.Session.submit: op already outstanding");
+  let seq = s.seq in
+  s.seq <- seq + 1;
+  s.issued <- s.issued + 1;
+  s.status <-
+    Outstanding { op; seq; first_submit = tick; attempts = 1; deadline = tick + timeout; via };
+  { Cmd.client = s.id; seq; op }
+
+let timed_out s ~tick =
+  match s.status with Outstanding o -> tick >= o.deadline | Think -> false
+
+(* Exponential backoff, capped so a long outage cannot push the deadline
+   past any practical horizon. *)
+let retry s ~tick ~via ~timeout =
+  match s.status with
+  | Think -> invalid_arg "Workload.Session.retry: no outstanding op"
+  | Outstanding o ->
+    let attempts = o.attempts + 1 in
+    let backoff = timeout * (1 lsl min (attempts - 1) 6) in
+    s.status <- Outstanding { o with attempts; deadline = tick + backoff; via };
+    { Cmd.client = s.id; seq = o.seq; op = o.op }
+
+(* Completion is keyed by seq: a response to an older (already completed)
+   attempt is stale and must be ignored by the caller. *)
+let complete s ~seq ~tick =
+  match s.status with
+  | Outstanding o when o.seq = seq ->
+    s.status <- Think;
+    s.completed <- s.completed + 1;
+    Some (tick - o.first_submit, o.attempts)
+  | _ -> None
+
+let outstanding_seq s = match s.status with Outstanding o -> Some o.seq | Think -> None
+let outstanding_via s = match s.status with Outstanding o -> Some o.via | Think -> None
+let attempts s = match s.status with Outstanding o -> o.attempts | Think -> 0

@@ -1,0 +1,48 @@
+(** Client sessions: at most one outstanding operation per client, with
+    retry-on-timeout, exponential backoff (capped), and replica failover.
+
+    A retry resubmits the {e same} (client, seq) command — transport-level
+    at-least-once — and the replicas' idempotency tables turn that into
+    exactly-once application. Responses are matched by seq, so a late
+    response to an attempt that already completed is recognized as stale. *)
+
+open Ioa
+
+type status =
+  | Think
+  | Outstanding of {
+      op : Value.t;
+      seq : int;
+      first_submit : int;
+      attempts : int;
+      deadline : int;
+      via : int;
+    }
+
+type t = {
+  id : int;
+  home : int;  (** Preferred replica; failover rotates from here. *)
+  mutable seq : int;
+  mutable status : status;
+  mutable issued : int;
+  mutable completed : int;
+}
+
+val create : id:int -> home:int -> t
+val is_free : t -> bool
+
+val submit : t -> op:Value.t -> tick:int -> via:int -> timeout:int -> Cmd.t
+(** Invoke the next operation. Raises if one is already outstanding. *)
+
+val timed_out : t -> tick:int -> bool
+
+val retry : t -> tick:int -> via:int -> timeout:int -> Cmd.t
+(** Resubmit the outstanding op (same seq) with doubled-per-attempt backoff. *)
+
+val complete : t -> seq:int -> tick:int -> (int * int) option
+(** [Some (latency_ticks, attempts)] if [seq] matches the outstanding op;
+    [None] for stale responses. *)
+
+val outstanding_seq : t -> int option
+val outstanding_via : t -> int option
+val attempts : t -> int

@@ -1,0 +1,248 @@
+(* The multi-shot RSM workload engine (ISSUE 10). The load-bearing pins:
+
+   1. the incremental linearizability monitor is a differential twin of the
+      monolithic Model.Linearize oracle on random small histories with
+      random window boundaries — the window invariant says any partition
+      into windows is exact, so the verdicts must coincide event-for-event;
+   2. a deliberately non-linearizable batch is caught at its batch
+      boundary, naming the window;
+   3. the engine survives random mixed fault timelines on a resilient
+      protocol — crashed replicas rejoin, retried commands apply exactly
+      once, the monitor stays green and agrees with the oracle — and
+      replays byte-for-byte per seed;
+   4. tob's serve run falls to its Thm 9 drop with a 1-minimal witness
+      whose fault references stay inside the executed shot range. *)
+
+open Helpers
+module L = Model.Linearize
+module LI = Workload.Linear_inc
+
+let counter = Spec.Seq_counter.make ()
+
+(* Random histories over two endpoints: a (call?, raw) draw becomes a Call
+   of increment/read, or — when the endpoint has an outstanding call — a
+   Return carrying a small count response. Responses are often-but-not-
+   always plausible, so both verdicts occur. *)
+let build_history choices =
+  let outstanding = Array.make 2 0 in
+  List.map
+    (fun (ep, is_call, r) ->
+      if is_call || outstanding.(ep) = 0 then begin
+        outstanding.(ep) <- outstanding.(ep) + 1;
+        L.Call
+          {
+            endpoint = ep;
+            op = (if r mod 2 = 0 then Spec.Seq_counter.increment else Spec.Seq_counter.read);
+          }
+      end
+      else begin
+        outstanding.(ep) <- outstanding.(ep) - 1;
+        L.Return { endpoint = ep; resp = Spec.Seq_counter.count r }
+      end)
+    choices
+
+let qcheck_inc_vs_oracle =
+  qtest "incremental monitor ≡ full oracle under random windows" ~count:500
+    QCheck2.Gen.(
+      list_size (int_bound 16) (quad (int_bound 1) bool (int_bound 3) bool))
+    (fun draws ->
+      let events = build_history (List.map (fun (e, c, r, _) -> e, c, r) draws) in
+      let t = LI.create counter in
+      List.iter2
+        (fun ev (_, _, _, cut) ->
+          LI.record t ev;
+          if cut then ignore (LI.flush t))
+        events draws;
+      let incremental =
+        match LI.finish t with
+        | LI.Ok -> Some true
+        | LI.Violation _ -> Some false
+        | LI.Truncated _ -> None (* must not happen at this size *)
+      in
+      incremental = Some (L.check counter events))
+
+let test_golden_batch_boundary () =
+  let t = LI.create counter in
+  (* Batch 1 is clean: one increment observing the initial 0. *)
+  LI.record t (L.Call { endpoint = 0; op = Spec.Seq_counter.increment });
+  LI.record t (L.Return { endpoint = 0; resp = Spec.Seq_counter.count 0 });
+  (match LI.flush t with
+  | LI.Ok -> ()
+  | v -> Alcotest.failf "clean batch rejected: %s" (match v with
+      | LI.Violation m | LI.Truncated m -> m
+      | LI.Ok -> assert false));
+  (* Batch 2 cannot linearize: a read claims the counter is at 5 when only
+     one increment ever committed. The violation must land exactly at this
+     batch's flush and name it. *)
+  LI.record t (L.Call { endpoint = 1; op = Spec.Seq_counter.read });
+  LI.record t (L.Return { endpoint = 1; resp = Spec.Seq_counter.count 5 });
+  (match LI.flush t with
+  | LI.Violation msg ->
+    Alcotest.(check bool) "violation names batch 2" true (contains msg "window 2")
+  | LI.Ok -> Alcotest.fail "non-linearizable batch passed"
+  | LI.Truncated msg -> Alcotest.failf "truncated instead of caught: %s" msg);
+  Alcotest.(check int) "caught at the second boundary" 2 (LI.windows t);
+  (* Once violated, the verdict is sticky. *)
+  LI.record t (L.Call { endpoint = 0; op = Spec.Seq_counter.read });
+  (match LI.finish t with
+  | LI.Violation _ -> ()
+  | _ -> Alcotest.fail "verdict not sticky")
+
+(* --- the engine under random fault timelines --- *)
+
+let engine_cfg ~seed ~kinds ~max_faults =
+  {
+    (Workload.Engine.default_config ~proto:"direct" ()) with
+    Workload.Engine.clients = 4;
+    ops = 60;
+    rate = 6;
+    batch = 8;
+    pipeline = 2;
+    rejoin_after = 10;
+    catch_up_rate = 16;
+    seed;
+    kinds;
+    max_faults;
+    pin_oracle = true;
+  }
+
+let qcheck_engine_random_faults =
+  let kinds =
+    Chaos.Schedule.[ Crash_k; Drop_k; Dup_k; Delay_k; Partition_k ]
+  in
+  qtest "engine survives random mixed faults exactly-once" ~count:12
+    QCheck2.Gen.(int_bound 10_000)
+    (fun seed ->
+      let r = Workload.Engine.run (engine_cfg ~seed ~kinds ~max_faults:2) in
+      let served =
+        match r.Workload.Report.outcome with
+        | Workload.Report.Served | Workload.Report.Degraded _ -> true
+        | _ -> false
+      in
+      served
+      && r.Workload.Report.duplicate_applications = 0
+      && r.Workload.Report.lin = LI.Ok
+      && r.Workload.Report.oracle_pinned = Some true)
+
+let qcheck_seeded_replay =
+  qtest "seeded runs replay byte-for-byte" ~count:8
+    QCheck2.Gen.(int_bound 10_000)
+    (fun seed ->
+      let cfg =
+        engine_cfg ~seed ~kinds:Chaos.Schedule.[ Crash_k; Partition_k ] ~max_faults:2
+      in
+      String.equal
+        (Workload.Report.render (Workload.Engine.run cfg))
+        (Workload.Report.render (Workload.Engine.run cfg)))
+
+(* Crash/rejoin and duplicate resubmission on a fixed timeline: the crash
+   forces client failover and retry; the replica must come back via log
+   replay, and the retried (client, seq) commands must not apply twice. *)
+let test_crash_rejoin_exactly_once () =
+  let schedule =
+    match Chaos.Schedule.parse "crash@4:1,crash@9:2" with
+    | Ok s -> Some s
+    | Error e -> Alcotest.fail e
+  in
+  let cfg =
+    { (engine_cfg ~seed:3 ~kinds:[] ~max_faults:0) with
+      Workload.Engine.ops = 120;
+      rejoin_after = 8;
+      schedule;
+    }
+  in
+  let r = Workload.Engine.run cfg in
+  (match r.Workload.Report.outcome with
+  | Workload.Report.Served -> ()
+  | o -> Alcotest.failf "expected SERVED, got %a" Workload.Report.pp_outcome o);
+  Alcotest.(check int) "all ops completed" 120 r.Workload.Report.completed;
+  Alcotest.(check bool) "both crashes rejoined" true (r.Workload.Report.rejoins = 2);
+  Alcotest.(check bool) "catch-up replayed the log" true
+    (r.Workload.Report.catch_up_replayed > 0);
+  Alcotest.(check int) "no duplicate application" 0
+    r.Workload.Report.duplicate_applications;
+  Alcotest.(check bool) "monitor green" true (r.Workload.Report.lin = LI.Ok);
+  Alcotest.(check (option bool)) "oracle pinned" (Some true)
+    r.Workload.Report.oracle_pinned
+
+(* --- the shrunk serve witness stays inside the executed range --- *)
+
+let test_tob_witness_clamped () =
+  let schedule =
+    match Chaos.Schedule.parse "drop@6:tob:0" with
+    | Ok s -> Some s
+    | Error e -> Alcotest.fail e
+  in
+  let cfg =
+    {
+      (Workload.Engine.default_config ~proto:"tob" ()) with
+      Workload.Engine.params = { Protocols.Registry.default_params with n = 2; f = 0 };
+      clients = 4;
+      ops = 64;
+      rate = 4;
+      batch = 4;
+      seed = 7;
+      schedule;
+    }
+  in
+  let r = Workload.Engine.run cfg in
+  match r.Workload.Report.outcome with
+  | Workload.Report.Shot_violation { minimized; candidates; runs; _ } ->
+    Alcotest.(check bool) "shrinker actually ran" true (candidates > 0 && runs > 0);
+    (match Chaos.Schedule.parse minimized with
+    | Error e -> Alcotest.failf "minimized witness does not parse: %s" e
+    | Ok m ->
+      Alcotest.(check int) "1-minimal" 1 (Chaos.Schedule.n_faults m);
+      List.iter
+        (fun fault ->
+          let step =
+            match fault with
+            | Chaos.Schedule.Crash { step; _ }
+            | Chaos.Schedule.Silence { step; _ }
+            | Chaos.Schedule.Drop { step; _ }
+            | Chaos.Schedule.Duplicate { step; _ }
+            | Chaos.Schedule.Delay { step; _ }
+            | Chaos.Schedule.Partition { step; _ } ->
+              step
+          in
+          (* The violating shot runs for ~18 steps; a clamped witness cannot
+             reference a step far beyond it (the pre-clamp failure mode was
+             heal/step references at the shrinker's untouched midpoints). *)
+          Alcotest.(check bool)
+            (Printf.sprintf "fault step %d inside the executed shot range" step)
+            true (step <= 50))
+        m.Chaos.Schedule.faults)
+  | o -> Alcotest.failf "expected a shot violation on tob, got %a" Workload.Report.pp_outcome o
+
+(* --- Schedule.map_steps: the rebase used to carry engine-tick faults into
+   a shot's step space --- *)
+
+let test_map_steps_keeps_heal_after_onset () =
+  let s =
+    Chaos.Schedule.make
+      [ Chaos.Schedule.partition ~step:5 ~blocks:[ [ 0 ] ] ~heal_at:40 ]
+  in
+  (* A collapsing map would put the heal at or before the onset; map_steps
+     must keep it strictly after. *)
+  let s' = Chaos.Schedule.map_steps (fun _ -> 3) s in
+  match s'.Chaos.Schedule.faults with
+  | [ Chaos.Schedule.Partition { step; heal_at; _ } ] ->
+    Alcotest.(check int) "onset mapped" 3 step;
+    Alcotest.(check bool) "heal strictly after onset" true (heal_at > step)
+  | _ -> Alcotest.fail "partition lost by map_steps"
+
+let suite =
+  ( "workload",
+    [
+      qcheck_inc_vs_oracle;
+      Alcotest.test_case "non-linearizable batch caught at its boundary" `Quick
+        test_golden_batch_boundary;
+      qcheck_engine_random_faults;
+      qcheck_seeded_replay;
+      Alcotest.test_case "crash/rejoin applies retried ops exactly once" `Quick
+        test_crash_rejoin_exactly_once;
+      Alcotest.test_case "tob serve witness is 1-minimal and clamped" `Quick
+        test_tob_witness_clamped;
+      Alcotest.test_case "map_steps keeps partition heal after onset" `Quick
+        test_map_steps_keeps_heal_after_onset;
+    ] )
